@@ -1,0 +1,77 @@
+// Command nrlbench regenerates the experiment tables of DESIGN.md
+// Section 5 (E1–E9): the costs of nesting-safe recoverability over raw
+// primitives, scaling, contention, crash rates, strictness, the blocking
+// TAS recovery, checker cost and the persistence-mode ablation.
+//
+// Usage:
+//
+//	nrlbench [-ops N] [-exp E1,E3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nrl/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nrlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nrlbench", flag.ContinueOnError)
+	ops := fs.Int("ops", 20000, "base operation count per measurement")
+	expFlag := fs.String("exp", "all", "comma-separated experiments to run (E1..E10) or 'all'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := harness.Scale{Ops: *ops}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for i := 1; i <= 10; i++ {
+			want[fmt.Sprintf("E%d", i)] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(e))] = true
+		}
+	}
+
+	procs := []int{1, 2, 4, 8}
+	experiments := []struct {
+		id  string
+		run func() *harness.Table
+	}{
+		{"E1", func() *harness.Table { return harness.E1PrimitiveOverhead(scale) }},
+		{"E2", func() *harness.Table { return harness.E2CounterScaling(scale, procs) }},
+		{"E3", func() *harness.Table { return harness.E3CASContention(scale, procs) }},
+		{"E4", func() *harness.Table {
+			return harness.E4CrashRateSweep(scale, []float64{0, 1e-4, 1e-3, 1e-2})
+		}},
+		{"E5", func() *harness.Table { return harness.E5Strictness(scale) }},
+		{"E6", func() *harness.Table { return harness.E6TASRecoveryBlocking([]int{2, 4, 8}) }},
+		{"E7", func() *harness.Table { return harness.E7CheckerCost([]int{120, 600, 1500, 3000}) }},
+		{"E8", func() *harness.Table { return harness.E8PersistenceModes(scale) }},
+		{"E9", func() *harness.Table { return harness.E9CompositeCost(scale) }},
+		{"E10", func() *harness.Table { return harness.E10UniversalAblation(scale) }},
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !want[e.id] {
+			continue
+		}
+		e.run().Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments selected (got -exp=%q)", *expFlag)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-ops", "400", "-exp", "E1"}); err != nil {
+		t.Errorf("run = %v", err)
+	}
+}
+
+func TestRunSelection(t *testing.T) {
+	if err := run([]string{"-ops", "400", "-exp", "e5,E8"}); err != nil {
+		t.Errorf("run = %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "E99"}); err == nil {
+		t.Error("run accepted an unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("run accepted a bad flag")
+	}
+}

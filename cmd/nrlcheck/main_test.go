@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunAllObjectsSmall(t *testing.T) {
+	if err := run([]string{"-seeds", "3", "-ops", "3"}); err != nil {
+		t.Errorf("run = %v", err)
+	}
+}
+
+func TestRunSingleObjectVerbose(t *testing.T) {
+	if err := run([]string{"-obj", "counter", "-seeds", "2", "-v"}); err != nil {
+		t.Errorf("run = %v", err)
+	}
+}
+
+func TestRunUnknownObject(t *testing.T) {
+	if err := run([]string{"-obj", "nope"}); err == nil {
+		t.Error("run accepted an unknown object")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("run accepted a bad flag")
+	}
+}

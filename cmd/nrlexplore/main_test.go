@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunRegisterBounded(t *testing.T) {
+	if err := run([]string{"-obj", "register", "-crashes", "0"}); err != nil {
+		t.Errorf("run = %v", err)
+	}
+}
+
+func TestRunStrawmanFindsViolation(t *testing.T) {
+	if err := run([]string{"-obj", "strawman"}); err != nil {
+		t.Errorf("run = %v", err)
+	}
+}
+
+func TestRunCounterBounded(t *testing.T) {
+	if err := run([]string{"-obj", "counter", "-maxruns", "2000"}); err != nil {
+		t.Errorf("run = %v", err)
+	}
+}
+
+func TestRunUnknownObject(t *testing.T) {
+	if err := run([]string{"-obj", "nope"}); err == nil {
+		t.Error("run accepted an unknown configuration")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("run accepted a bad flag")
+	}
+}

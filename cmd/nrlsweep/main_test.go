@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunCounterSweep(t *testing.T) {
+	if err := run([]string{"-obj", "counter", "-ops", "2"}); err != nil {
+		t.Errorf("run = %v", err)
+	}
+}
+
+func TestRunAllSmall(t *testing.T) {
+	if err := run([]string{"-ops", "1", "-double=false"}); err != nil {
+		t.Errorf("run = %v", err)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if err := run([]string{"-obj", "nope"}); err == nil {
+		t.Error("run accepted an unknown workload")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("run accepted a bad flag")
+	}
+}

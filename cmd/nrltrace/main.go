@@ -1,0 +1,158 @@
+// Command nrltrace runs a small crash-recovery scenario and prints the
+// resulting history step by step, making the model's behaviour visible:
+// invocations, responses, crash steps attributed to the inner-most
+// pending operation, and matching recover steps.
+//
+// Usage:
+//
+//	nrltrace [-scenario counter|cas-helping|tas-winner-crash] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nrl"
+	"nrl/internal/history"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nrltrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nrltrace", flag.ContinueOnError)
+	scenario := fs.String("scenario", "counter", "scenario: counter, cas-helping or tas-winner-crash")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	gantt := fs.Bool("gantt", true, "render an ASCII timeline of the history")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		h      history.History
+		models nrl.ModelFor
+		err    error
+	)
+	switch *scenario {
+	case "counter":
+		h, models, err = counterScenario(*seed)
+	case "cas-helping":
+		h, models, err = casHelpingScenario()
+	case "tas-winner-crash":
+		h, models, err = tasWinnerCrashScenario()
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(h)
+	if *gantt {
+		fmt.Println("\ntimeline:")
+		fmt.Print(h.Gantt(64))
+	}
+	if err := nrl.CheckNRL(models, h); err != nil {
+		return fmt.Errorf("NRL check failed: %w", err)
+	}
+	fmt.Println("\nNRL check: ok")
+	return nil
+}
+
+// counterScenario: two processes increment a recoverable counter; one
+// crashes inside the nested register WRITE (the paper's Algorithm 4
+// walkthrough).
+func counterScenario(seed int64) (history.History, nrl.ModelFor, error) {
+	rec := nrl.NewRecorder()
+	inj := &nrl.AtLine{Proc: 1, Obj: "ctr.R[1]", Op: "WRITE", Line: 5}
+	sys := nrl.NewSystem(nrl.Config{
+		Procs:     2,
+		Recorder:  rec,
+		Injector:  inj,
+		Scheduler: nrl.NewControlled(nrl.RandomPicker(seed)),
+	})
+	ctr := nrl.NewCounter(sys, "ctr")
+	sys.Run(map[int]func(*nrl.Ctx){
+		1: func(c *nrl.Ctx) { ctr.Inc(c); ctr.Read(c) },
+		2: func(c *nrl.Ctx) { ctr.Inc(c) },
+	})
+	if got := ctr.Read(sys.Proc(2).Ctx()); got != 2 {
+		return history.History{}, nil, fmt.Errorf("final counter = %d, want 2", got)
+	}
+	return rec.History(), nrl.Models(map[string]nrl.Model{"ctr": nrl.CounterModel{}}), nil
+}
+
+// casHelpingScenario: p1's cas primitive succeeds, p1 crashes before
+// reading the response, p2 overwrites (helping first through R[p1][p2]),
+// and p1's recovery still reports success.
+func casHelpingScenario() (history.History, nrl.ModelFor, error) {
+	rec := nrl.NewRecorder()
+	inj := &nrl.AtLine{Proc: 1, Obj: "cas", Op: "CAS", Line: 8}
+	picker := func(candidates []int, step int) int {
+		if !inj.Fired() {
+			return candidates[0]
+		}
+		for _, c := range candidates {
+			if c == 2 {
+				return c
+			}
+		}
+		return candidates[0]
+	}
+	sys := nrl.NewSystem(nrl.Config{
+		Procs:     2,
+		Recorder:  rec,
+		Injector:  inj,
+		Scheduler: nrl.NewControlled(picker),
+	})
+	o := nrl.NewCASObject(sys, "cas")
+	v1 := nrl.DistinctCAS(1, 1, 11)
+	v2 := nrl.DistinctCAS(2, 1, 22)
+	var ok1 bool
+	sys.Run(map[int]func(*nrl.Ctx){
+		1: func(c *nrl.Ctx) { ok1 = o.CAS(c, 0, v1) },
+		2: func(c *nrl.Ctx) { o.CAS(c, v1, v2) },
+	})
+	if !ok1 {
+		return history.History{}, nil, fmt.Errorf("p1's recovered CAS reported failure")
+	}
+	return rec.History(), nrl.Models(map[string]nrl.Model{"cas": nrl.CASModel{}}), nil
+}
+
+// tasWinnerCrashScenario: the primitive winner crashes before declaring
+// itself; its blocking recovery claims the win after the other process
+// completes.
+func tasWinnerCrashScenario() (history.History, nrl.ModelFor, error) {
+	rec := nrl.NewRecorder()
+	inj := &nrl.AtLine{Proc: 1, Obj: "tas", Op: "T&S", Line: 9}
+	picker := func(candidates []int, step int) int {
+		if !inj.Fired() {
+			return candidates[0]
+		}
+		for _, c := range candidates {
+			if c == 2 {
+				return c
+			}
+		}
+		return candidates[0]
+	}
+	sys := nrl.NewSystem(nrl.Config{
+		Procs:     2,
+		Recorder:  rec,
+		Injector:  inj,
+		Scheduler: nrl.NewControlled(picker),
+	})
+	o := nrl.NewTAS(sys, "tas")
+	rets := make([]uint64, 3)
+	sys.Run(map[int]func(*nrl.Ctx){
+		1: func(c *nrl.Ctx) { rets[1] = o.TestAndSet(c) },
+		2: func(c *nrl.Ctx) { rets[2] = o.TestAndSet(c) },
+	})
+	if rets[1] != 0 || rets[2] != 1 {
+		return history.History{}, nil, fmt.Errorf("responses = %d,%d, want 0,1", rets[1], rets[2])
+	}
+	return rec.History(), nrl.Models(map[string]nrl.Model{"tas": nrl.TASModel{}}), nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestScenarios(t *testing.T) {
+	for _, s := range []string{"counter", "cas-helping", "tas-winner-crash"} {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			if err := run([]string{"-scenario", s}); err != nil {
+				t.Errorf("run(%s) = %v", s, err)
+			}
+		})
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Error("run accepted an unknown scenario")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("run accepted a bad flag")
+	}
+}

@@ -1,0 +1,59 @@
+// Command quickstart demonstrates the library end to end: a recoverable
+// counter (the paper's Algorithm 4) shared by four processes that crash
+// at random points — including inside the nested recoverable register
+// operations — yet every increment lands exactly once, and the recorded
+// history machine-checks against nesting-safe recoverable linearizability
+// (Definition 4).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nrl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		procs = 4
+		incs  = 50
+	)
+	rec := nrl.NewRecorder()
+	inj := &nrl.RandomCrash{Rate: 0.01, Seed: 2018, MaxCrashes: 20}
+	sys := nrl.NewSystem(nrl.Config{Procs: procs, Recorder: rec, Injector: inj})
+
+	ctr := nrl.NewCounter(sys, "ctr")
+	for p := 1; p <= procs; p++ {
+		sys.Go(p, func(c *nrl.Ctx) {
+			for i := 0; i < incs; i++ {
+				ctr.Inc(c)
+			}
+		})
+	}
+	sys.Wait()
+
+	final := ctr.Read(sys.Proc(1).Ctx())
+	fmt.Printf("processes:          %d\n", procs)
+	fmt.Printf("increments issued:  %d\n", procs*incs)
+	fmt.Printf("crashes injected:   %d\n", inj.Crashes())
+	fmt.Printf("final counter:      %d\n", final)
+	if final != procs*incs {
+		return fmt.Errorf("increment lost or duplicated: got %d, want %d", final, procs*incs)
+	}
+
+	h := rec.History()
+	fmt.Printf("history steps:      %d\n", h.Len())
+	models := nrl.Models(map[string]nrl.Model{"ctr": nrl.CounterModel{}})
+	if err := nrl.CheckNRL(models, h); err != nil {
+		return fmt.Errorf("NRL check failed: %w", err)
+	}
+	fmt.Println("NRL check:          ok (history is recoverable well-formed and N(H) is linearizable)")
+	return nil
+}

@@ -1,0 +1,68 @@
+// Command universal demonstrates the recoverable universal construction:
+// hand the library nothing but a sequential specification and get back an
+// object satisfying nesting-safe recoverable linearizability. Here a
+// priority-free task board (a queue) and a high-water-mark gauge (a
+// max-register) are both derived from their specs alone and survive
+// injected crashes, with the histories machine-checked.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nrl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "universal:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rec := nrl.NewRecorder()
+	inj := &nrl.RandomCrash{Rate: 0.02, Seed: 3, MaxCrashes: 10}
+	sys := nrl.NewSystem(nrl.Config{Procs: 3, Recorder: rec, Injector: inj})
+
+	board := nrl.NewUniversal(sys, "board", nrl.QueueModel{}, 1024, []string{"ENQ", "DEQ"})
+	gauge := nrl.NewUniversal(sys, "gauge", nrl.MaxRegisterModel{}, 1024, []string{"WRITEMAX", "READMAX"})
+
+	for p := 1; p <= 3; p++ {
+		sys.Go(p, func(c *nrl.Ctx) {
+			for i := 0; i < 5; i++ {
+				task := uint64(c.P()*100 + i)
+				board.Invoke(c, "ENQ", task)
+				gauge.Invoke(c, "WRITEMAX", task)
+				if i%2 == 1 {
+					board.Invoke(c, "DEQ")
+				}
+			}
+		})
+	}
+	sys.Wait()
+
+	c := sys.Proc(1).Ctx()
+	remaining := 0
+	for board.Invoke(c, "DEQ") != nrl.Empty {
+		remaining++
+	}
+	high := gauge.Invoke(c, "READMAX")
+	fmt.Printf("tasks enqueued:   15\n")
+	fmt.Printf("left on board:    %d (9 were worked off mid-run)\n", remaining)
+	fmt.Printf("high-water mark:  %d\n", high)
+	fmt.Printf("crashes injected: %d\n", inj.Crashes())
+	if remaining != 9 || high != 304 {
+		return fmt.Errorf("unexpected outcome: remaining=%d high=%d", remaining, high)
+	}
+
+	models := nrl.Models(map[string]nrl.Model{
+		"board": nrl.QueueModel{},
+		"gauge": nrl.MaxRegisterModel{},
+	})
+	if err := nrl.CheckNRL(models, rec.History()); err != nil {
+		return fmt.Errorf("NRL check failed: %w", err)
+	}
+	fmt.Println("NRL check:        ok (both spec-derived objects)")
+	return nil
+}

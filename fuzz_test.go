@@ -1,0 +1,89 @@
+// Fuzz targets: each drives a recoverable-object workload from fuzzer-
+// chosen schedule/crash parameters and checks the resulting history for
+// nesting-safe recoverable linearizability. Run continuously with
+//
+//	go test -fuzz FuzzCounterNRL .
+//
+// Under plain `go test` the seed corpus below runs as ordinary tests.
+package nrl_test
+
+import (
+	"testing"
+
+	"nrl"
+)
+
+func FuzzCounterNRL(f *testing.F) {
+	f.Add(int64(1), uint16(10), uint8(3), uint8(2))
+	f.Add(int64(42), uint16(300), uint8(5), uint8(3))
+	f.Add(int64(-7), uint16(77), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, rate uint16, opsPP, procs uint8) {
+		n := int(procs)%3 + 1
+		ops := int(opsPP)%6 + 1
+		rec := nrl.NewRecorder()
+		inj := &nrl.RandomCrash{
+			Rate:       float64(rate%500) / 5000, // 0..10% per step
+			Seed:       seed,
+			MaxCrashes: 2 * n,
+		}
+		sys := nrl.NewSystem(nrl.Config{
+			Procs:     n,
+			Recorder:  rec,
+			Injector:  inj,
+			Scheduler: nrl.NewControlled(nrl.RandomPicker(seed)),
+		})
+		ctr := nrl.NewCounter(sys, "ctr")
+		bodies := make(map[int]func(*nrl.Ctx))
+		for p := 1; p <= n; p++ {
+			bodies[p] = func(c *nrl.Ctx) {
+				for i := 0; i < ops; i++ {
+					ctr.Inc(c)
+				}
+			}
+		}
+		sys.Run(bodies)
+		if got := ctr.Read(sys.Proc(1).Ctx()); got != uint64(n*ops) {
+			t.Fatalf("counter = %d, want %d (seed %d)", got, n*ops, seed)
+		}
+		models := nrl.Models(map[string]nrl.Model{"ctr": nrl.CounterModel{}})
+		if err := nrl.CheckNRL(models, rec.History()); err != nil {
+			t.Fatalf("NRL violated: %v", err)
+		}
+	})
+}
+
+func FuzzStackQueueNRL(f *testing.F) {
+	f.Add(int64(1), uint16(20))
+	f.Add(int64(99), uint16(444))
+	f.Fuzz(func(t *testing.T, seed int64, rate uint16) {
+		rec := nrl.NewRecorder()
+		inj := &nrl.RandomCrash{Rate: float64(rate%400) / 5000, Seed: seed, MaxCrashes: 5}
+		sys := nrl.NewSystem(nrl.Config{
+			Procs:     2,
+			Recorder:  rec,
+			Injector:  inj,
+			Scheduler: nrl.NewControlled(nrl.RandomPicker(seed)),
+		})
+		st := nrl.NewStack(sys, "stk", 128)
+		q := nrl.NewQueue(sys, "q", 128)
+		body := func(c *nrl.Ctx) {
+			p := uint64(c.P())
+			for i := uint64(0); i < 3; i++ {
+				st.Push(c, p*100+i+1)
+				q.Enqueue(c, p*100+i+1)
+				if i%2 == 1 {
+					st.Pop(c)
+					q.Dequeue(c)
+				}
+			}
+		}
+		sys.Run(map[int]func(*nrl.Ctx){1: body, 2: body})
+		models := nrl.Models(map[string]nrl.Model{
+			"stk": nrl.StackModel{},
+			"q":   nrl.QueueModel{},
+		})
+		if err := nrl.CheckNRL(models, rec.History()); err != nil {
+			t.Fatalf("NRL violated: %v", err)
+		}
+	})
+}

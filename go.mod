@@ -1,0 +1,3 @@
+module nrl
+
+go 1.22

@@ -1,0 +1,107 @@
+// Package baseline provides non-recoverable counterparts of the
+// repository's recoverable objects, running on the same simulated NVRAM.
+// They define the cost floor the benchmark suite compares against: the
+// difference between a baseline object and its recoverable counterpart is
+// the price of nesting-safe recoverability (experiments E1–E3).
+//
+// Baseline objects take no part in crash-recovery: invoked under crash
+// injection they would lose responses and corrupt invariants, which the
+// negative tests in package valency exploit deliberately.
+package baseline
+
+import (
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// Register is a plain atomic register.
+type Register struct {
+	a nvm.Addr
+}
+
+// NewRegister allocates a register holding initial.
+func NewRegister(sys *proc.System, name string, initial uint64) *Register {
+	return &Register{a: sys.Mem().Alloc(name, initial)}
+}
+
+// Read returns the register's value.
+func (r *Register) Read(c *proc.Ctx) uint64 { return c.Mem().Read(r.a) }
+
+// Write stores v.
+func (r *Register) Write(c *proc.Ctx, v uint64) { c.Mem().Write(r.a, v) }
+
+// CAS is a plain atomic compare-and-swap object.
+type CAS struct {
+	a nvm.Addr
+}
+
+// NewCAS allocates a CAS object holding initial.
+func NewCAS(sys *proc.System, name string, initial uint64) *CAS {
+	return &CAS{a: sys.Mem().Alloc(name, initial)}
+}
+
+// Read returns the object's value.
+func (o *CAS) Read(c *proc.Ctx) uint64 { return c.Mem().Read(o.a) }
+
+// CompareAndSwap swaps old for new atomically, reporting success.
+func (o *CAS) CompareAndSwap(c *proc.Ctx, old, new uint64) bool {
+	return c.Mem().CAS(o.a, old, new)
+}
+
+// TAS is a plain atomic test-and-set object.
+type TAS struct {
+	a nvm.Addr
+}
+
+// NewTAS allocates a TAS object (initially 0).
+func NewTAS(sys *proc.System, name string) *TAS {
+	return &TAS{a: sys.Mem().Alloc(name, 0)}
+}
+
+// TestAndSet sets the object to 1 and returns the previous value.
+func (o *TAS) TestAndSet(c *proc.Ctx) uint64 { return c.Mem().TAS(o.a) }
+
+// Counter is the non-recoverable linearizable counter the paper describes
+// before Algorithm 4: per-process slots incremented with plain writes and
+// summed by READ.
+type Counter struct {
+	slots []nvm.Addr
+}
+
+// NewCounter allocates a counter for the system's processes.
+func NewCounter(sys *proc.System, name string) *Counter {
+	return &Counter{slots: sys.Mem().AllocArray(name, sys.N()+1, 0)}
+}
+
+// Inc increments the calling process's slot.
+func (o *Counter) Inc(c *proc.Ctx) {
+	m := c.Mem()
+	a := o.slots[c.P()]
+	m.Write(a, m.Read(a)+1)
+}
+
+// Read sums all slots.
+func (o *Counter) Read(c *proc.Ctx) uint64 {
+	m := c.Mem()
+	var sum uint64
+	for _, a := range o.slots[1:] {
+		sum += m.Read(a)
+	}
+	return sum
+}
+
+// FAA is a plain atomic fetch-and-add object.
+type FAA struct {
+	a nvm.Addr
+}
+
+// NewFAA allocates a fetch-and-add object (initially 0).
+func NewFAA(sys *proc.System, name string) *FAA {
+	return &FAA{a: sys.Mem().Alloc(name, 0)}
+}
+
+// Add adds delta and returns the previous value.
+func (o *FAA) Add(c *proc.Ctx, delta uint64) uint64 { return c.Mem().FAA(o.a, delta) }
+
+// Read returns the current value.
+func (o *FAA) Read(c *proc.Ctx) uint64 { return c.Mem().Read(o.a) }

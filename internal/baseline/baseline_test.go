@@ -1,0 +1,76 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"nrl/internal/baseline"
+	"nrl/internal/proc"
+)
+
+func newSys(n int) *proc.System {
+	return proc.NewSystem(proc.Config{Procs: n})
+}
+
+func TestRegister(t *testing.T) {
+	sys := newSys(1)
+	r := baseline.NewRegister(sys, "r", 5)
+	c := sys.Proc(1).Ctx()
+	if got := r.Read(c); got != 5 {
+		t.Errorf("Read = %d, want 5", got)
+	}
+	r.Write(c, 9)
+	if got := r.Read(c); got != 9 {
+		t.Errorf("Read = %d, want 9", got)
+	}
+}
+
+func TestCAS(t *testing.T) {
+	sys := newSys(1)
+	o := baseline.NewCAS(sys, "c", 0)
+	c := sys.Proc(1).Ctx()
+	if o.CompareAndSwap(c, 1, 2) {
+		t.Error("CAS(1,2) on 0 succeeded")
+	}
+	if !o.CompareAndSwap(c, 0, 2) {
+		t.Error("CAS(0,2) failed")
+	}
+	if got := o.Read(c); got != 2 {
+		t.Errorf("Read = %d, want 2", got)
+	}
+}
+
+func TestTAS(t *testing.T) {
+	sys := newSys(1)
+	o := baseline.NewTAS(sys, "t")
+	c := sys.Proc(1).Ctx()
+	if got := o.TestAndSet(c); got != 0 {
+		t.Errorf("first TAS = %d, want 0", got)
+	}
+	if got := o.TestAndSet(c); got != 1 {
+		t.Errorf("second TAS = %d, want 1", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	sys := newSys(3)
+	o := baseline.NewCounter(sys, "ctr")
+	for p := 1; p <= 3; p++ {
+		o.Inc(sys.Proc(p).Ctx())
+	}
+	o.Inc(sys.Proc(2).Ctx())
+	if got := o.Read(sys.Proc(1).Ctx()); got != 4 {
+		t.Errorf("Read = %d, want 4", got)
+	}
+}
+
+func TestFAA(t *testing.T) {
+	sys := newSys(1)
+	o := baseline.NewFAA(sys, "f")
+	c := sys.Proc(1).Ctx()
+	if got := o.Add(c, 3); got != 0 {
+		t.Errorf("Add = %d, want 0", got)
+	}
+	if got := o.Read(c); got != 3 {
+		t.Errorf("Read = %d, want 3", got)
+	}
+}

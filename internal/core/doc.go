@@ -1,0 +1,26 @@
+// Package core implements the paper's nesting-safe recoverable base
+// objects (Attiya, Ben-Baruch, Hendler, PODC 2018):
+//
+//   - Register: Algorithm 1, a recoverable read/write object. WRITE wraps
+//     the primitive write with bookkeeping in a single-reader single-writer
+//     word S_p so that WRITE.RECOVER can tell whether the write (or a
+//     write by another process) took place. Requires all written values to
+//     be distinct (see Distinct).
+//   - CASObject: Algorithm 2, a recoverable compare-and-swap object. The
+//     object stores the pair <id,val> of the last successful CAS; a
+//     helping matrix R[N][N] lets processes inform each other that their
+//     CAS took effect, so CAS.RECOVER can always determine the lost
+//     response. Requires per-process distinct, non-zero values and never
+//     CAS(old,old).
+//   - TAS: Algorithm 3, a recoverable non-resettable test-and-set object
+//     with a wait-free T&S operation and a blocking recovery function —
+//     the blocking is inevitable by the paper's Theorem 4 (see package
+//     valency for the demonstration).
+//
+// Line numbers in the Exec machines match the paper's pseudo-code
+// listings. Operations are strict (Definition 1) where the paper makes
+// them strict (TAS); Register and CASObject additionally provide strict
+// variants (StrictRead, StrictCAS) that persist the response in a
+// per-process Res_p area before returning, which higher-level recoverable
+// operations need when they cannot otherwise reconstruct a lost response.
+package core

@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"testing"
+
+	"nrl/internal/core"
+	"nrl/internal/linearize"
+	"nrl/internal/proc"
+	"nrl/internal/spec"
+)
+
+// customOp is a user-defined recoverable operation composed directly from
+// the exported *Op() accessors — the same style package objects uses. It
+// swings a register to a value read from a CAS object, then takes a TAS:
+//
+//	 1: v <- CAS.READ
+//	 2: REG.WRITE(v + offset)
+//	 3: r <- REG.STRICTREAD
+//	 4: w <- TAS.T&S
+//	 5: return r + w
+//
+//	RECOVER: if LI < 2 restart; else proceed from the read-back (the
+//	write is idempotent per run because the value is deterministic).
+type customOp struct {
+	reg *core.Register
+	cas *core.CASObject
+	tas *core.TAS
+}
+
+func (o *customOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: "combo", Op: "COMBO", Entry: 1, RecoverEntry: 8}
+}
+
+func (o *customOp) Exec(c *proc.Ctx, line int) uint64 {
+	var v, r, w uint64
+	for {
+		switch line {
+		case 1:
+			c.Step(1)
+			v = c.Invoke(o.cas.ReadOp())
+			line = 2
+		case 2:
+			c.Step(2)
+			c.Invoke(o.reg.WriteOp(), v+7)
+			line = 3
+		case 3:
+			c.Step(3)
+			r = c.Invoke(o.reg.StrictReadOp())
+			line = 4
+		case 4:
+			c.Step(4)
+			w = c.Invoke(o.tas.Op())
+			line = 5
+		case 5:
+			c.Step(5)
+			return r + w
+		case 8:
+			c.RecStep(8)
+			if c.LI() < 2 {
+				line = 1
+				continue
+			}
+			line = 2 // the write of v+7 is deterministic; re-derive v
+			v = c.Invoke(o.cas.ReadOp())
+		default:
+			panic("customOp: bad line")
+		}
+	}
+}
+
+// TestDirectNestingThroughOpAccessors drives a user-composed operation
+// built from every exported nesting accessor, with a crash inside it, and
+// checks the full multi-object history for NRL.
+func TestDirectNestingThroughOpAccessors(t *testing.T) {
+	inj := &proc.AtLine{Obj: "combo", Op: "COMBO", Line: 4}
+	sys, rec := newSys(inj, 1, nil)
+	reg := core.NewRegister(sys, "reg", 0)
+	cas := core.NewCASObject(sys, "cas")
+	tas := core.NewTAS(sys, "tas")
+	op := &customOp{reg: reg, cas: cas, tas: tas}
+	c := sys.Proc(1).Ctx()
+
+	// Install a CAS value first via the exported ops (covers CASOp and
+	// StrictCASOp as nesting handles too).
+	if c.Invoke(cas.CASOp(), 0, core.DistinctCAS(1, 1, 3)) != 1 {
+		t.Fatal("CAS install failed")
+	}
+	if c.Invoke(cas.StrictCASOp(), core.DistinctCAS(1, 1, 3), core.DistinctCAS(1, 2, 5)) != 1 {
+		t.Fatal("StrictCAS install failed")
+	}
+
+	got := c.Invoke(op)
+	want := core.DistinctCAS(1, 2, 5) + 7 + 0 // strict read-back + solo TAS win
+	if got != want {
+		t.Errorf("COMBO = %d, want %d", got, want)
+	}
+	if !inj.Fired() {
+		t.Error("injector did not fire")
+	}
+	models := func(obj string) spec.Model {
+		switch obj {
+		case "reg":
+			return spec.Register{}
+		case "cas":
+			return spec.CAS{}
+		case "tas":
+			return spec.TAS{}
+		default:
+			return nil // "combo" has no model: check the base objects only
+		}
+	}
+	h := rec.History()
+	if err := h.CheckRecoverableWellFormed(); err != nil {
+		t.Fatalf("not recoverable well-formed: %v\n%s", err, h)
+	}
+	for _, obj := range []string{"reg", "cas", "tas"} {
+		if _, err := linearize.CheckObject(models(obj), h.NoCrash().ByObject(obj)); err != nil {
+			t.Errorf("object %s: %v", obj, err)
+		}
+	}
+}

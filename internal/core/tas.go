@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// TAS is the recoverable non-resettable test-and-set object of
+// Algorithm 3. T&S atomically sets the object and returns its previous
+// value: exactly one process — across any number of crashes and
+// recoveries — obtains 0. The T&S operation is wait-free and strict
+// (Definition 1: the response is persisted in Res_p before returning);
+// the recovery function is blocking, which Theorem 4 proves unavoidable
+// for implementations from read/write and non-recoverable TAS primitives.
+//
+// As in the paper, each process may invoke T&S at most once: the object
+// is non-resettable, so any further invocation would be bound to return 1
+// and the state machine does not support it.
+type TAS struct {
+	name    string
+	r       []nvm.Addr // R[p]: per-process state, 0..4
+	winner  nvm.Addr   // Winner: id of the winning process (0 = null)
+	doorway nvm.Addr   // Doorway: 1 = open (true), 0 = closed
+	res     []nvm.Addr // Res_p: persisted response
+	t       nvm.Addr   // T: base non-recoverable t&s word
+
+	// readableBase selects the variant of the paper's footnote 3: with a
+	// READABLE base t&s object, the doorway mechanism is replaced by
+	// simply reading T — a process that observes T = 1 has provably lost.
+	readableBase bool
+
+	op *tasOp
+
+	mu      sync.Mutex
+	invoked []bool
+}
+
+// NewTAS allocates a recoverable test-and-set object using the paper's
+// doorway mechanism (the base t&s object is treated as non-readable).
+func NewTAS(sys *proc.System, name string) *TAS {
+	return newTAS(sys, name, false)
+}
+
+// NewTASReadableBase allocates the footnote-3 variant: the base t&s word
+// is readable, so the doorway is replaced by reading T directly.
+func NewTASReadableBase(sys *proc.System, name string) *TAS {
+	return newTAS(sys, name, true)
+}
+
+func newTAS(sys *proc.System, name string, readable bool) *TAS {
+	mem := sys.Mem()
+	n := sys.N()
+	o := &TAS{
+		name:         name,
+		r:            mem.AllocArray(name+".R", n+1, 0),
+		winner:       mem.Alloc(name+".Winner", 0),
+		doorway:      mem.Alloc(name+".Doorway", 1),
+		res:          mem.AllocArray(name+".Res", n+1, 0),
+		t:            mem.Alloc(name+".T", 0),
+		readableBase: readable,
+		invoked:      make([]bool, n+1),
+	}
+	o.op = &tasOp{obj: o}
+	return o
+}
+
+// closed reports whether a newly arriving process has provably lost: in
+// the doorway variant the doorway word has been set to false; in the
+// readable-base variant the base t&s word already holds 1.
+func (o *TAS) closed(c *proc.Ctx) bool {
+	if o.readableBase {
+		return c.Read(o.t) == 1
+	}
+	return c.Read(o.doorway) == 0
+}
+
+// shut closes the entry point for later arrivals: a doorway write in the
+// doorway variant, a no-op in the readable-base variant (the t&s itself
+// closes it).
+func (o *TAS) shut(c *proc.Ctx) {
+	if !o.readableBase {
+		c.Write(o.doorway, 0)
+	}
+}
+
+// Name returns the object's name.
+func (o *TAS) Name() string { return o.name }
+
+// TestAndSet performs the recoverable T&S operation, returning the
+// object's previous value: 0 for the unique winner, 1 for everyone else.
+// Each process may call it at most once per object.
+func (o *TAS) TestAndSet(c *proc.Ctx) uint64 {
+	o.mu.Lock()
+	if o.invoked[c.P()] {
+		o.mu.Unlock()
+		panic(fmt.Sprintf("core: process %d invoked T&S twice on %q", c.P(), o.name))
+	}
+	o.invoked[c.P()] = true
+	o.mu.Unlock()
+	return c.Invoke(o.op)
+}
+
+// Op exposes the T&S operation for direct nesting.
+func (o *TAS) Op() proc.Operation { return o.op }
+
+// Winner reports the winning process id, or 0 if no winner declared yet.
+func (o *TAS) Winner(mem *nvm.Memory) int { return int(mem.Read(o.winner)) }
+
+// tasOp is Algorithm 3's T&S, program for process p:
+//
+//	 2: R[p] <- 1
+//	 3: if Doorway = false then
+//	 4:   ret <- 1
+//	 5:   proceed from line 11
+//	 6: R[p] <- 2
+//	 7: Doorway <- false
+//	 8: ret <- T.t&s()
+//	 9: if ret = 0 then
+//	10:   Winner <- p
+//	11: Res_p <- ret
+//	12: R[p] <- 3
+//	13: return ret
+//
+//	T&S.RECOVER:
+//	15: if R[p] < 2 then
+//	16:   proceed from line 2
+//	17: if R[p] = 3 then
+//	18:   ret <- Res_p
+//	19:   return ret
+//	20: if Winner != null then
+//	21:   proceed from line 31
+//	22: Doorway <- false
+//	23: R[p] <- 4
+//	24: T.t&s()
+//	25: for i from 1 to p-1 do
+//	26:   await(R[i] = 0 or R[i] = 3)
+//	27: for i from p+1 to N do
+//	28:   await(R[i] = 0 or R[i] > 2)
+//	29: if Winner = null then
+//	30:   Winner <- p
+//	31: ret <- (Winner != p)
+//	32: Res_p <- ret
+//	33: R[p] <- 3
+//	34: return ret
+//
+// The paper's text for lines 26 and 28 reads "await(R[p] = ...)"; the
+// proof of Claim 1 makes clear the intended variable is R[i] (the loops
+// wait for *other* processes), which is what we implement.
+type tasOp struct {
+	obj *TAS
+}
+
+func (o *tasOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.obj.name, Op: "T&S", Entry: 2, RecoverEntry: 15}
+}
+
+func (o *tasOp) Exec(c *proc.Ctx, line int) uint64 {
+	var (
+		p   = c.P()
+		n   = c.N()
+		ret uint64
+	)
+	for {
+		switch line {
+		case 2:
+			c.Step(2)
+			c.Write(o.obj.r[p], 1)
+			line = 3
+		case 3:
+			c.Step(3)
+			if o.obj.closed(c) {
+				c.Step(4)
+				ret = 1
+				line = 11 // line 5
+				continue
+			}
+			line = 6
+		case 6:
+			c.Step(6)
+			c.Write(o.obj.r[p], 2)
+			line = 7
+		case 7:
+			c.Step(7)
+			o.obj.shut(c)
+			line = 8
+		case 8:
+			c.Step(8)
+			ret = c.TAS(o.obj.t)
+			line = 9
+		case 9:
+			c.Step(9)
+			if ret == 0 {
+				c.Step(10)
+				c.Write(o.obj.winner, uint64(p))
+			}
+			line = 11
+		case 11:
+			c.Step(11)
+			c.Write(o.obj.res[p], ret)
+			line = 12
+		case 12:
+			c.Step(12)
+			c.Write(o.obj.r[p], 3)
+			line = 13
+		case 13:
+			c.Step(13)
+			return ret
+		case 15:
+			c.RecStep(15)
+			if c.Read(o.obj.r[p]) < 2 { // line 15
+				line = 2 // line 16
+				continue
+			}
+			c.RecStep(17)
+			if c.Read(o.obj.r[p]) == 3 {
+				c.RecStep(18)
+				ret = c.Read(o.obj.res[p])
+				c.RecStep(19)
+				return ret
+			}
+			c.RecStep(20)
+			if c.Read(o.obj.winner) != 0 {
+				line = 31 // line 21
+				continue
+			}
+			c.RecStep(22)
+			o.obj.shut(c)
+			c.RecStep(23)
+			c.Write(o.obj.r[p], 4)
+			c.RecStep(24)
+			c.TAS(o.obj.t)
+			for i := 1; i < p; i++ { // line 25
+				r := o.obj.r[i]
+				c.Await(26, func() bool {
+					v := c.Read(r)
+					return v == 0 || v == 3
+				})
+			}
+			for i := p + 1; i <= n; i++ { // line 27
+				r := o.obj.r[i]
+				c.Await(28, func() bool {
+					v := c.Read(r)
+					return v == 0 || v > 2
+				})
+			}
+			c.RecStep(29)
+			if c.Read(o.obj.winner) == 0 {
+				c.RecStep(30)
+				c.Write(o.obj.winner, uint64(p))
+			}
+			line = 31
+		case 31:
+			c.RecStep(31)
+			if c.Read(o.obj.winner) != uint64(p) {
+				ret = 1
+			} else {
+				ret = 0
+			}
+			c.RecStep(32)
+			c.Write(o.obj.res[p], ret)
+			c.RecStep(33)
+			c.Write(o.obj.r[p], 3)
+			c.RecStep(34)
+			return ret
+		default:
+			panic(fmt.Sprintf("core: tasOp bad line %d", line))
+		}
+	}
+}

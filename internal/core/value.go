@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// Ack is the response of operations that return no data (WRITE, INC, ...).
+const Ack uint64 = 0
+
+// Algorithm 1 assumes all values written to a register are distinct, and
+// Algorithm 2 assumes values written by the same process are distinct and
+// non-zero. Distinct builds such values by packing a process id and a
+// per-process sequence number alongside a 32-bit payload:
+//
+//	bit 63        : reserved (registers pack a flag here internally)
+//	bits 62..53   : process id (1..MaxProcs)
+//	bits 52..32   : sequence number (1..MaxSeq)
+//	bits 31..0    : payload
+//
+// Distinct values occupy up to 63 bits and therefore fit registers but
+// not CASObject words, whose top 10 bits hold the writer's id; use
+// DistinctCAS for CASObject values.
+const (
+	// MaxProcs is the largest process id Distinct and CASObject support.
+	MaxProcs = 1023
+	// MaxSeq is the largest sequence number Distinct supports.
+	MaxSeq = 1<<21 - 1
+	// MaxRegisterValue bounds register values: bit 63 is used internally.
+	MaxRegisterValue = 1<<63 - 1
+	// MaxCASValue bounds CASObject values: the top 10 bits of the
+	// object's word hold the writer's process id.
+	MaxCASValue = 1<<54 - 1
+)
+
+// Distinct packs (pid, seq, payload) into a value that is globally unique
+// as long as each process uses each sequence number at most once. The
+// result is non-zero whenever seq >= 1.
+func Distinct(pid int, seq uint32, payload uint32) uint64 {
+	if pid < 1 || pid > MaxProcs {
+		panic(fmt.Sprintf("core: Distinct pid %d out of range [1,%d]", pid, MaxProcs))
+	}
+	if seq > MaxSeq {
+		panic(fmt.Sprintf("core: Distinct seq %d exceeds %d", seq, MaxSeq))
+	}
+	return uint64(pid)<<53 | uint64(seq)<<32 | uint64(payload)
+}
+
+// MaxCASSeq is the largest sequence number DistinctCAS supports.
+const MaxCASSeq = 1<<12 - 1
+
+// DistinctCAS packs (pid, seq, payload) into a non-zero value within
+// MaxCASValue, distinct per process as long as each process uses each
+// sequence number at most once. seq must be at least 1 so the value is
+// never zero (CASObject reserves zero as null).
+func DistinctCAS(pid int, seq uint32, payload uint32) uint64 {
+	if pid < 1 || pid > MaxProcs {
+		panic(fmt.Sprintf("core: DistinctCAS pid %d out of range [1,%d]", pid, MaxProcs))
+	}
+	if seq < 1 || seq > MaxCASSeq {
+		panic(fmt.Sprintf("core: DistinctCAS seq %d out of range [1,%d]", seq, MaxCASSeq))
+	}
+	return uint64(pid)<<44 | uint64(seq)<<32 | uint64(payload)
+}
+
+// DistinctPayload extracts the payload of a Distinct-packed value.
+func DistinctPayload(v uint64) uint32 { return uint32(v) }
+
+// DistinctPID extracts the process id of a Distinct-packed value.
+func DistinctPID(v uint64) int { return int(v >> 53 & MaxProcs) }
+
+// DistinctSeq extracts the sequence number of a Distinct-packed value.
+func DistinctSeq(v uint64) uint32 { return uint32(v >> 32 & MaxSeq) }
+
+// packS packs Algorithm 1's S_p pair <flag, value> into one word.
+func packS(flag uint64, value uint64) uint64 {
+	return flag<<63 | value
+}
+
+// unpackS splits an S_p word into its flag and value.
+func unpackS(w uint64) (flag, value uint64) {
+	return w >> 63, w &^ (1 << 63)
+}
+
+// packC packs Algorithm 2's C pair <id, val> into one word. id 0 is null.
+func packC(id int, val uint64) uint64 {
+	return uint64(id)<<54 | val
+}
+
+// unpackC splits a C word into the writer id and the value.
+func unpackC(w uint64) (id int, val uint64) {
+	return int(w >> 54), w & MaxCASValue
+}

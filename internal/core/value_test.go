@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackSRoundTrip(t *testing.T) {
+	f := func(flag bool, value uint64) bool {
+		fl := uint64(0)
+		if flag {
+			fl = 1
+		}
+		v := value & MaxRegisterValue
+		gotFlag, gotVal := unpackS(packS(fl, v))
+		return gotFlag == fl && gotVal == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackCRoundTrip(t *testing.T) {
+	f := func(id uint16, val uint64) bool {
+		i := int(id) % (MaxProcs + 1)
+		v := val & MaxCASValue
+		gotID, gotVal := unpackC(packC(i, v))
+		return gotID == i && gotVal == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctRoundTrip(t *testing.T) {
+	f := func(pid uint16, seq uint32, payload uint32) bool {
+		p := int(pid)%MaxProcs + 1
+		s := seq % (MaxSeq + 1)
+		v := Distinct(p, s, payload)
+		if v > MaxRegisterValue {
+			return false
+		}
+		return DistinctPID(v) == p && DistinctSeq(v) == s && DistinctPayload(v) == payload
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for pid := 1; pid <= 3; pid++ {
+		for seq := uint32(0); seq < 100; seq++ {
+			v := Distinct(pid, seq, 42)
+			if seen[v] {
+				t.Fatalf("Distinct(%d,%d,42) collides", pid, seq)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestDistinctCASBounds(t *testing.T) {
+	v := DistinctCAS(MaxProcs, MaxCASSeq, ^uint32(0))
+	if v > MaxCASValue {
+		t.Errorf("DistinctCAS produced %d > MaxCASValue", v)
+	}
+	if DistinctCAS(1, 1, 0) == 0 {
+		t.Error("DistinctCAS produced the null value")
+	}
+}
+
+func TestDistinctPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func()
+	}{
+		{"pid too small", func() { Distinct(0, 1, 0) }},
+		{"pid too large", func() { Distinct(MaxProcs+1, 1, 0) }},
+		{"seq too large", func() { Distinct(1, MaxSeq+1, 0) }},
+		{"cas pid zero", func() { DistinctCAS(0, 1, 0) }},
+		{"cas seq zero", func() { DistinctCAS(1, 0, 0) }},
+		{"cas seq too large", func() { DistinctCAS(1, MaxCASSeq+1, 0) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tt.f()
+		})
+	}
+}

@@ -1,0 +1,682 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"nrl/internal/baseline"
+	"nrl/internal/core"
+	"nrl/internal/history"
+	"nrl/internal/linearize"
+	"nrl/internal/nvm"
+	"nrl/internal/objects"
+	"nrl/internal/proc"
+	"nrl/internal/rme"
+	"nrl/internal/spec"
+	"nrl/internal/universal"
+)
+
+// Scale multiplies the default operation counts of every experiment.
+type Scale struct {
+	Ops int // base per-measurement operation count (default 20000)
+}
+
+func (s Scale) ops() int {
+	if s.Ops <= 0 {
+		return 20000
+	}
+	return s.Ops
+}
+
+func newSys(procs int, inj proc.Injector, rec *history.Recorder) *proc.System {
+	return proc.NewSystem(proc.Config{Procs: procs, Injector: inj, Recorder: rec})
+}
+
+// E1PrimitiveOverhead measures single-process ns/op of each recoverable
+// base operation against its non-recoverable baseline (experiment E1).
+func E1PrimitiveOverhead(s Scale) *Table {
+	ops := s.ops()
+	t := &Table{
+		Title:   "E1: recoverable vs baseline primitive cost (1 process, crash-free)",
+		Note:    "overhead = recoverable / baseline",
+		Columns: []string{"operation", "baseline ns/op", "recoverable ns/op", "overhead"},
+	}
+	add := func(name string, base, rec float64) {
+		t.Add(name, base, rec, fmt.Sprintf("%.2fx", rec/base))
+	}
+
+	{ // register read
+		sys := newSys(1, nil, nil)
+		br := baseline.NewRegister(sys, "b", 0)
+		rr := core.NewRegister(sys, "r", 0)
+		c := sys.Proc(1).Ctx()
+		b := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				br.Read(c)
+			}
+		})
+		r := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				rr.Read(c)
+			}
+		})
+		add("READ", b, r)
+	}
+	{ // register write
+		sys := newSys(1, nil, nil)
+		br := baseline.NewRegister(sys, "b", 0)
+		rr := core.NewRegister(sys, "r", 0)
+		c := sys.Proc(1).Ctx()
+		b := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				br.Write(c, uint64(i))
+			}
+		})
+		r := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				rr.Write(c, uint64(i)+1)
+			}
+		})
+		add("WRITE", b, r)
+	}
+	{ // cas (successful chain)
+		sys := newSys(1, nil, nil)
+		bc := baseline.NewCAS(sys, "b", 0)
+		rc := core.NewCASObject(sys, "r")
+		c := sys.Proc(1).Ctx()
+		b := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				bc.CompareAndSwap(c, uint64(i), uint64(i)+1)
+			}
+		})
+		r := timeOps(ops, func() {
+			prev := uint64(0)
+			for i := 0; i < ops; i++ {
+				next := core.DistinctCAS(1, uint32(i%core.MaxCASSeq)+1, uint32(i))
+				rc.CAS(c, prev, next)
+				prev = next
+			}
+		})
+		add("CAS", b, r)
+	}
+	{ // tas: one-shot objects, pre-allocated
+		const tasOps = 2000
+		sys := newSys(1, nil, nil)
+		bts := make([]*baseline.TAS, tasOps)
+		rts := make([]*core.TAS, tasOps)
+		for i := range bts {
+			bts[i] = baseline.NewTAS(sys, "b")
+			rts[i] = core.NewTAS(sys, "r")
+		}
+		c := sys.Proc(1).Ctx()
+		b := timeOps(tasOps, func() {
+			for i := 0; i < tasOps; i++ {
+				bts[i].TestAndSet(c)
+			}
+		})
+		r := timeOps(tasOps, func() {
+			for i := 0; i < tasOps; i++ {
+				rts[i].TestAndSet(c)
+			}
+		})
+		add("T&S", b, r)
+	}
+	{ // counter inc
+		sys := newSys(1, nil, nil)
+		bc := baseline.NewCounter(sys, "b")
+		rc := objects.NewCounter(sys, "r")
+		c := sys.Proc(1).Ctx()
+		b := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				bc.Inc(c)
+			}
+		})
+		r := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				rc.Inc(c)
+			}
+		})
+		add("INC", b, r)
+	}
+	return t
+}
+
+// E2CounterScaling measures counter INC throughput as the process count
+// grows (experiment E2).
+func E2CounterScaling(s Scale, procCounts []int) *Table {
+	opsPerProc := s.ops() / 4
+	t := &Table{
+		Title:   "E2: counter INC throughput scaling",
+		Note:    fmt.Sprintf("%d INC per process, free scheduler", opsPerProc),
+		Columns: []string{"procs", "baseline ns/op", "recoverable ns/op", "overhead"},
+	}
+	for _, n := range procCounts {
+		base := func() float64 {
+			sys := newSys(n, nil, nil)
+			bc := baseline.NewCounter(sys, "b")
+			return run2(sys, n, opsPerProc, func(c *proc.Ctx) { bc.Inc(c) })
+		}()
+		rec := func() float64 {
+			sys := newSys(n, nil, nil)
+			rc := objects.NewCounter(sys, "r")
+			return run2(sys, n, opsPerProc, func(c *proc.Ctx) { rc.Inc(c) })
+		}()
+		t.Add(n, base, rec, fmt.Sprintf("%.2fx", rec/base))
+	}
+	return t
+}
+
+func run2(sys *proc.System, n, opsPerProc int, op func(c *proc.Ctx)) float64 {
+	start := time.Now()
+	for p := 1; p <= n; p++ {
+		sys.Go(p, func(c *proc.Ctx) {
+			for i := 0; i < opsPerProc; i++ {
+				op(c)
+			}
+		})
+	}
+	sys.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(n*opsPerProc)
+}
+
+// E3CASContention measures a read-then-CAS retry workload under
+// contention (experiment E3): ns per successful update and the success
+// rate of individual CAS attempts.
+func E3CASContention(s Scale, procCounts []int) *Table {
+	updatesPerProc := s.ops() / 20
+	t := &Table{
+		Title:   "E3: CAS retry-loop under contention",
+		Note:    fmt.Sprintf("%d successful updates per process", updatesPerProc),
+		Columns: []string{"procs", "baseline ns/update", "recoverable ns/update", "overhead", "rec attempts/update"},
+	}
+	for _, n := range procCounts {
+		if n > core.MaxProcs {
+			continue
+		}
+		base := func() float64 {
+			sys := newSys(n, nil, nil)
+			o := baseline.NewCAS(sys, "b", 0)
+			return run2(sys, n, updatesPerProc, func(c *proc.Ctx) {
+				for {
+					cur := o.Read(c)
+					if o.CompareAndSwap(c, cur, cur+1) {
+						return
+					}
+				}
+			})
+		}()
+		var attempts atomic.Uint64
+		rec := func() float64 {
+			sys := newSys(n, nil, nil)
+			o := core.NewCASObject(sys, "r")
+			seqs := make([]uint32, n+1)
+			return run2(sys, n, updatesPerProc, func(c *proc.Ctx) {
+				p := c.P()
+				for {
+					attempts.Add(1)
+					cur := o.Read(c)
+					seqs[p]++
+					if o.CAS(c, cur, core.DistinctCAS(p, seqs[p]%core.MaxCASSeq+1, uint32(seqs[p]))) {
+						return
+					}
+				}
+			})
+		}()
+		total := float64(n * updatesPerProc)
+		t.Add(n, base, rec, fmt.Sprintf("%.2fx", rec/base),
+			fmt.Sprintf("%.2f", float64(attempts.Load())/total))
+	}
+	return t
+}
+
+// E4CrashRateSweep measures recoverable counter INC cost as the crash
+// probability per step grows (experiment E4).
+func E4CrashRateSweep(s Scale, rates []float64) *Table {
+	ops := s.ops() / 2
+	t := &Table{
+		Title:   "E4: crash-rate sweep (recoverable counter, 1 process)",
+		Note:    fmt.Sprintf("%d INC; crash probability per step", ops),
+		Columns: []string{"rate", "ns/op", "crashes", "crashes/1k ops", "final value ok"},
+	}
+	for _, rate := range rates {
+		inj := &proc.Random{Rate: rate, Seed: 42}
+		sys := newSys(1, inj, nil)
+		ctr := objects.NewCounter(sys, "ctr")
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				ctr.Inc(c)
+			}
+		})
+		okStr := "yes"
+		if got := ctr.Read(c); got != uint64(ops) {
+			okStr = fmt.Sprintf("NO (%d)", got)
+		}
+		t.Add(fmt.Sprintf("%.0e", rate), ns, inj.Crashes(),
+			fmt.Sprintf("%.2f", float64(inj.Crashes())*1000/float64(ops)), okStr)
+	}
+	return t
+}
+
+// E5Strictness measures the cost of strict (Definition 1) variants that
+// persist the response before returning (experiment E5).
+func E5Strictness(s Scale) *Table {
+	ops := s.ops()
+	t := &Table{
+		Title:   "E5: strictness ablation (Definition 1)",
+		Note:    "strict operations persist their response in Res_p before returning",
+		Columns: []string{"operation", "non-strict ns/op", "strict ns/op", "overhead"},
+	}
+	// Each comparison runs over several rounds of fresh objects, taking
+	// per-variant minima, so that warmup noise cannot invert the ratio.
+	const rounds = 3
+	minOf := func(cur, v float64, first bool) float64 {
+		if first || v < cur {
+			return v
+		}
+		return cur
+	}
+	{
+		var plain, strict float64
+		for rep := 0; rep < rounds; rep++ {
+			sys := newSys(1, nil, nil)
+			r := core.NewRegister(sys, "r", 0)
+			c := sys.Proc(1).Ctx()
+			p := timeOps(ops, func() {
+				for i := 0; i < ops; i++ {
+					r.Read(c)
+				}
+			})
+			s := timeOps(ops, func() {
+				for i := 0; i < ops; i++ {
+					r.StrictRead(c)
+				}
+			})
+			plain = minOf(plain, p, rep == 0)
+			strict = minOf(strict, s, rep == 0)
+		}
+		t.Add("register READ", plain, strict, fmt.Sprintf("%.2fx", strict/plain))
+	}
+	{
+		var plain, strict float64
+		for rep := 0; rep < rounds; rep++ {
+			sys := newSys(1, nil, nil)
+			o := core.NewCASObject(sys, "c")
+			c := sys.Proc(1).Ctx()
+			prev := uint64(0)
+			p := timeOps(ops, func() {
+				for i := 0; i < ops; i++ {
+					next := core.DistinctCAS(1, uint32(i%core.MaxCASSeq)+1, uint32(i))
+					o.CAS(c, prev, next)
+					prev = next
+				}
+			})
+			sys2 := newSys(1, nil, nil)
+			o2 := core.NewCASObject(sys2, "c")
+			c2 := sys2.Proc(1).Ctx()
+			prev = 0
+			s := timeOps(ops, func() {
+				for i := 0; i < ops; i++ {
+					next := core.DistinctCAS(1, uint32(i%core.MaxCASSeq)+1, uint32(i))
+					o2.StrictCAS(c2, prev, next)
+					prev = next
+				}
+			})
+			plain = minOf(plain, p, rep == 0)
+			strict = minOf(strict, s, rep == 0)
+		}
+		t.Add("CAS", plain, strict, fmt.Sprintf("%.2fx", strict/plain))
+	}
+	return t
+}
+
+// E6TASRecoveryBlocking measures the steps a crashed TAS contender spends
+// before completing recovery, as a function of how many processes are
+// concurrently mid-operation (experiment E6, the Theorem 4 cost).
+func E6TASRecoveryBlocking(procCounts []int) *Table {
+	t := &Table{
+		Title:   "E6: TAS recovery work vs concurrency (contenders crash after t&s)",
+		Note:    "only processes that pass the doorway reach the crash line; their recovery must wait out everyone else",
+		Columns: []string{"procs", "crash-free steps/proc", "crashed procs", "steps/crashed proc", "winners"},
+	}
+	for _, n := range procCounts {
+		// Crash-free baseline.
+		freeSteps := func() float64 {
+			sys := newSys(n, nil, nil)
+			o := core.NewTAS(sys, "t")
+			for p := 1; p <= n; p++ {
+				sys.Go(p, func(c *proc.Ctx) { o.TestAndSet(c) })
+			}
+			sys.Wait()
+			var total uint64
+			for p := 1; p <= n; p++ {
+				total += sys.Proc(p).Steps()
+			}
+			return float64(total) / float64(n)
+		}()
+		// Every process that reaches the critical primitive crashes right
+		// after it (before declaring a winner).
+		var crashedSteps float64
+		winners, crashed := 0, 0
+		{
+			var inj proc.Multi
+			for p := 1; p <= n; p++ {
+				inj = append(inj, &proc.AtLine{Proc: p, Obj: "t", Op: "T&S", Line: 9})
+			}
+			sys := newSys(n, inj, nil)
+			o := core.NewTAS(sys, "t")
+			rets := make([]uint64, n+1)
+			for p := 1; p <= n; p++ {
+				sys.Go(p, func(c *proc.Ctx) { rets[c.P()] = o.TestAndSet(c) })
+			}
+			sys.Wait()
+			var total uint64
+			for p := 1; p <= n; p++ {
+				if sys.Proc(p).Crashes() > 0 {
+					crashed++
+					total += sys.Proc(p).Steps()
+				}
+				if rets[p] == 0 {
+					winners++
+				}
+			}
+			if crashed > 0 {
+				crashedSteps = float64(total) / float64(crashed)
+			}
+		}
+		t.Add(n, freeSteps, crashed, crashedSteps, winners)
+	}
+	return t
+}
+
+// E7CheckerCost measures NRL checking time against history length
+// (experiment E7).
+func E7CheckerCost(lengths []int) *Table {
+	t := &Table{
+		Title:   "E7: NRL checker cost vs history length (counter, 3 processes)",
+		Columns: []string{"ops in history", "history steps", "check ms"},
+	}
+	for _, L := range lengths {
+		rec := history.NewRecorder()
+		inj := &proc.Random{Rate: 0.002, Seed: 1, MaxCrashes: 10}
+		sys := proc.NewSystem(proc.Config{Procs: 3, Recorder: rec, Injector: inj})
+		ctr := objects.NewCounter(sys, "ctr")
+		per := L / 3
+		for p := 1; p <= 3; p++ {
+			sys.Go(p, func(c *proc.Ctx) {
+				for i := 0; i < per; i++ {
+					ctr.Inc(c)
+				}
+			})
+		}
+		sys.Wait()
+		h := rec.History()
+		models := func(obj string) spec.Model {
+			if obj == "ctr" {
+				return spec.Counter{}
+			}
+			return spec.Register{}
+		}
+		start := time.Now()
+		err := linearize.CheckNRL(models, h)
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			t.Add(L, h.Len(), fmt.Sprintf("CHECK FAILED: %v", err))
+			continue
+		}
+		t.Add(3*per, h.Len(), fmt.Sprintf("%.2f", ms))
+	}
+	return t
+}
+
+// E8PersistenceModes compares the ADR memory (the paper's model) with the
+// buffered write-back extension, with and without explicit per-write
+// persistence (experiment E8).
+func E8PersistenceModes(s Scale) *Table {
+	ops := s.ops()
+	t := &Table{
+		Title:   "E8: persistence-mode ablation (raw NVRAM writes)",
+		Columns: []string{"mode", "ns/op", "flushes", "fences"},
+	}
+	measure := func(name string, mem *nvm.Memory, persist bool) {
+		a := mem.Alloc("x", 0)
+		ns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				mem.Write(a, uint64(i))
+				if persist {
+					mem.Persist(a)
+				}
+			}
+		})
+		st := mem.Stats()
+		t.Add(name, ns, st.Flushes, st.Fences)
+	}
+	measure("ADR", nvm.New(), false)
+	measure("ADR + persist", nvm.New(), true)
+	measure("Buffered", nvm.New(nvm.WithMode(nvm.Buffered)), false)
+	measure("Buffered + persist", nvm.New(nvm.WithMode(nvm.Buffered)), true)
+	return t
+}
+
+// E9CompositeCost measures the modular constructions built on the
+// recoverable base objects (experiment E9): the price of composition in
+// primitive memory operations and nanoseconds, against the plain-atomic
+// floor.
+func E9CompositeCost(s Scale) *Table {
+	ops := s.ops() / 4
+	t := &Table{
+		Title:   "E9: modular recoverable objects (1 process, crash-free)",
+		Note:    "mem ops = simulated NVRAM primitives per operation",
+		Columns: []string{"object/op", "ns/op", "mem ops/op", "baseline ns/op"},
+	}
+	memOps := func(sys *proc.System, n int, f func()) float64 {
+		sys.Mem().ResetStats()
+		f()
+		return float64(sys.Mem().Stats().Total()) / float64(n)
+	}
+	{ // counter INC (Algorithm 4)
+		sys := newSys(1, nil, nil)
+		rc := objects.NewCounter(sys, "r")
+		bc := baseline.NewCounter(sys, "b")
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				rc.Inc(c)
+			}
+		})
+		mo := memOps(sys, ops, func() {
+			for i := 0; i < ops; i++ {
+				rc.Inc(c)
+			}
+		})
+		bns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				bc.Inc(c)
+			}
+		})
+		t.Add("counter INC", ns, mo, bns)
+	}
+	{ // FAA
+		sys := newSys(1, nil, nil)
+		rf := objects.NewFAA(sys, "r")
+		bf := baseline.NewFAA(sys, "b")
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				rf.Add(c, 1)
+			}
+		})
+		mo := memOps(sys, ops, func() {
+			for i := 0; i < ops; i++ {
+				rf.Add(c, 1)
+			}
+		})
+		bns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				bf.Add(c, 1)
+			}
+		})
+		t.Add("FAA", ns, mo, bns)
+	}
+	{ // max register
+		sys := newSys(1, nil, nil)
+		m := objects.NewMaxRegister(sys, "r")
+		br := baseline.NewRegister(sys, "b", 0)
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				m.WriteMax(c, uint64(i)+1)
+			}
+		})
+		mo := memOps(sys, ops, func() {
+			for i := 0; i < ops; i++ {
+				m.WriteMax(c, uint64(ops+i)+1)
+			}
+		})
+		bns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				br.Write(c, uint64(i))
+			}
+		})
+		t.Add("maxreg WRITEMAX", ns, mo, bns)
+	}
+	{ // stack push+pop
+		sys := newSys(1, nil, nil)
+		st := objects.NewStack(sys, "r", 2*ops+16)
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(2*ops, func() {
+			for i := 0; i < ops; i++ {
+				st.Push(c, uint64(i)+1)
+				st.Pop(c)
+			}
+		})
+		mo := memOps(sys, 2*ops, func() {
+			for i := 0; i < ops; i++ {
+				st.Push(c, uint64(i)+1)
+				st.Pop(c)
+			}
+		})
+		t.Add("stack PUSH+POP", ns, mo, "n/a")
+	}
+	{ // queue enq+deq
+		sys := newSys(1, nil, nil)
+		q := objects.NewQueue(sys, "r", 2*ops+16)
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(2*ops, func() {
+			for i := 0; i < ops; i++ {
+				q.Enqueue(c, uint64(i)+1)
+				q.Dequeue(c)
+			}
+		})
+		mo := memOps(sys, 2*ops, func() {
+			for i := 0; i < ops; i++ {
+				q.Enqueue(c, uint64(i)+1)
+				q.Dequeue(c)
+			}
+		})
+		t.Add("queue ENQ+DEQ", ns, mo, "n/a")
+	}
+	{ // lock acquire+release
+		sys := newSys(1, nil, nil)
+		l := rme.NewLock(sys, "r")
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(2*ops, func() {
+			for i := 0; i < ops; i++ {
+				l.Acquire(c)
+				l.Release(c)
+			}
+		})
+		mo := memOps(sys, 2*ops, func() {
+			for i := 0; i < ops; i++ {
+				l.Acquire(c)
+				l.Release(c)
+			}
+		})
+		t.Add("lock ACQ+REL", ns, mo, "n/a")
+	}
+	return t
+}
+
+// E10UniversalAblation compares three implementations of the same
+// counter: the non-recoverable baseline, the paper's hand-built
+// Algorithm 4, and the generic universal construction (experiment E10) —
+// the price of each step up in generality.
+func E10UniversalAblation(s Scale) *Table {
+	ops := s.ops() / 8
+	t := &Table{
+		Title:   "E10: generality ablation — one counter, three constructions",
+		Note:    fmt.Sprintf("%d INC, 1 process; universal replays its whole log per op (O(n))", ops),
+		Columns: []string{"construction", "ns/op", "mem ops/op"},
+	}
+	memOps := func(sys *proc.System, n int, f func()) float64 {
+		sys.Mem().ResetStats()
+		f()
+		return float64(sys.Mem().Stats().Total()) / float64(n)
+	}
+	{
+		sys := newSys(1, nil, nil)
+		ctr := baseline.NewCounter(sys, "b")
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				ctr.Inc(c)
+			}
+		})
+		mo := memOps(sys, ops, func() {
+			for i := 0; i < ops; i++ {
+				ctr.Inc(c)
+			}
+		})
+		t.Add("baseline (not recoverable)", ns, mo)
+	}
+	{
+		sys := newSys(1, nil, nil)
+		ctr := objects.NewCounter(sys, "r")
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				ctr.Inc(c)
+			}
+		})
+		mo := memOps(sys, ops, func() {
+			for i := 0; i < ops; i++ {
+				ctr.Inc(c)
+			}
+		})
+		t.Add("Algorithm 4 (hand-built NRL)", ns, mo)
+	}
+	{
+		sys := newSys(1, nil, nil)
+		u := universal.New(sys, "u", spec.Counter{}, 3*ops+16, []string{"INC"})
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				u.Invoke(c, "INC")
+			}
+		})
+		mo := memOps(sys, ops, func() {
+			for i := 0; i < ops; i++ {
+				u.Invoke(c, "INC")
+			}
+		})
+		t.Add("universal construction (NRL)", ns, mo)
+	}
+	{
+		sys := newSys(1, nil, nil)
+		u := universal.NewWaitFree(sys, "w", spec.Counter{}, 3*ops+16, []string{"INC"})
+		c := sys.Proc(1).Ctx()
+		ns := timeOps(ops, func() {
+			for i := 0; i < ops; i++ {
+				u.Invoke(c, "INC")
+			}
+		})
+		mo := memOps(sys, ops, func() {
+			for i := 0; i < ops; i++ {
+				u.Invoke(c, "INC")
+			}
+		})
+		t.Add("wait-free universal (NRL)", ns, mo)
+	}
+	return t
+}

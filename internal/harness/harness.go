@@ -1,0 +1,93 @@
+// Package harness drives the repository's experiment suite (DESIGN.md
+// Section 5, experiments E1–E8) and renders results as tables. The same
+// workloads back the testing.B benchmarks at the repository root; this
+// package adds wall-clock measurement and table output for cmd/nrlbench.
+//
+// The paper (PODC 2018) has no empirical evaluation section; every
+// experiment here operationalises a quantitative claim or design
+// discussion from the paper, as catalogued in DESIGN.md, with expected
+// shapes recorded against measurements in EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  (%s)\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// timeOps runs f once and returns nanoseconds per operation for ops
+// operations. Many workloads are not idempotent (one-shot TAS objects,
+// distinct-value requirements, arena capacities), so repetition is the
+// caller's responsibility; comparisons sensitive to warmup noise (E5)
+// measure over several rounds of fresh objects and take minima.
+func timeOps(ops int, f func()) float64 {
+	start := time.Now()
+	f()
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}

@@ -1,0 +1,128 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the history as an ASCII timeline: one row per operation,
+// a bar spanning the operation's interval on a sequence-number axis, with
+// 'C' marking crash steps and 'r' marking recover steps attributed to the
+// operation. Pending operations end with '>'. width is the number of
+// axis columns (minimum 20; 0 selects 64).
+//
+//	p1 ctr.INC      [==C=r=======]            -> 0
+//	p2 ctr.INC           [=========]          -> 0
+func (h History) Gantt(width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if width < 20 {
+		width = 20
+	}
+	if len(h.Steps) == 0 {
+		return "(empty history)\n"
+	}
+	maxSeq := h.Steps[len(h.Steps)-1].Seq
+	scale := func(seq int64) int {
+		if maxSeq == 0 {
+			return 0
+		}
+		p := int(seq * int64(width-1) / maxSeq)
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+
+	type row struct {
+		label   string
+		inv     int64
+		res     int64 // -1 if pending
+		ret     uint64
+		crashes []int64
+		recs    []int64
+	}
+	byID := make(map[int64]*row)
+	var rows []*row
+	for _, s := range h.Steps {
+		switch s.Kind {
+		case Inv:
+			r := &row{
+				label: fmt.Sprintf("p%d %s.%s", s.Proc, s.Obj, s.Op),
+				inv:   s.Seq,
+				res:   -1,
+			}
+			byID[s.OpID] = r
+			rows = append(rows, r)
+		case Res:
+			if r, ok := byID[s.OpID]; ok {
+				r.res = s.Seq
+				r.ret = s.Ret
+			}
+		case Crash:
+			if r, ok := byID[s.OpID]; ok {
+				r.crashes = append(r.crashes, s.Seq)
+			}
+		case Rec:
+			if r, ok := byID[s.OpID]; ok {
+				r.recs = append(r.recs, s.Seq)
+			}
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].inv < rows[j].inv })
+
+	labelW := 0
+	for _, r := range rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		start := scale(r.inv)
+		end := width - 1
+		pending := r.res < 0
+		if !pending {
+			end = scale(r.res)
+		}
+		for i := start; i <= end; i++ {
+			bar[i] = '='
+		}
+		bar[start] = '['
+		if pending {
+			bar[end] = '>'
+		} else {
+			bar[end] = ']'
+		}
+		for _, seq := range r.crashes {
+			bar[clamp(scale(seq), start, end)] = 'C'
+		}
+		for _, seq := range r.recs {
+			bar[clamp(scale(seq), start, end)] = 'r'
+		}
+		fmt.Fprintf(&b, "%-*s %s", labelW, r.label, string(bar))
+		if pending {
+			fmt.Fprintf(&b, " (pending)")
+		} else {
+			fmt.Fprintf(&b, " -> %d", r.ret)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package history
+
+import "fmt"
+
+// CheckWellFormed verifies the paper's crash-free well-formedness of h:
+//
+//  1. for every object O, H|O is well-formed: for all processes p, H|<p,O>
+//     is a sequence of alternating, matching invocation and response steps,
+//     starting with an invocation; and
+//  2. for every process p, operations of p are properly nested: if i1, r1
+//     and i2, r2 are matching invocation/response pairs in H|p and
+//     i1 < i2 < r1, then r2 < r1.
+//
+// h must be crash-free; CheckWellFormed returns an error if it is not.
+func (h History) CheckWellFormed() error {
+	if !h.CrashFree() {
+		return fmt.Errorf("history contains crash/recovery steps; apply NoCrash first or use CheckRecoverableWellFormed")
+	}
+	// Condition 1: per (process, object) alternation with matching ops.
+	type key struct {
+		p   int
+		obj string
+	}
+	pendingPO := make(map[key]*Step)
+	// Condition 2: per-process stack of pending operations (nesting).
+	stacks := make(map[int][]int64)
+	for i := range h.Steps {
+		s := &h.Steps[i]
+		k := key{s.Proc, s.Obj}
+		switch s.Kind {
+		case Inv:
+			if prev := pendingPO[k]; prev != nil {
+				return fmt.Errorf("step %d (%s): process %d invokes %s.%s while %s.%s is pending on the same object",
+					s.Seq, s, s.Proc, s.Obj, s.Op, prev.Obj, prev.Op)
+			}
+			pendingPO[k] = s
+			stacks[s.Proc] = append(stacks[s.Proc], s.OpID)
+		case Res:
+			prev := pendingPO[k]
+			if prev == nil {
+				return fmt.Errorf("step %d (%s): response without pending invocation", s.Seq, s)
+			}
+			if prev.OpID != s.OpID || prev.Op != s.Op {
+				return fmt.Errorf("step %d (%s): response does not match pending invocation %s", s.Seq, s, prev)
+			}
+			pendingPO[k] = nil
+			st := stacks[s.Proc]
+			if len(st) == 0 || st[len(st)-1] != s.OpID {
+				return fmt.Errorf("step %d (%s): response violates nesting (LIFO) order of process %d", s.Seq, s, s.Proc)
+			}
+			stacks[s.Proc] = st[:len(st)-1]
+		default:
+			return fmt.Errorf("step %d (%s): unexpected kind in crash-free history", s.Seq, s)
+		}
+	}
+	return nil
+}
+
+// CheckRecoverableWellFormed verifies Definition 3 (recoverable
+// well-formedness):
+//
+//  1. every crash step of process p is either p's last step in h or is
+//     followed in H|p by a matching recover step of p; and
+//  2. N(h) is well-formed.
+func (h History) CheckRecoverableWellFormed() error {
+	// Condition 1.
+	lastCrash := make(map[int]*Step) // pending (unmatched) crash per process
+	for i := range h.Steps {
+		s := &h.Steps[i]
+		if c := lastCrash[s.Proc]; c != nil {
+			if s.Kind != Rec {
+				return fmt.Errorf("step %d (%s): process %d took a step after a crash without a recover step", s.Seq, s, s.Proc)
+			}
+			if s.OpID != c.OpID {
+				return fmt.Errorf("step %d (%s): recover step does not match crashed operation of %s", s.Seq, s, c)
+			}
+			lastCrash[s.Proc] = nil
+			continue
+		}
+		switch s.Kind {
+		case Crash:
+			lastCrash[s.Proc] = s
+		case Rec:
+			return fmt.Errorf("step %d (%s): recover step without preceding crash", s.Seq, s)
+		}
+	}
+	// Condition 2.
+	if err := h.NoCrash().CheckWellFormed(); err != nil {
+		return fmt.Errorf("N(H) is not well-formed: %w", err)
+	}
+	return nil
+}
+
+// OpInterval describes one operation occurrence in a history: its
+// invocation step and, if completed, its response step.
+type OpInterval struct {
+	Inv *Step
+	Res *Step // nil if the operation is pending at the end of the history
+}
+
+// Completed reports whether the operation has a response.
+func (o OpInterval) Completed() bool { return o.Res != nil }
+
+// Ops extracts the operations of h in invocation order. h should be a
+// crash-free history (apply NoCrash first for recoverable histories).
+func (h History) Ops() []OpInterval {
+	byID := make(map[int64]int)
+	var out []OpInterval
+	for i := range h.Steps {
+		s := &h.Steps[i]
+		switch s.Kind {
+		case Inv:
+			byID[s.OpID] = len(out)
+			out = append(out, OpInterval{Inv: s})
+		case Res:
+			if idx, ok := byID[s.OpID]; ok {
+				out[idx].Res = s
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package linearize
+
+import (
+	"fmt"
+
+	"nrl/internal/history"
+)
+
+// This file implements the correctness conditions the paper compares
+// against in Section 4. They differ from NRL in how an operation
+// interrupted by a crash may be accounted for:
+//
+//   - Strict linearizability (Aguilera & Frølund): the interrupted
+//     operation takes effect before the crash or not at all.
+//   - Persistent atomicity (Guerraoui & Levy): the interrupted operation
+//     may take effect any time before the same process's next invocation.
+//   - Transient atomicity (Guerraoui & Levy): the interrupted operation
+//     may take effect any time before the same process's next completed
+//     WRITE response.
+//
+// Unlike NRL, these conditions have no notion of recovery code completing
+// the interrupted operation; they apply to histories in which a crashed
+// process either halts or simply proceeds to its next operation. None of
+// them lets a higher-level operation learn the interrupted operation's
+// response, which is the gap NRL closes.
+
+// abortDeadline computes, for an operation of process p invoked at invSeq
+// and never completed, the latest sequence number at which the operation
+// may be linearized under the given condition. h is the full history.
+type abortDeadline func(h history.History, p int, invSeq int64) int64
+
+func strictDeadline(h history.History, p int, invSeq int64) int64 {
+	for _, s := range h.Steps {
+		if s.Proc == p && s.Kind == history.Crash && s.Seq > invSeq {
+			return s.Seq
+		}
+	}
+	return seqInf
+}
+
+func persistentDeadline(h history.History, p int, invSeq int64) int64 {
+	crash := strictDeadline(h, p, invSeq)
+	if crash == seqInf {
+		return seqInf
+	}
+	for _, s := range h.Steps {
+		if s.Proc == p && s.Kind == history.Inv && s.Seq > crash {
+			return s.Seq
+		}
+	}
+	return seqInf
+}
+
+func transientDeadline(h history.History, p int, invSeq int64) int64 {
+	crash := strictDeadline(h, p, invSeq)
+	if crash == seqInf {
+		return seqInf
+	}
+	for _, s := range h.Steps {
+		if s.Proc == p && s.Kind == history.Res && s.Op == "WRITE" && s.Seq > crash {
+			return s.Seq
+		}
+	}
+	return seqInf
+}
+
+func checkCondition(modelFor ModelFor, h history.History, deadline abortDeadline) error {
+	for _, obj := range h.Objects() {
+		m := modelFor(obj)
+		if m == nil {
+			return fmt.Errorf("linearize: no model for object %q", obj)
+		}
+		sub := h.ByObject(obj)
+		ops := make([]opRec, 0, len(sub.Steps)/2)
+		for _, iv := range sub.NoCrash().Ops() {
+			r := opRec{
+				id:   iv.Inv.OpID,
+				name: iv.Inv.Op,
+				args: iv.Inv.Args,
+				inv:  iv.Inv.Seq,
+			}
+			if iv.Completed() {
+				r.res = iv.Res.Seq
+				r.ret = iv.Res.Ret
+				r.mustMatch = true
+				r.required = true
+			} else {
+				r.res = deadline(h, iv.Inv.Proc, iv.Inv.Seq)
+			}
+			ops = append(ops, r)
+		}
+		if _, err := checkOps(m, ops); err != nil {
+			return fmt.Errorf("object %q: %w", obj, err)
+		}
+	}
+	return nil
+}
+
+// CheckStrictLinearizability checks h (which may contain crash steps of
+// processes that never recover) against strict linearizability.
+func CheckStrictLinearizability(modelFor ModelFor, h history.History) error {
+	return checkCondition(modelFor, h, strictDeadline)
+}
+
+// CheckPersistentAtomicity checks h against persistent atomicity.
+func CheckPersistentAtomicity(modelFor ModelFor, h history.History) error {
+	return checkCondition(modelFor, h, persistentDeadline)
+}
+
+// CheckTransientAtomicity checks h against transient atomicity.
+func CheckTransientAtomicity(modelFor ModelFor, h history.History) error {
+	return checkCondition(modelFor, h, transientDeadline)
+}

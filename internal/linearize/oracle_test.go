@@ -1,0 +1,181 @@
+package linearize
+
+import (
+	"math/rand"
+	"testing"
+
+	"nrl/internal/spec"
+)
+
+// bruteForce decides linearizability of a small opRec set by enumerating
+// every subset of optional operations and every permutation, checking
+// happens-before and the model directly. It is the oracle the WGL search
+// is validated against.
+func bruteForce(m spec.Model, ops []opRec) bool {
+	var optional []int
+	required := make([]int, 0, len(ops))
+	for i := range ops {
+		if ops[i].required {
+			required = append(required, i)
+		} else {
+			optional = append(optional, i)
+		}
+	}
+	// Every subset of the optional ops.
+	for mask := 0; mask < 1<<len(optional); mask++ {
+		chosen := append([]int(nil), required...)
+		for b, idx := range optional {
+			if mask&(1<<b) != 0 {
+				chosen = append(chosen, idx)
+			}
+		}
+		if permOK(m, ops, chosen, nil, make([]bool, len(ops))) {
+			return true
+		}
+	}
+	return false
+}
+
+// permOK recursively tries every permutation of chosen (minus the ones in
+// used), extending prefix; it validates happens-before and responses as
+// it goes.
+func permOK(m spec.Model, ops []opRec, chosen []int, prefix []int, used []bool) bool {
+	if len(prefix) == len(chosen) {
+		return replay(m, ops, prefix)
+	}
+	for _, i := range chosen {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		if permOK(m, ops, chosen, append(prefix, i), used) {
+			used[i] = false
+			return true
+		}
+		used[i] = false
+	}
+	return false
+}
+
+func replay(m spec.Model, ops []opRec, order []int) bool {
+	// Happens-before: if res(a) < inv(b), a must come before b.
+	pos := make(map[int]int, len(order))
+	for idx, i := range order {
+		pos[i] = idx
+	}
+	for _, a := range order {
+		for _, b := range order {
+			if ops[a].res < ops[b].inv && pos[a] > pos[b] {
+				return false
+			}
+		}
+	}
+	// Also: an op with a deadline before another op's invocation cannot
+	// appear after it even if... (covered above since res is the deadline).
+	st := m.Init()
+	for _, i := range order {
+		st2, resp, err := m.Apply(st, ops[i].name, ops[i].args)
+		if err != nil {
+			return false
+		}
+		if ops[i].mustMatch && resp != ops[i].ret {
+			return false
+		}
+		st = st2
+	}
+	return true
+}
+
+// genOps generates a random small operation set over a register with
+// plausible (not necessarily valid) intervals and responses.
+func genOps(rng *rand.Rand, n int) []opRec {
+	ops := make([]opRec, 0, n)
+	seq := int64(0)
+	for i := 0; i < n; i++ {
+		inv := seq
+		seq++
+		length := int64(rng.Intn(5))
+		res := inv + 1 + length
+		if res > seq {
+			seq = res
+		}
+		r := opRec{id: int64(i + 1), inv: inv, res: res}
+		if rng.Intn(2) == 0 {
+			r.name = "WRITE"
+			r.args = []uint64{uint64(rng.Intn(3) + 1)}
+			r.ret = spec.Ack
+		} else {
+			r.name = "READ"
+			r.ret = uint64(rng.Intn(4)) // may or may not be explainable
+		}
+		if rng.Intn(6) == 0 {
+			// Pending: optional, unconstrained response, open deadline.
+			r.res = seqInf
+		} else {
+			r.required = true
+			r.mustMatch = true
+		}
+		ops = append(ops, r)
+	}
+	// Shuffle interval starts a bit so ops overlap in varied ways.
+	rng.Shuffle(len(ops), func(i, j int) {
+		ops[i].id, ops[j].id = ops[j].id, ops[i].id
+	})
+	return ops
+}
+
+// TestWGLAgreesWithBruteForce cross-checks the WGL search against the
+// brute-force oracle on thousands of randomly generated small histories.
+func TestWGLAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2018))
+	m := spec.Register{}
+	agreeYes, agreeNo := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(6) + 1
+		ops := genOps(rng, n)
+		_, err := checkOps(m, ops)
+		got := err == nil
+		want := bruteForce(m, ops)
+		if got != want {
+			t.Fatalf("trial %d: WGL says %v, oracle says %v\nops: %+v", trial, got, want, ops)
+		}
+		if got {
+			agreeYes++
+		} else {
+			agreeNo++
+		}
+	}
+	if agreeYes == 0 || agreeNo == 0 {
+		t.Errorf("degenerate test distribution: %d accepted, %d rejected", agreeYes, agreeNo)
+	}
+	t.Logf("WGL and brute force agreed on all 3000 histories (%d linearizable, %d not)", agreeYes, agreeNo)
+}
+
+// TestWGLAgreesWithBruteForceDeadlines does the same with finite
+// deadlines on optional operations (the strict/persistent atomicity
+// mechanism).
+func TestWGLAgreesWithBruteForceDeadlines(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := spec.Register{}
+	mismatches := 0
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(5) + 1
+		ops := genOps(rng, n)
+		// Give some optional ops a finite deadline (abort semantics).
+		for i := range ops {
+			if !ops[i].required && rng.Intn(2) == 0 {
+				ops[i].res = ops[i].inv + int64(rng.Intn(4))
+			}
+		}
+		_, err := checkOps(m, ops)
+		got := err == nil
+		want := bruteForce(m, ops)
+		if got != want {
+			mismatches++
+			t.Errorf("trial %d: WGL says %v, oracle says %v\nops: %+v", trial, got, want, ops)
+			if mismatches > 3 {
+				t.FailNow()
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package linearize checks histories against sequential specifications.
+//
+// The core is a Wing–Gong/Lowe-style search with memoization: it looks for
+// a total order of the history's operations that (1) respects the
+// happens-before order of non-overlapping operations and (2) is accepted
+// by the sequential model with the responses the history observed. On top
+// of the core, the package implements the correctness conditions relevant
+// to the paper: linearizability (Definition 2), nesting-safe recoverable
+// linearizability (Definition 4), and — for the Section 4 comparison —
+// strict linearizability, persistent atomicity and transient atomicity.
+package linearize
+
+import (
+	"fmt"
+	"math"
+
+	"nrl/internal/history"
+	"nrl/internal/spec"
+)
+
+// opRec is the core's view of one operation.
+type opRec struct {
+	id   int64
+	name string
+	args []uint64
+	ret  uint64
+	inv  int64 // sequence number of the invocation
+	res  int64 // latest point at which the op may be linearized
+	// mustMatch requires the model's response to equal ret (set for
+	// completed operations).
+	mustMatch bool
+	// required operations must appear in the linearization; others
+	// (pending or crash-interrupted, depending on the condition) may be
+	// dropped.
+	required bool
+}
+
+const seqInf = math.MaxInt64
+
+// ErrNotLinearizable is the base explanation for a failed check; errors
+// returned by the checkers wrap context around this text.
+var errNotLinearizable = fmt.Errorf("no valid linearization exists")
+
+// searchLimit bounds the number of search nodes expanded before the
+// checker gives up, to keep adversarial inputs from hanging tests.
+const searchLimit = 20_000_000
+
+type memoKey struct {
+	bits  string
+	state any
+}
+
+// checkOps searches for a linearization of ops under m. It returns the
+// witness order (operation ids) on success.
+func checkOps(m spec.Model, ops []opRec) ([]int64, error) {
+	n := len(ops)
+	required := 0
+	for i := range ops {
+		if ops[i].required {
+			required++
+		}
+	}
+	var (
+		linearized = make([]bool, n)
+		bits       = make([]byte, (n+7)/8)
+		order      = make([]int64, 0, n)
+		memo       = make(map[memoKey]bool)
+		nodes      = 0
+		applyErr   error
+	)
+	var search func(state any, done int, maxInvLin int64) bool
+	search = func(state any, done int, maxInvLin int64) bool {
+		if done == required {
+			return true
+		}
+		nodes++
+		if nodes > searchLimit {
+			applyErr = fmt.Errorf("linearize: search limit exceeded (%d nodes)", searchLimit)
+			return false
+		}
+		key := memoKey{bits: string(bits), state: state}
+		if memo[key] {
+			return false
+		}
+		memo[key] = true
+		// minRes: earliest deadline among unlinearized required ops. An op
+		// invoked after that deadline cannot be linearized yet.
+		minRes := int64(seqInf)
+		for i := range ops {
+			if !linearized[i] && ops[i].required && ops[i].res < minRes {
+				minRes = ops[i].res
+			}
+		}
+		for i := range ops {
+			o := &ops[i]
+			if linearized[i] || o.inv > minRes || o.res < maxInvLin {
+				continue
+			}
+			st2, resp, err := m.Apply(state, o.name, o.args)
+			if err != nil {
+				applyErr = err
+				return false
+			}
+			if o.mustMatch && resp != o.ret {
+				continue
+			}
+			linearized[i] = true
+			bits[i/8] |= 1 << (i % 8)
+			order = append(order, o.id)
+			d := done
+			if o.required {
+				d++
+			}
+			mi := maxInvLin
+			if o.inv > mi {
+				mi = o.inv
+			}
+			if search(st2, d, mi) {
+				return true
+			}
+			if applyErr != nil {
+				return false
+			}
+			linearized[i] = false
+			bits[i/8] &^= 1 << (i % 8)
+			order = order[:len(order)-1]
+		}
+		return false
+	}
+	if search(m.Init(), 0, -1) {
+		return order, nil
+	}
+	if applyErr != nil {
+		return nil, applyErr
+	}
+	return nil, errNotLinearizable
+}
+
+// opsFromHistory converts a crash-free single-object history into opRecs
+// with standard linearizability semantics: completed operations are
+// required and must match their responses; pending operations may be
+// linearized (with any legal response) or dropped.
+func opsFromHistory(h history.History) []opRec {
+	ivs := h.Ops()
+	out := make([]opRec, 0, len(ivs))
+	for _, iv := range ivs {
+		r := opRec{
+			id:   iv.Inv.OpID,
+			name: iv.Inv.Op,
+			args: iv.Inv.Args,
+			inv:  iv.Inv.Seq,
+			res:  seqInf,
+		}
+		if iv.Completed() {
+			r.res = iv.Res.Seq
+			r.ret = iv.Res.Ret
+			r.mustMatch = true
+			r.required = true
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ModelFor maps an object name to its sequential specification; it
+// returns nil for unknown objects.
+type ModelFor func(obj string) spec.Model
+
+// Models adapts a fixed map to a ModelFor.
+func Models(m map[string]spec.Model) ModelFor {
+	return func(obj string) spec.Model { return m[obj] }
+}
+
+// CheckObject verifies that the crash-free history of a single object is
+// linearizable with respect to m, returning the witness order on success.
+func CheckObject(m spec.Model, h history.History) ([]int64, error) {
+	if !h.CrashFree() {
+		return nil, fmt.Errorf("linearize: history contains crash steps; project with NoCrash first")
+	}
+	order, err := checkOps(m, opsFromHistory(h))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.Name(), err)
+	}
+	return order, nil
+}
+
+// Check verifies Definition 2 for a crash-free history: every object's
+// subhistory must be linearizable against its model.
+func Check(modelFor ModelFor, h history.History) error {
+	if err := h.CheckWellFormed(); err != nil {
+		return err
+	}
+	for _, obj := range h.Objects() {
+		m := modelFor(obj)
+		if m == nil {
+			return fmt.Errorf("linearize: no model for object %q", obj)
+		}
+		if _, err := CheckObject(m, h.ByObject(obj)); err != nil {
+			return fmt.Errorf("object %q: %w", obj, err)
+		}
+	}
+	return nil
+}
+
+// CheckNRL verifies Definition 4 (nesting-safe recoverable
+// linearizability): the history must be recoverable well-formed, and N(H)
+// must be linearizable.
+func CheckNRL(modelFor ModelFor, h history.History) error {
+	if err := h.CheckRecoverableWellFormed(); err != nil {
+		return fmt.Errorf("not recoverable well-formed: %w", err)
+	}
+	if err := Check(modelFor, h.NoCrash()); err != nil {
+		return fmt.Errorf("N(H) not linearizable: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package linearize
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nrl/internal/history"
+	"nrl/internal/spec"
+)
+
+// hb (history builder) accumulates steps through a recorder.
+type hb struct{ r *history.Recorder }
+
+func newHB() *hb { return &hb{r: history.NewRecorder()} }
+
+func (b *hb) inv(p int, obj, op string, id int64, args ...uint64) *hb {
+	b.r.Append(history.Step{Kind: history.Inv, Proc: p, Obj: obj, Op: op, OpID: id, Args: args})
+	return b
+}
+
+func (b *hb) res(p int, obj, op string, id int64, ret uint64) *hb {
+	b.r.Append(history.Step{Kind: history.Res, Proc: p, Obj: obj, Op: op, OpID: id, Ret: ret})
+	return b
+}
+
+func (b *hb) crash(p int, obj, op string, id int64) *hb {
+	b.r.Append(history.Step{Kind: history.Crash, Proc: p, Obj: obj, Op: op, OpID: id})
+	return b
+}
+
+func (b *hb) rec(p int, obj, op string, id int64) *hb {
+	b.r.Append(history.Step{Kind: history.Rec, Proc: p, Obj: obj, Op: op, OpID: id})
+	return b
+}
+
+func (b *hb) hist() history.History { return b.r.History() }
+
+func regModels() ModelFor {
+	return func(obj string) spec.Model { return spec.Register{} }
+}
+
+func TestSequentialRegisterAccepted(t *testing.T) {
+	h := newHB().
+		inv(1, "x", "WRITE", 1, 5).res(1, "x", "WRITE", 1, spec.Ack).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 5).
+		hist()
+	if err := Check(regModels(), h); err != nil {
+		t.Errorf("Check = %v, want nil", err)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// WRITE(5) completes strictly before a READ that returns 0.
+	h := newHB().
+		inv(1, "x", "WRITE", 1, 5).res(1, "x", "WRITE", 1, spec.Ack).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 0).
+		hist()
+	if err := Check(regModels(), h); err == nil {
+		t.Error("Check accepted a stale read")
+	}
+}
+
+func TestConcurrentWritesEitherOrder(t *testing.T) {
+	// Two overlapping writes; a later read may see either one.
+	for _, final := range []uint64{5, 7} {
+		h := newHB().
+			inv(1, "x", "WRITE", 1, 5).
+			inv(2, "x", "WRITE", 2, 7).
+			res(1, "x", "WRITE", 1, spec.Ack).
+			res(2, "x", "WRITE", 2, spec.Ack).
+			inv(3, "x", "READ", 3).res(3, "x", "READ", 3, final).
+			hist()
+		if err := Check(regModels(), h); err != nil {
+			t.Errorf("final=%d: Check = %v, want nil", final, err)
+		}
+	}
+	// But not a value nobody wrote.
+	h := newHB().
+		inv(1, "x", "WRITE", 1, 5).
+		inv(2, "x", "WRITE", 2, 7).
+		res(1, "x", "WRITE", 1, spec.Ack).
+		res(2, "x", "WRITE", 2, spec.Ack).
+		inv(3, "x", "READ", 3).res(3, "x", "READ", 3, 9).
+		hist()
+	if err := Check(regModels(), h); err == nil {
+		t.Error("Check accepted a read of a never-written value")
+	}
+}
+
+func TestPendingOpMayTakeEffectOrNot(t *testing.T) {
+	// A pending WRITE(5) may explain a read of 5...
+	h := newHB().
+		inv(1, "x", "WRITE", 1, 5).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 5).
+		hist()
+	if err := Check(regModels(), h); err != nil {
+		t.Errorf("pending write observed: %v, want nil", err)
+	}
+	// ...or be dropped when the read sees the old value.
+	h = newHB().
+		inv(1, "x", "WRITE", 1, 5).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 0).
+		hist()
+	if err := Check(regModels(), h); err != nil {
+		t.Errorf("pending write dropped: %v, want nil", err)
+	}
+}
+
+func TestCASHistory(t *testing.T) {
+	casModels := func(string) spec.Model { return spec.CAS{} }
+	// Two concurrent CAS(0,_) — exactly one may succeed.
+	h := newHB().
+		inv(1, "c", "CAS", 1, 0, 5).
+		inv(2, "c", "CAS", 2, 0, 7).
+		res(1, "c", "CAS", 1, 1).
+		res(2, "c", "CAS", 2, 0).
+		inv(1, "c", "READ", 3).res(1, "c", "READ", 3, 5).
+		hist()
+	if err := Check(casModels, h); err != nil {
+		t.Errorf("Check = %v, want nil", err)
+	}
+	// Both succeeding is not linearizable.
+	h = newHB().
+		inv(1, "c", "CAS", 1, 0, 5).
+		inv(2, "c", "CAS", 2, 0, 7).
+		res(1, "c", "CAS", 1, 1).
+		res(2, "c", "CAS", 2, 1).
+		hist()
+	if err := Check(casModels, h); err == nil {
+		t.Error("Check accepted two successful CAS(0,_)")
+	}
+}
+
+func TestTASHistory(t *testing.T) {
+	tasModels := func(string) spec.Model { return spec.TAS{} }
+	h := newHB().
+		inv(1, "t", "T&S", 1).
+		inv(2, "t", "T&S", 2).
+		res(1, "t", "T&S", 1, 0).
+		res(2, "t", "T&S", 2, 1).
+		hist()
+	if err := Check(tasModels, h); err != nil {
+		t.Errorf("Check = %v, want nil", err)
+	}
+	// Two winners violate the spec.
+	h = newHB().
+		inv(1, "t", "T&S", 1).res(1, "t", "T&S", 1, 0).
+		inv(2, "t", "T&S", 2).res(2, "t", "T&S", 2, 0).
+		hist()
+	if err := Check(tasModels, h); err == nil {
+		t.Error("Check accepted two T&S winners")
+	}
+}
+
+func TestWitnessOrder(t *testing.T) {
+	h := newHB().
+		inv(1, "x", "WRITE", 1, 5).res(1, "x", "WRITE", 1, spec.Ack).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 5).
+		hist()
+	order, err := CheckObject(spec.Register{}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("witness order = %v, want [1 2]", order)
+	}
+}
+
+func TestCheckObjectRejectsCrashSteps(t *testing.T) {
+	h := newHB().
+		inv(1, "x", "WRITE", 1, 5).
+		crash(1, "x", "WRITE", 1).
+		hist()
+	if _, err := CheckObject(spec.Register{}, h); err == nil {
+		t.Error("CheckObject accepted a history with crash steps")
+	}
+}
+
+func TestCheckMissingModel(t *testing.T) {
+	h := newHB().
+		inv(1, "x", "WRITE", 1, 5).res(1, "x", "WRITE", 1, spec.Ack).
+		hist()
+	if err := Check(Models(map[string]spec.Model{}), h); err == nil ||
+		!strings.Contains(err.Error(), "no model") {
+		t.Errorf("Check = %v, want missing-model error", err)
+	}
+}
+
+func TestCheckNRL(t *testing.T) {
+	// A write crashes, recovers, completes; a later read sees it.
+	good := newHB().
+		inv(1, "x", "WRITE", 1, 5).
+		crash(1, "x", "WRITE", 1).
+		rec(1, "x", "WRITE", 1).
+		res(1, "x", "WRITE", 1, spec.Ack).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 5).
+		hist()
+	if err := CheckNRL(regModels(), good); err != nil {
+		t.Errorf("CheckNRL = %v, want nil", err)
+	}
+
+	// Same but the read sees a stale value even though the recovered
+	// write completed before it: N(H) is not linearizable.
+	badLin := newHB().
+		inv(1, "x", "WRITE", 1, 5).
+		crash(1, "x", "WRITE", 1).
+		rec(1, "x", "WRITE", 1).
+		res(1, "x", "WRITE", 1, spec.Ack).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 0).
+		hist()
+	if err := CheckNRL(regModels(), badLin); err == nil {
+		t.Error("CheckNRL accepted a non-linearizable N(H)")
+	}
+
+	// A step after a crash without recovery violates recoverable
+	// well-formedness.
+	badWF := newHB().
+		inv(1, "x", "WRITE", 1, 5).
+		crash(1, "x", "WRITE", 1).
+		res(1, "x", "WRITE", 1, spec.Ack).
+		hist()
+	if err := CheckNRL(regModels(), badWF); err == nil {
+		t.Error("CheckNRL accepted a non-recoverable-well-formed history")
+	}
+}
+
+func TestNestedObjectsCheckedIndependently(t *testing.T) {
+	models := Models(map[string]spec.Model{
+		"ctr": spec.Counter{},
+		"reg": spec.Register{},
+	})
+	h := newHB().
+		inv(1, "ctr", "INC", 1).
+		inv(1, "reg", "READ", 2).res(1, "reg", "READ", 2, 0).
+		inv(1, "reg", "WRITE", 3, 1).res(1, "reg", "WRITE", 3, spec.Ack).
+		res(1, "ctr", "INC", 1, spec.Ack).
+		inv(2, "ctr", "READ", 4).res(2, "ctr", "READ", 4, 1).
+		hist()
+	if err := Check(models, h); err != nil {
+		t.Errorf("Check = %v, want nil", err)
+	}
+}
+
+// TestQuickSequentialHistoriesLinearizable generates random sequential
+// histories straight from a model; they must always pass.
+func TestQuickSequentialHistoriesLinearizable(t *testing.T) {
+	ops := []struct {
+		name  string
+		nargs int
+	}{{"READ", 0}, {"WRITE", 1}}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := spec.Register{}
+		st := m.Init()
+		b := newHB()
+		for i := 0; i < int(n)%40; i++ {
+			o := ops[rng.Intn(len(ops))]
+			var args []uint64
+			for j := 0; j < o.nargs; j++ {
+				args = append(args, uint64(rng.Intn(5)))
+			}
+			st2, resp, err := m.Apply(st, o.name, args)
+			if err != nil {
+				return false
+			}
+			st = st2
+			p := rng.Intn(3) + 1
+			id := int64(i + 1)
+			b.inv(p, "x", o.name, id, args...)
+			b.res(p, "x", o.name, id, resp)
+		}
+		return Check(regModels(), b.hist()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConditionHierarchy(t *testing.T) {
+	models := regModels()
+
+	// p1 crashes inside WRITE(1) and never recovers; later reads see 0
+	// then 1: the write took effect after the crash. Strict
+	// linearizability forbids this; persistent atomicity allows it.
+	lateEffect := newHB().
+		inv(1, "x", "WRITE", 1, 1).
+		crash(1, "x", "WRITE", 1).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 0).
+		inv(2, "x", "READ", 3).res(2, "x", "READ", 3, 1).
+		hist()
+	if err := CheckStrictLinearizability(models, lateEffect); err == nil {
+		t.Error("strict linearizability accepted a post-crash effect")
+	}
+	if err := CheckPersistentAtomicity(models, lateEffect); err != nil {
+		t.Errorf("persistent atomicity rejected a pre-next-invocation effect: %v", err)
+	}
+	if err := CheckTransientAtomicity(models, lateEffect); err != nil {
+		t.Errorf("transient atomicity rejected a pre-next-write effect: %v", err)
+	}
+
+	// The interrupted write takes effect only after p1's next invocation:
+	// persistent atomicity forbids it, transient atomicity (deadline at
+	// the next WRITE *response*) still allows it.
+	afterNextInv := newHB().
+		inv(1, "x", "WRITE", 1, 1).
+		crash(1, "x", "WRITE", 1).
+		inv(1, "y", "WRITE", 2, 9).
+		inv(2, "x", "READ", 3).res(2, "x", "READ", 3, 0).
+		res(1, "y", "WRITE", 2, spec.Ack).
+		inv(2, "x", "READ", 4).res(2, "x", "READ", 4, 1).
+		hist()
+	casOrReg := func(obj string) spec.Model { return spec.Register{} }
+	if err := CheckPersistentAtomicity(casOrReg, afterNextInv); err == nil {
+		t.Error("persistent atomicity accepted an effect after the next invocation")
+	}
+	if err := CheckTransientAtomicity(casOrReg, afterNextInv); err != nil {
+		t.Errorf("transient atomicity rejected a pre-write-response effect: %v", err)
+	}
+
+	// A crash-free linearizable history satisfies all conditions.
+	plain := newHB().
+		inv(1, "x", "WRITE", 1, 5).res(1, "x", "WRITE", 1, spec.Ack).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 5).
+		hist()
+	for name, check := range map[string]func(ModelFor, history.History) error{
+		"strict":     CheckStrictLinearizability,
+		"persistent": CheckPersistentAtomicity,
+		"transient":  CheckTransientAtomicity,
+	} {
+		if err := check(models, plain); err != nil {
+			t.Errorf("%s rejected a plain linearizable history: %v", name, err)
+		}
+	}
+}
+
+func TestAbortedOpMayBeDropped(t *testing.T) {
+	// The crashed write never takes effect; all conditions accept.
+	h := newHB().
+		inv(1, "x", "WRITE", 1, 1).
+		crash(1, "x", "WRITE", 1).
+		inv(2, "x", "READ", 2).res(2, "x", "READ", 2, 0).
+		hist()
+	if err := CheckStrictLinearizability(regModels(), h); err != nil {
+		t.Errorf("strict: %v", err)
+	}
+	if err := CheckPersistentAtomicity(regModels(), h); err != nil {
+		t.Errorf("persistent: %v", err)
+	}
+}
+
+// TestQuickConditionHierarchy: on random crash histories, the Section 4
+// conditions must be ordered — any history satisfying strict
+// linearizability satisfies persistent atomicity, and any satisfying
+// persistent atomicity satisfies transient atomicity (the deadlines are
+// monotone). Randomized consistency check across the three checkers.
+func TestQuickConditionHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	models := regModels()
+	accepted := [3]int{}
+	for trial := 0; trial < 800; trial++ {
+		b := newHB()
+		id := int64(1)
+		crashed := map[int]bool{}
+		n := rng.Intn(6) + 1
+		for i := 0; i < n; i++ {
+			p := rng.Intn(2) + 1
+			if crashed[p] {
+				continue
+			}
+			op := "WRITE"
+			args := []uint64{uint64(rng.Intn(3) + 1)}
+			if rng.Intn(2) == 0 {
+				op = "READ"
+				args = nil
+			}
+			b.inv(p, "x", op, id, args...)
+			switch rng.Intn(3) {
+			case 0: // complete with a random (possibly wrong) response
+				ret := spec.Ack
+				if op == "READ" {
+					ret = uint64(rng.Intn(4))
+				}
+				b.res(p, "x", op, id, ret)
+			case 1: // crash the process inside the op, permanently
+				b.crash(p, "x", op, id)
+				crashed[p] = true
+			default: // leave pending
+			}
+			id++
+		}
+		h := b.hist()
+		strict := CheckStrictLinearizability(models, h) == nil
+		persistent := CheckPersistentAtomicity(models, h) == nil
+		transient := CheckTransientAtomicity(models, h) == nil
+		if strict {
+			accepted[0]++
+		}
+		if persistent {
+			accepted[1]++
+		}
+		if transient {
+			accepted[2]++
+		}
+		if strict && !persistent {
+			t.Fatalf("trial %d: strict but not persistent:\n%s", trial, h)
+		}
+		if persistent && !transient {
+			t.Fatalf("trial %d: persistent but not transient:\n%s", trial, h)
+		}
+	}
+	if accepted[0] == 0 || accepted[2] == accepted[0] {
+		t.Logf("acceptance counts (strict/persistent/transient): %v", accepted)
+	}
+}

@@ -1,0 +1,21 @@
+// Package nvm simulates byte-addressable non-volatile main memory (NVRAM)
+// at word granularity, as assumed by the individual-process crash-recovery
+// model of Attiya, Ben-Baruch and Hendler (PODC 2018).
+//
+// A Memory is a growable array of 64-bit words supporting the atomic
+// primitives the paper's model provides: read, write, compare-and-swap,
+// test-and-set and fetch-and-add. In the paper's model a crash is
+// per-process: shared memory is never lost, only the crashed process's
+// volatile registers are. The default Mode, ADR, therefore persists every
+// store immediately and is the faithful rendering of the model.
+//
+// As an extension (documented in DESIGN.md), Buffered mode simulates a
+// write-back persistence domain with explicit Flush and Fence operations,
+// and a whole-system CrashAll that discards stores which were not yet made
+// durable. Buffered mode lets the repository exercise the flush/fence code
+// paths real NVRAM systems require, and powers the persistence-mode
+// ablation experiment (E8).
+//
+// All operations on words are safe for concurrent use. Allocation
+// (Alloc/AllocArray) is synchronized but intended for setup, not hot paths.
+package nvm

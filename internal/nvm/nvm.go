@@ -1,0 +1,301 @@
+package nvm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects the persistence semantics of a Memory.
+type Mode int
+
+const (
+	// ADR ("asynchronous DRAM refresh") persists every store at the moment
+	// it is applied. This matches the paper's model, in which shared
+	// non-volatile variables always survive individual-process crashes.
+	ADR Mode = iota + 1
+
+	// Buffered simulates a write-back persistence domain: stores land in a
+	// volatile buffer and become durable only after Flush of the word
+	// followed by Fence. CrashAll discards non-durable stores.
+	Buffered
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ADR:
+		return "ADR"
+	case Buffered:
+		return "Buffered"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Addr identifies a word within a Memory.
+type Addr int32
+
+// InvalidAddr is never returned by Alloc.
+const InvalidAddr Addr = -1
+
+// word is one 64-bit NVRAM cell.
+//
+// val is the current (architecturally visible) value. In Buffered mode,
+// persisted is the durable value, flushed is the value captured by the most
+// recent Flush that has not yet been fenced, and state tracks which of the
+// three meanings applies.
+type word struct {
+	val atomic.Uint64
+
+	// The fields below are only touched in Buffered mode, under Memory.pmu.
+	persisted uint64
+	flushed   uint64
+	state     wordState
+}
+
+type wordState uint8
+
+const (
+	wordClean    wordState = iota // persisted == val at last persist event
+	wordDirty                     // val newer than persisted, no flush pending
+	wordFlushing                  // flushed captured, awaiting Fence
+)
+
+// Memory is a simulated NVRAM.
+type Memory struct {
+	mode Mode
+
+	mu    sync.Mutex // guards words/names growth
+	words []*word
+	names []string
+
+	pmu sync.Mutex // Buffered mode: guards persistence metadata
+
+	stats Stats
+}
+
+// Option configures a Memory.
+type Option interface {
+	apply(*Memory)
+}
+
+type modeOption Mode
+
+func (o modeOption) apply(m *Memory) { m.mode = Mode(o) }
+
+// WithMode selects the persistence mode (default ADR).
+func WithMode(mode Mode) Option { return modeOption(mode) }
+
+// New returns an empty Memory.
+func New(opts ...Option) *Memory {
+	m := &Memory{mode: ADR}
+	for _, o := range opts {
+		o.apply(m)
+	}
+	return m
+}
+
+// Mode reports the persistence mode of the memory.
+func (m *Memory) Mode() Mode { return m.mode }
+
+// Alloc allocates one word initialized to init and returns its address.
+// The name is retained for tracing and error messages only.
+func (m *Memory) Alloc(name string, init uint64) Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &word{}
+	w.val.Store(init)
+	w.persisted = init
+	m.words = append(m.words, w)
+	m.names = append(m.names, name)
+	return Addr(len(m.words) - 1)
+}
+
+// AllocArray allocates n words, all initialized to init, with names
+// "name[0]".."name[n-1]", and returns their addresses in order.
+func (m *Memory) AllocArray(name string, n int, init uint64) []Addr {
+	addrs := make([]Addr, n)
+	for i := range addrs {
+		addrs[i] = m.Alloc(fmt.Sprintf("%s[%d]", name, i), init)
+	}
+	return addrs
+}
+
+// Size reports the number of allocated words.
+func (m *Memory) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.words)
+}
+
+// Name returns the name given to the word at a.
+func (m *Memory) Name(a Addr) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.names[a]
+}
+
+func (m *Memory) word(a Addr) *word {
+	m.mu.Lock()
+	w := m.words[a]
+	m.mu.Unlock()
+	return w
+}
+
+// Read atomically reads the word at a.
+func (m *Memory) Read(a Addr) uint64 {
+	m.stats.reads.Add(1)
+	return m.word(a).val.Load()
+}
+
+// Write atomically stores v into the word at a.
+func (m *Memory) Write(a Addr, v uint64) {
+	m.stats.writes.Add(1)
+	w := m.word(a)
+	if m.mode == Buffered {
+		m.pmu.Lock()
+		w.val.Store(v)
+		if w.state == wordClean {
+			w.state = wordDirty
+		}
+		m.pmu.Unlock()
+		return
+	}
+	w.val.Store(v)
+}
+
+// CAS atomically replaces the word at a with new if it currently holds old,
+// reporting whether the swap happened.
+func (m *Memory) CAS(a Addr, old, new uint64) bool {
+	m.stats.cases.Add(1)
+	w := m.word(a)
+	if m.mode == Buffered {
+		m.pmu.Lock()
+		defer m.pmu.Unlock()
+		if w.val.Load() != old {
+			return false
+		}
+		w.val.Store(new)
+		if w.state == wordClean {
+			w.state = wordDirty
+		}
+		return true
+	}
+	return w.val.CompareAndSwap(old, new)
+}
+
+// TAS atomically sets the word at a to 1 and returns its previous value.
+// It implements the paper's non-resettable t&s primitive; the word is
+// expected to be used only with values 0 and 1.
+func (m *Memory) TAS(a Addr) uint64 {
+	m.stats.tases.Add(1)
+	w := m.word(a)
+	if m.mode == Buffered {
+		m.pmu.Lock()
+		defer m.pmu.Unlock()
+		prev := w.val.Load()
+		w.val.Store(1)
+		if w.state == wordClean {
+			w.state = wordDirty
+		}
+		return prev
+	}
+	return w.val.Swap(1)
+}
+
+// FAA atomically adds delta to the word at a and returns the previous value.
+func (m *Memory) FAA(a Addr, delta uint64) uint64 {
+	m.stats.faas.Add(1)
+	w := m.word(a)
+	if m.mode == Buffered {
+		m.pmu.Lock()
+		defer m.pmu.Unlock()
+		prev := w.val.Load()
+		w.val.Store(prev + delta)
+		if w.state == wordClean {
+			w.state = wordDirty
+		}
+		return prev
+	}
+	return w.val.Add(delta) - delta
+}
+
+// Flush initiates persistence of the word at a. In Buffered mode the
+// current value is captured and becomes durable at the next Fence; in ADR
+// mode Flush only counts (stores are already durable).
+func (m *Memory) Flush(a Addr) {
+	m.stats.flushes.Add(1)
+	if m.mode != Buffered {
+		return
+	}
+	w := m.word(a)
+	m.pmu.Lock()
+	w.flushed = w.val.Load()
+	w.state = wordFlushing
+	m.pmu.Unlock()
+}
+
+// Fence makes all previously flushed values durable. In ADR mode it only
+// counts.
+func (m *Memory) Fence() {
+	m.stats.fences.Add(1)
+	if m.mode != Buffered {
+		return
+	}
+	m.mu.Lock()
+	words := m.words
+	m.mu.Unlock()
+	m.pmu.Lock()
+	for _, w := range words {
+		if w.state == wordFlushing {
+			w.persisted = w.flushed
+			if w.val.Load() == w.persisted {
+				w.state = wordClean
+			} else {
+				w.state = wordDirty
+			}
+		}
+	}
+	m.pmu.Unlock()
+}
+
+// Persist flushes the word at a and fences, making its current value
+// durable before returning.
+func (m *Memory) Persist(a Addr) {
+	m.Flush(a)
+	m.Fence()
+}
+
+// CrashAll simulates a full-system power failure: every word reverts to its
+// most recently persisted value and all pending flushes are discarded. It
+// is meaningful only in Buffered mode; in ADR mode it is a no-op because
+// every store is already durable.
+func (m *Memory) CrashAll() {
+	m.stats.systemCrashes.Add(1)
+	if m.mode != Buffered {
+		return
+	}
+	m.mu.Lock()
+	words := m.words
+	m.mu.Unlock()
+	m.pmu.Lock()
+	for _, w := range words {
+		w.val.Store(w.persisted)
+		w.flushed = 0
+		w.state = wordClean
+	}
+	m.pmu.Unlock()
+}
+
+// Durable reports the durable (persisted) value of the word at a. In ADR
+// mode this equals Read(a).
+func (m *Memory) Durable(a Addr) uint64 {
+	w := m.word(a)
+	if m.mode != Buffered {
+		return w.val.Load()
+	}
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	return w.persisted
+}

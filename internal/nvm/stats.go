@@ -1,0 +1,61 @@
+package nvm
+
+import "sync/atomic"
+
+// Stats counts the operations applied to a Memory since creation (or since
+// the last ResetStats). Counters are updated atomically and may be sampled
+// concurrently with memory operations.
+type Stats struct {
+	reads         atomic.Uint64
+	writes        atomic.Uint64
+	cases         atomic.Uint64
+	tases         atomic.Uint64
+	faas          atomic.Uint64
+	flushes       atomic.Uint64
+	fences        atomic.Uint64
+	systemCrashes atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of a Memory's counters.
+type StatsSnapshot struct {
+	Reads         uint64
+	Writes        uint64
+	CASes         uint64
+	TASes         uint64
+	FAAs          uint64
+	Flushes       uint64
+	Fences        uint64
+	SystemCrashes uint64
+}
+
+// Total returns the total number of memory primitives applied (excluding
+// flushes, fences and crashes).
+func (s StatsSnapshot) Total() uint64 {
+	return s.Reads + s.Writes + s.CASes + s.TASes + s.FAAs
+}
+
+// Stats returns a snapshot of the memory's counters.
+func (m *Memory) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Reads:         m.stats.reads.Load(),
+		Writes:        m.stats.writes.Load(),
+		CASes:         m.stats.cases.Load(),
+		TASes:         m.stats.tases.Load(),
+		FAAs:          m.stats.faas.Load(),
+		Flushes:       m.stats.flushes.Load(),
+		Fences:        m.stats.fences.Load(),
+		SystemCrashes: m.stats.systemCrashes.Load(),
+	}
+}
+
+// ResetStats zeroes all counters.
+func (m *Memory) ResetStats() {
+	m.stats.reads.Store(0)
+	m.stats.writes.Store(0)
+	m.stats.cases.Store(0)
+	m.stats.tases.Store(0)
+	m.stats.faas.Store(0)
+	m.stats.flushes.Store(0)
+	m.stats.fences.Store(0)
+	m.stats.systemCrashes.Store(0)
+}

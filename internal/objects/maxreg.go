@@ -1,0 +1,162 @@
+package objects
+
+import (
+	"fmt"
+
+	"nrl/internal/core"
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// MaxRegister is a recoverable max-register built modularly on the
+// recoverable CAS object: WRITEMAX(v) raises the register to at least v
+// and READMAX returns the largest value written so far.
+//
+// Unlike FAA, WRITEMAX needs no strictness: the operation is idempotent
+// (re-executing a completed WRITEMAX(v) observes payload >= v and returns
+// immediately), so its recovery function simply re-executes the body.
+// Installed values carry a (pid, seq) tag so that every value written to
+// the underlying CAS object is distinct, as Algorithm 2 requires; the
+// payload increases strictly on every successful CAS, which bounds retry
+// loops (lock-freedom).
+type MaxRegister struct {
+	name string
+	cas  *core.CASObject
+	seq  []nvm.Addr // per-process attempt counter
+
+	writeMax *maxWrite
+	readMax  *maxRead
+}
+
+// MaxRegValue is the largest value a MaxRegister can hold.
+const MaxRegValue = MaxFAAValue
+
+// NewMaxRegister allocates a recoverable max-register with initial value 0.
+func NewMaxRegister(sys *proc.System, name string) *MaxRegister {
+	if sys.N() > MaxFAAProcs {
+		panic(fmt.Sprintf("objects: MaxRegister %q supports at most %d processes", name, MaxFAAProcs))
+	}
+	o := &MaxRegister{
+		name: name,
+		cas:  core.NewCASObject(sys, name+".cas"),
+		seq:  sys.Mem().AllocArray(name+".Seq", sys.N()+1, 0),
+	}
+	o.writeMax = &maxWrite{obj: o}
+	o.readMax = &maxRead{obj: o}
+	return o
+}
+
+// Name returns the object's name.
+func (o *MaxRegister) Name() string { return o.name }
+
+// WriteMax raises the register's value to at least v.
+func (o *MaxRegister) WriteMax(c *proc.Ctx, v uint64) {
+	if v == 0 || v > MaxRegValue {
+		panic(fmt.Sprintf("objects: MaxRegister %q value %d out of range [1,%d]", o.name, v, MaxRegValue))
+	}
+	c.Invoke(o.writeMax, v)
+}
+
+// ReadMax returns the largest value written so far (0 if none).
+func (o *MaxRegister) ReadMax(c *proc.Ctx) uint64 {
+	return c.Invoke(o.readMax)
+}
+
+// WriteMaxOp exposes WRITEMAX for direct nesting.
+func (o *MaxRegister) WriteMaxOp() proc.Operation { return o.writeMax }
+
+// ReadMaxOp exposes READMAX for direct nesting.
+func (o *MaxRegister) ReadMaxOp() proc.Operation { return o.readMax }
+
+// CASName returns the name of the nested CAS object for checker wiring.
+func (o *MaxRegister) CASName() string { return o.cas.Name() }
+
+// maxWrite is WRITEMAX, program for process p:
+//
+//	 2: cur <- C.READ                       (nested recoverable)
+//	 3: if payload(cur) >= v then return ack
+//	 4: s <- Seq_p + 1; Seq_p <- s
+//	 5: C.CAS(cur, pack(p, s, v))           (nested recoverable)
+//	 6: proceed from line 2
+//
+//	WRITEMAX.RECOVER(v): proceed from line 2 (idempotent)
+type maxWrite struct {
+	obj *MaxRegister
+}
+
+func (o *maxWrite) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.obj.name, Op: "WRITEMAX", Entry: 2, RecoverEntry: 8}
+}
+
+func (o *maxWrite) Exec(c *proc.Ctx, line int) uint64 {
+	var (
+		v   = c.Arg(0)
+		p   = c.P()
+		cur uint64
+	)
+	for {
+		switch line {
+		case 2:
+			c.Step(2)
+			cur = c.Invoke(o.obj.cas.ReadOp())
+			line = 3
+		case 3:
+			c.Step(3)
+			if faaSum(cur) >= v {
+				return Ack
+			}
+			line = 4
+		case 4:
+			c.Step(4)
+			s := c.Read(o.obj.seq[p]) + 1
+			if s > maxFAASeq {
+				panic(fmt.Sprintf("objects: MaxRegister %q exhausted attempt tags for process %d", o.obj.name, p))
+			}
+			c.Write(o.obj.seq[p], s)
+			line = 5
+		case 5:
+			c.Step(5)
+			c.Invoke(o.obj.cas.CASOp(), cur, faaPack(p, c.Read(o.obj.seq[p]), v))
+			line = 2 // line 6
+		case 8:
+			c.RecStep(8)
+			line = 2
+		default:
+			panic(fmt.Sprintf("objects: maxWrite bad line %d", line))
+		}
+	}
+}
+
+// maxRead is READMAX:
+//
+//	10: cur <- C.READ
+//	11: return payload(cur)
+//
+//	READMAX.RECOVER: proceed from line 10
+type maxRead struct {
+	obj *MaxRegister
+}
+
+func (o *maxRead) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.obj.name, Op: "READMAX", Entry: 10, RecoverEntry: 13}
+}
+
+func (o *maxRead) Exec(c *proc.Ctx, line int) uint64 {
+	var cur uint64
+	for {
+		switch line {
+		case 10:
+			c.Step(10)
+			cur = c.Invoke(o.obj.cas.ReadOp())
+			line = 11
+		case 11:
+			c.Step(11)
+			return faaSum(cur)
+		case 13:
+			c.RecStep(13)
+			line = 10
+		default:
+			panic(fmt.Sprintf("objects: maxRead bad line %d", line))
+		}
+	}
+}

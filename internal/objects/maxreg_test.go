@@ -1,0 +1,115 @@
+package objects_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nrl/internal/objects"
+	"nrl/internal/proc"
+)
+
+func TestMaxRegisterBasic(t *testing.T) {
+	sys, rec := newSys(nil, 2, nil)
+	m := objects.NewMaxRegister(sys, "max")
+	c1 := sys.Proc(1).Ctx()
+	c2 := sys.Proc(2).Ctx()
+	if got := m.ReadMax(c1); got != 0 {
+		t.Errorf("initial ReadMax = %d, want 0", got)
+	}
+	m.WriteMax(c1, 7)
+	m.WriteMax(c2, 3) // lower: no effect
+	if got := m.ReadMax(c2); got != 7 {
+		t.Errorf("ReadMax = %d, want 7", got)
+	}
+	m.WriteMax(c2, 12)
+	if got := m.ReadMax(c1); got != 12 {
+		t.Errorf("ReadMax = %d, want 12", got)
+	}
+	if m.Name() != "max" || m.CASName() != "max.cas" {
+		t.Errorf("names = %q,%q", m.Name(), m.CASName())
+	}
+	mustNRL(t, rec.History())
+}
+
+func TestMaxRegisterCrashEveryLine(t *testing.T) {
+	for _, line := range []int{2, 3, 4, 5, 8} {
+		t.Run(fmt.Sprintf("line%d", line), func(t *testing.T) {
+			var inj proc.Injector
+			if line == 8 {
+				inj = proc.Multi{
+					&proc.AtLine{Obj: "max", Op: "WRITEMAX", Line: 4},
+					&proc.AtLine{Obj: "max", Op: "WRITEMAX", Line: 8},
+				}
+			} else {
+				inj = &proc.AtLine{Obj: "max", Op: "WRITEMAX", Line: line}
+			}
+			sys, rec := newSys(inj, 1, nil)
+			m := objects.NewMaxRegister(sys, "max")
+			c := sys.Proc(1).Ctx()
+			m.WriteMax(c, 9)
+			if got := m.ReadMax(c); got != 9 {
+				t.Errorf("ReadMax = %d, want 9", got)
+			}
+			mustNRL(t, rec.History())
+		})
+	}
+}
+
+func TestMaxRegisterIdempotentRecovery(t *testing.T) {
+	// Crash after the nested CAS installed the value: recovery re-executes
+	// the whole body, observes payload >= v, and returns without a second
+	// install.
+	inj := &proc.AtLine{Obj: "max", Op: "WRITEMAX", Line: 2, Occurrence: 2}
+	sys, rec := newSys(inj, 1, nil)
+	m := objects.NewMaxRegister(sys, "max")
+	c := sys.Proc(1).Ctx()
+	m.WriteMax(c, 5)
+	if got := m.ReadMax(c); got != 5 {
+		t.Errorf("ReadMax = %d, want 5", got)
+	}
+	mustNRL(t, rec.History())
+}
+
+func TestMaxRegisterConcurrentStress(t *testing.T) {
+	const seeds = 15
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			inj := &proc.Random{Rate: 0.02, Seed: seed, MaxCrashes: 5}
+			sys, rec := newSys(inj, 3, proc.NewControlled(proc.RandomPicker(seed)))
+			m := objects.NewMaxRegister(sys, "max")
+			var want uint64
+			bodies := make(map[int]func(*proc.Ctx))
+			for p := 1; p <= 3; p++ {
+				p := p
+				for i := 1; i <= 4; i++ {
+					v := uint64(p*10 + i)
+					if v > want {
+						want = v
+					}
+				}
+				bodies[p] = func(c *proc.Ctx) {
+					for i := 1; i <= 4; i++ {
+						m.WriteMax(c, uint64(p*10+i))
+					}
+				}
+			}
+			sys.Run(bodies)
+			if got := m.ReadMax(sys.Proc(1).Ctx()); got != want {
+				t.Errorf("final ReadMax = %d, want %d", got, want)
+			}
+			mustNRL(t, rec.History())
+		})
+	}
+}
+
+func TestMaxRegisterValidation(t *testing.T) {
+	sys, _ := newSys(nil, 1, nil)
+	m := objects.NewMaxRegister(sys, "max")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range value")
+		}
+	}()
+	m.WriteMax(sys.Proc(1).Ctx(), 0)
+}

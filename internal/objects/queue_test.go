@@ -1,0 +1,238 @@
+package objects_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nrl/internal/objects"
+	"nrl/internal/proc"
+)
+
+func TestQueueSequential(t *testing.T) {
+	sys, rec := newSys(nil, 1, nil)
+	q := objects.NewQueue(sys, "q", 64)
+	c := sys.Proc(1).Ctx()
+	if got := q.Dequeue(c); got != objects.Empty {
+		t.Errorf("Dequeue on empty = %d, want Empty", got)
+	}
+	for _, v := range []uint64{10, 20, 30} {
+		q.Enqueue(c, v)
+	}
+	for _, want := range []uint64{10, 20, 30} {
+		if got := q.Dequeue(c); got != want {
+			t.Errorf("Dequeue = %d, want %d", got, want)
+		}
+	}
+	if got := q.Dequeue(c); got != objects.Empty {
+		t.Errorf("Dequeue after drain = %d, want Empty", got)
+	}
+	// Refill after drain (tail chased head through the dequeued cells).
+	q.Enqueue(c, 40)
+	if got := q.Dequeue(c); got != 40 {
+		t.Errorf("Dequeue = %d, want 40", got)
+	}
+	if q.Name() != "q" {
+		t.Errorf("Name = %q", q.Name())
+	}
+	h, tl, af, ac := q.InnerNames()
+	if h != "q.head" || tl != "q.tail" || af != "q.alloc" || ac != "q.alloc.cas" {
+		t.Errorf("InnerNames = %q,%q,%q,%q", h, tl, af, ac)
+	}
+	mustNRL(t, rec.History())
+}
+
+func TestQueueEnqCrashEveryLine(t *testing.T) {
+	for _, line := range []int{1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 13} {
+		t.Run(fmt.Sprintf("line%d", line), func(t *testing.T) {
+			var inj proc.Injector
+			if line == 13 {
+				inj = proc.Multi{
+					&proc.AtLine{Obj: "q", Op: "ENQ", Line: 5},
+					&proc.AtLine{Obj: "q", Op: "ENQ", Line: 13},
+				}
+			} else {
+				inj = &proc.AtLine{Obj: "q", Op: "ENQ", Line: line}
+			}
+			sys, rec := newSys(inj, 1, nil)
+			q := objects.NewQueue(sys, "q", 64)
+			c := sys.Proc(1).Ctx()
+			q.Enqueue(c, 10)
+			q.Enqueue(c, 20)
+			if got := q.Dequeue(c); got != 10 {
+				t.Errorf("Dequeue = %d, want 10", got)
+			}
+			if got := q.Dequeue(c); got != 20 {
+				t.Errorf("Dequeue = %d, want 20", got)
+			}
+			if got := q.Dequeue(c); got != objects.Empty {
+				t.Errorf("Dequeue = %d, want Empty (enqueue duplicated)", got)
+			}
+			mustNRL(t, rec.History())
+		})
+	}
+}
+
+func TestQueueDeqCrashEveryLine(t *testing.T) {
+	for _, line := range []int{1, 2, 3, 4, 5, 6, 9} {
+		t.Run(fmt.Sprintf("line%d", line), func(t *testing.T) {
+			var inj proc.Injector
+			if line == 9 {
+				inj = proc.Multi{
+					&proc.AtLine{Obj: "q", Op: "DEQ", Line: 4},
+					&proc.AtLine{Obj: "q", Op: "DEQ", Line: 9},
+				}
+			} else {
+				inj = &proc.AtLine{Obj: "q", Op: "DEQ", Line: line}
+			}
+			sys, rec := newSys(inj, 1, nil)
+			q := objects.NewQueue(sys, "q", 64)
+			c := sys.Proc(1).Ctx()
+			q.Enqueue(c, 10)
+			q.Enqueue(c, 20)
+			if got := q.Dequeue(c); got != 10 {
+				t.Errorf("Dequeue = %d, want 10 (dequeue lost or duplicated)", got)
+			}
+			if got := q.Dequeue(c); got != 20 {
+				t.Errorf("Dequeue = %d, want 20", got)
+			}
+			mustNRL(t, rec.History())
+		})
+	}
+}
+
+// TestQueueEnqCrashAfterPrimitiveLink targets the structural-detection
+// recovery path: crash immediately after the primitive next-word cas
+// linked the cell, before TAIL was swung and before the response step.
+func TestQueueEnqCrashAfterPrimitiveLink(t *testing.T) {
+	inj := &proc.AtLine{Obj: "q", Op: "ENQ", Line: 9} // LI=8: cas executed
+	sys, rec := newSys(inj, 1, nil)
+	q := objects.NewQueue(sys, "q", 64)
+	c := sys.Proc(1).Ctx()
+	q.Enqueue(c, 10)
+	if !inj.Fired() {
+		t.Fatal("injector did not fire")
+	}
+	// TAIL may lag; the next operations must still work through helping.
+	q.Enqueue(c, 20)
+	if got := q.Dequeue(c); got != 10 {
+		t.Errorf("Dequeue = %d, want 10", got)
+	}
+	if got := q.Dequeue(c); got != 20 {
+		t.Errorf("Dequeue = %d, want 20", got)
+	}
+	mustNRL(t, rec.History())
+}
+
+// TestQueueCrashInsideNestedOps crashes inside the nested recoverable
+// CAS/FAA operations the queue composes over.
+func TestQueueCrashInsideNestedOps(t *testing.T) {
+	targets := []struct {
+		obj, op string
+		line    int
+	}{
+		{"q.alloc", "FAA", 6},       // allocator's nested strict CAS
+		{"q.head", "STRICTCAS", 45}, // dequeue's linearization
+		{"q.head", "STRICTCAS", 47}, // after persistence started
+		{"q.tail", "CAS", 7},        // tail swing
+		{"q.alloc.cas", "READ", 11}, // deep: read inside allocator CAS
+	}
+	for _, tg := range targets {
+		t.Run(fmt.Sprintf("%s.%s@%d", tg.obj, tg.op, tg.line), func(t *testing.T) {
+			inj := &proc.AtLine{Obj: tg.obj, Op: tg.op, Line: tg.line}
+			sys, rec := newSys(inj, 1, nil)
+			q := objects.NewQueue(sys, "q", 64)
+			c := sys.Proc(1).Ctx()
+			q.Enqueue(c, 10)
+			q.Enqueue(c, 20)
+			if got := q.Dequeue(c); got != 10 {
+				t.Errorf("Dequeue = %d, want 10", got)
+			}
+			if got := q.Dequeue(c); got != 20 {
+				t.Errorf("Dequeue = %d, want 20", got)
+			}
+			mustNRL(t, rec.History())
+		})
+	}
+}
+
+// TestQueueExactlyOnceUnderContention: FIFO per producer, no loss, no
+// duplication, NRL across schedules and crashes.
+func TestQueueExactlyOnceUnderContention(t *testing.T) {
+	const (
+		seeds = 12
+		nProc = 3
+		opsPP = 4
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			inj := &proc.Random{Rate: 0.015, Seed: seed, MaxCrashes: 4}
+			sys, rec := newSys(inj, nProc, proc.NewControlled(proc.RandomPicker(seed)))
+			q := objects.NewQueue(sys, "q", 256)
+			got := make([][]uint64, nProc+1)
+			bodies := make(map[int]func(*proc.Ctx))
+			for p := 1; p <= nProc; p++ {
+				p := p
+				bodies[p] = func(c *proc.Ctx) {
+					for i := 0; i < opsPP; i++ {
+						q.Enqueue(c, uint64(p*100+i))
+						if i%2 == 1 {
+							if v := q.Dequeue(c); v != objects.Empty {
+								got[p] = append(got[p], v)
+							}
+						}
+					}
+				}
+			}
+			sys.Run(bodies)
+			c := sys.Proc(1).Ctx()
+			var drained []uint64
+			for {
+				v := q.Dequeue(c)
+				if v == objects.Empty {
+					break
+				}
+				drained = append(drained, v)
+			}
+			seen := make(map[uint64]int)
+			for p := 1; p <= nProc; p++ {
+				for _, v := range got[p] {
+					seen[v]++
+				}
+			}
+			for _, v := range drained {
+				seen[v]++
+			}
+			if len(seen) != nProc*opsPP {
+				t.Errorf("recovered %d distinct values, want %d", len(seen), nProc*opsPP)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Errorf("value %d dequeued %d times", v, n)
+				}
+			}
+			mustNRL(t, rec.History())
+		})
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	sys, _ := newSys(nil, 1, nil)
+	t.Run("bad capacity", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		objects.NewQueue(sys, "bad", 0)
+	})
+	t.Run("enqueue sentinel", func(t *testing.T) {
+		q := objects.NewQueue(sys, "q", 4)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		q.Enqueue(sys.Proc(1).Ctx(), objects.Empty)
+	})
+}

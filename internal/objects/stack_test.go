@@ -1,0 +1,199 @@
+package objects_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nrl/internal/objects"
+	"nrl/internal/proc"
+)
+
+func TestStackSequential(t *testing.T) {
+	sys, rec := newSys(nil, 1, nil)
+	s := objects.NewStack(sys, "stk", 64)
+	c := sys.Proc(1).Ctx()
+	if got := s.Pop(c); got != objects.Empty {
+		t.Errorf("Pop on empty = %d, want Empty", got)
+	}
+	s.Push(c, 10)
+	s.Push(c, 20)
+	s.Push(c, 30)
+	for _, want := range []uint64{30, 20, 10} {
+		if got := s.Pop(c); got != want {
+			t.Errorf("Pop = %d, want %d", got, want)
+		}
+	}
+	if got := s.Pop(c); got != objects.Empty {
+		t.Errorf("Pop after drain = %d, want Empty", got)
+	}
+	if s.Name() != "stk" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	topCAS, allocFAA, allocCAS := s.InnerNames()
+	if topCAS != "stk.top" || allocFAA != "stk.alloc" || allocCAS != "stk.alloc.cas" {
+		t.Errorf("InnerNames = %q,%q,%q", topCAS, allocFAA, allocCAS)
+	}
+	mustNRL(t, rec.History())
+}
+
+func TestStackPushCrashEveryLine(t *testing.T) {
+	for _, line := range []int{2, 3, 4, 5, 6, 7, 8, 9, 11} {
+		t.Run(fmt.Sprintf("line%d", line), func(t *testing.T) {
+			var inj proc.Injector
+			if line == 11 {
+				inj = proc.Multi{
+					&proc.AtLine{Obj: "stk", Op: "PUSH", Line: 6},
+					&proc.AtLine{Obj: "stk", Op: "PUSH", Line: 11},
+				}
+			} else {
+				inj = &proc.AtLine{Obj: "stk", Op: "PUSH", Line: line}
+			}
+			sys, rec := newSys(inj, 1, nil)
+			s := objects.NewStack(sys, "stk", 64)
+			c := sys.Proc(1).Ctx()
+			s.Push(c, 10)
+			s.Push(c, 20)
+			if got := s.Pop(c); got != 20 {
+				t.Errorf("Pop = %d, want 20", got)
+			}
+			if got := s.Pop(c); got != 10 {
+				t.Errorf("Pop = %d, want 10", got)
+			}
+			if got := s.Pop(c); got != objects.Empty {
+				t.Errorf("Pop = %d, want Empty (push duplicated)", got)
+			}
+			mustNRL(t, rec.History())
+		})
+	}
+}
+
+func TestStackPopCrashEveryLine(t *testing.T) {
+	for _, line := range []int{2, 3, 4, 5, 6, 7, 8, 11} {
+		t.Run(fmt.Sprintf("line%d", line), func(t *testing.T) {
+			var inj proc.Injector
+			if line == 11 {
+				inj = proc.Multi{
+					&proc.AtLine{Obj: "stk", Op: "POP", Line: 5},
+					&proc.AtLine{Obj: "stk", Op: "POP", Line: 11},
+				}
+			} else {
+				inj = &proc.AtLine{Obj: "stk", Op: "POP", Line: line}
+			}
+			sys, rec := newSys(inj, 1, nil)
+			s := objects.NewStack(sys, "stk", 64)
+			c := sys.Proc(1).Ctx()
+			s.Push(c, 10)
+			s.Push(c, 20)
+			if got := s.Pop(c); got != 20 {
+				t.Errorf("Pop = %d, want 20", got)
+			}
+			if got := s.Pop(c); got != 10 {
+				t.Errorf("Pop = %d, want 10 (pop lost or duplicated)", got)
+			}
+			if got := s.Pop(c); got != objects.Empty {
+				t.Errorf("Pop = %d, want Empty", got)
+			}
+			mustNRL(t, rec.History())
+		})
+	}
+}
+
+func TestStackCrashInsideAllocatorAdoptsIndex(t *testing.T) {
+	// Crash inside the nested FAA allocation: the delivered response is
+	// adopted by PUSH's recovery, so no cell leaks.
+	inj := &proc.AtLine{Obj: "stk.alloc", Op: "FAA", Line: 6}
+	sys, rec := newSys(inj, 1, nil)
+	s := objects.NewStack(sys, "stk", 8)
+	c := sys.Proc(1).Ctx()
+	s.Push(c, 10)
+	if !inj.Fired() {
+		t.Fatal("injector did not fire")
+	}
+	if got := s.Pop(c); got != 10 {
+		t.Errorf("Pop = %d, want 10", got)
+	}
+	mustNRL(t, rec.History())
+}
+
+// TestStackExactlyOnceUnderContention: pushed values are popped at most
+// once, nothing is invented, and NRL holds across schedules and crashes.
+func TestStackExactlyOnceUnderContention(t *testing.T) {
+	const (
+		seeds = 12
+		nProc = 3
+		opsPP = 4
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			inj := &proc.Random{Rate: 0.015, Seed: seed, MaxCrashes: 4}
+			sys, rec := newSys(inj, nProc, proc.NewControlled(proc.RandomPicker(seed)))
+			s := objects.NewStack(sys, "stk", 256)
+			popped := make([][]uint64, nProc+1)
+			bodies := make(map[int]func(*proc.Ctx))
+			for p := 1; p <= nProc; p++ {
+				p := p
+				bodies[p] = func(c *proc.Ctx) {
+					for i := 0; i < opsPP; i++ {
+						s.Push(c, uint64(p*100+i))
+						if i%2 == 1 {
+							if v := s.Pop(c); v != objects.Empty {
+								popped[p] = append(popped[p], v)
+							}
+						}
+					}
+				}
+			}
+			sys.Run(bodies)
+			// Drain and collect everything left.
+			c := sys.Proc(1).Ctx()
+			var drained []uint64
+			for {
+				v := s.Pop(c)
+				if v == objects.Empty {
+					break
+				}
+				drained = append(drained, v)
+			}
+			seen := make(map[uint64]int)
+			for p := 1; p <= nProc; p++ {
+				for _, v := range popped[p] {
+					seen[v]++
+				}
+			}
+			for _, v := range drained {
+				seen[v]++
+			}
+			if len(seen) != nProc*opsPP {
+				t.Errorf("recovered %d distinct values, want %d", len(seen), nProc*opsPP)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Errorf("value %d popped %d times", v, n)
+				}
+			}
+			mustNRL(t, rec.History())
+		})
+	}
+}
+
+func TestStackValidation(t *testing.T) {
+	sys, _ := newSys(nil, 1, nil)
+	t.Run("bad capacity", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		objects.NewStack(sys, "bad", 0)
+	})
+	t.Run("push sentinel", func(t *testing.T) {
+		s := objects.NewStack(sys, "stk", 4)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		s.Push(sys.Proc(1).Ctx(), objects.Empty)
+	})
+}

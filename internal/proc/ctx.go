@@ -1,0 +1,149 @@
+package proc
+
+import (
+	"runtime"
+
+	"nrl/internal/history"
+	"nrl/internal/nvm"
+)
+
+// Ctx is the execution context handed to operation implementations and
+// process programs. Each process has exactly one Ctx; it must only be used
+// from that process's goroutine.
+type Ctx struct {
+	p *Proc
+}
+
+// P returns the executing process's id (1-based).
+func (c *Ctx) P() int { return c.p.id }
+
+// N returns the number of processes in the system.
+func (c *Ctx) N() int { return c.p.sys.N() }
+
+// Mem returns the shared NVRAM.
+func (c *Ctx) Mem() *nvm.Memory { return c.p.sys.mem }
+
+// Step marks that the process is about to execute the given pseudo-code
+// line of an operation's body: it yields to the scheduler, gives the
+// crash injector a chance to crash the process here (a crash leaves LI at
+// the previous line — the instruction has not begun), and then records
+// the line into the current frame's non-volatile LI.
+func (c *Ctx) Step(line int) {
+	c.step(line, true)
+}
+
+// RecStep is Step for lines of a recovery function: it yields and may
+// crash, but does NOT update LI. The model's LI_p identifies the
+// instruction of the interrupted operation's body; recovery code must
+// preserve it so that a crash during recovery leaves the next recovery
+// attempt with the same information (only re-executed body lines, entered
+// through Step, advance LI again).
+func (c *Ctx) RecStep(line int) {
+	c.step(line, false)
+}
+
+func (c *Ctx) step(line int, updateLI bool) {
+	p := c.p
+	p.steps++
+	gs := p.sys.globalSteps.Add(1)
+	p.sys.sched.Yield(p.id)
+	fr := p.top()
+	info := fr.op.Info()
+	pt := CrashPoint{
+		Proc:       p.id,
+		Obj:        info.Obj,
+		Op:         info.Op,
+		Line:       line,
+		ProcStep:   p.steps,
+		GlobalStep: gs,
+		Crashes:    p.crashes,
+		Depth:      len(p.stack),
+	}
+	if p.sys.inj.ShouldCrash(pt) {
+		panic(crashSignal{proc: p.id})
+	}
+	if updateLI {
+		fr.li = line
+	}
+}
+
+// LI returns the current frame's last-instruction register: the line of
+// the pseudo-code instruction most recently begun before the crash (0 if
+// none).
+func (c *Ctx) LI() int { return c.p.top().li }
+
+// Arg returns the i-th argument of the current operation. Arguments are
+// part of the system-maintained frame and survive crashes, matching the
+// paper's assumption that a recovery function receives the same arguments
+// as the interrupted invocation.
+func (c *Ctx) Arg(i int) uint64 { return c.p.top().args[i] }
+
+// NArgs returns the number of arguments of the current operation.
+func (c *Ctx) NArgs() int { return len(c.p.top().args) }
+
+// ChildResp returns the response of a nested operation that was completed
+// by its recovery function immediately before the current frame's recovery
+// function was invoked. The value models a response freshly written to a
+// volatile register: ok is false if no such response exists (in
+// particular, after any subsequent crash).
+func (c *Ctx) ChildResp() (resp uint64, ok bool) {
+	fr := c.p.top()
+	return fr.child, fr.childValid
+}
+
+// Invoke executes operation op with the given arguments. At the top level
+// (no pending operation) it additionally plays the system's role,
+// resurrecting the process through the operation's recovery function after
+// every crash, and so always returns the operation's final response.
+// Nested invocations run inline and propagate crashes to the top level.
+func (c *Ctx) Invoke(op Operation, args ...uint64) uint64 {
+	p := c.p
+	// The invocation itself is a scheduling point: under the controlled
+	// scheduler this makes the order of invocation steps part of the
+	// deterministic schedule rather than a goroutine startup race.
+	p.sys.sched.Yield(p.id)
+	if len(p.stack) == 0 {
+		return p.call(op, cloneArgs(args))
+	}
+	fr := p.push(op, cloneArgs(args))
+	p.record(history.Inv, fr, fr.args, 0)
+	ret := op.Exec(c, op.Info().Entry)
+	p.record(history.Res, fr, nil, ret)
+	p.pop()
+	return ret
+}
+
+// Await repeatedly executes RecStep(line) and evaluates cond until it
+// holds, yielding the processor between iterations. It implements the
+// paper's await(...) busy-wait construct (which appears only in recovery
+// code, hence the LI-preserving step). If the system's await budget is
+// exceeded, Await panics: a blocked recovery that nobody can unblock is a
+// livelock, and tests should fail loudly rather than hang.
+func (c *Ctx) Await(line int, cond func() bool) {
+	budget := c.p.sys.awaitBudget
+	for i := 0; ; i++ {
+		c.RecStep(line)
+		if cond() {
+			return
+		}
+		if budget > 0 && i >= budget {
+			panic(awaitExceeded(c.p.id, line, budget))
+		}
+		runtime.Gosched()
+	}
+}
+
+// Read is shorthand for Mem().Read.
+func (c *Ctx) Read(a nvm.Addr) uint64 { return c.p.sys.mem.Read(a) }
+
+// Write is shorthand for Mem().Write.
+func (c *Ctx) Write(a nvm.Addr, v uint64) { c.p.sys.mem.Write(a, v) }
+
+// CAS is shorthand for Mem().CAS.
+func (c *Ctx) CAS(a nvm.Addr, old, new uint64) bool { return c.p.sys.mem.CAS(a, old, new) }
+
+// TAS is shorthand for Mem().TAS.
+func (c *Ctx) TAS(a nvm.Addr) uint64 { return c.p.sys.mem.TAS(a) }
+
+// FAA is shorthand for Mem().FAA.
+func (c *Ctx) FAA(a nvm.Addr, delta uint64) uint64 { return c.p.sys.mem.FAA(a, delta) }

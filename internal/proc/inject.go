@@ -1,0 +1,154 @@
+package proc
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// CrashPoint describes the point at which a crash may be injected: process
+// p is about to execute the given line of the given operation.
+type CrashPoint struct {
+	Proc       int
+	Obj        string
+	Op         string
+	Line       int
+	ProcStep   uint64 // number of steps p has taken (1-based, this one included)
+	GlobalStep uint64 // number of steps taken system-wide
+	Crashes    int    // crashes p has suffered so far
+	Depth      int    // nesting depth (1 = top-level operation)
+}
+
+// Injector decides whether a process crashes at a given point. Injectors
+// must be safe for concurrent use (the free scheduler runs processes in
+// parallel).
+type Injector interface {
+	ShouldCrash(pt CrashPoint) bool
+}
+
+// Never is an Injector that never crashes anything.
+type Never struct{}
+
+// ShouldCrash always reports false.
+func (Never) ShouldCrash(CrashPoint) bool { return false }
+
+// Func adapts a function to the Injector interface.
+type Func func(pt CrashPoint) bool
+
+// ShouldCrash calls f.
+func (f Func) ShouldCrash(pt CrashPoint) bool { return f(pt) }
+
+// AtLine crashes process Proc the Occurrence-th time (1-based) it is about
+// to execute Line of operation Op on object Obj, and never again. A zero
+// Occurrence means 1. Empty Obj/Op or zero Proc match anything.
+type AtLine struct {
+	Proc       int
+	Obj        string
+	Op         string
+	Line       int
+	Occurrence int
+
+	hits  atomic.Int64
+	fired atomic.Bool
+}
+
+// ShouldCrash implements Injector.
+func (a *AtLine) ShouldCrash(pt CrashPoint) bool {
+	if a.fired.Load() {
+		return false
+	}
+	if a.Proc != 0 && pt.Proc != a.Proc {
+		return false
+	}
+	if a.Obj != "" && pt.Obj != a.Obj {
+		return false
+	}
+	if a.Op != "" && pt.Op != a.Op {
+		return false
+	}
+	if pt.Line != a.Line {
+		return false
+	}
+	occ := a.Occurrence
+	if occ == 0 {
+		occ = 1
+	}
+	if a.hits.Add(1) != int64(occ) {
+		return false
+	}
+	a.fired.Store(true)
+	return true
+}
+
+// Fired reports whether the injector has crashed its target.
+func (a *AtLine) Fired() bool { return a.fired.Load() }
+
+// AtStep crashes process Proc when its per-process step counter reaches
+// Step, once.
+type AtStep struct {
+	Proc int
+	Step uint64
+
+	fired atomic.Bool
+}
+
+// ShouldCrash implements Injector.
+func (a *AtStep) ShouldCrash(pt CrashPoint) bool {
+	if a.fired.Load() || pt.Proc != a.Proc || pt.ProcStep != a.Step {
+		return false
+	}
+	a.fired.Store(true)
+	return true
+}
+
+// Random crashes each step independently with probability Rate, driven by
+// a seeded generator, stopping after MaxCrashes total crashes (0 means
+// unlimited — use with care: unbounded crashes can livelock recovery).
+type Random struct {
+	Rate       float64
+	Seed       int64
+	MaxCrashes int
+
+	once    sync.Once
+	mu      sync.Mutex
+	rng     *rand.Rand
+	crashes int
+}
+
+// ShouldCrash implements Injector.
+func (r *Random) ShouldCrash(CrashPoint) bool {
+	r.once.Do(func() { r.rng = rand.New(rand.NewSource(r.Seed)) })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.MaxCrashes > 0 && r.crashes >= r.MaxCrashes {
+		return false
+	}
+	if r.rng.Float64() >= r.Rate {
+		return false
+	}
+	r.crashes++
+	return true
+}
+
+// Crashes reports how many crashes the injector has produced.
+func (r *Random) Crashes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashes
+}
+
+// Multi combines injectors: a process crashes if any member says so.
+// Members are consulted in order; consultation stops at the first yes, so
+// stateful members later in the list do not observe points swallowed by
+// earlier members.
+type Multi []Injector
+
+// ShouldCrash implements Injector.
+func (m Multi) ShouldCrash(pt CrashPoint) bool {
+	for _, in := range m {
+		if in.ShouldCrash(pt) {
+			return true
+		}
+	}
+	return false
+}

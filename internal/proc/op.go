@@ -1,0 +1,32 @@
+package proc
+
+// OpInfo describes a recoverable operation implementation.
+type OpInfo struct {
+	// Obj is the name of the object the operation belongs to. Histories
+	// are checked per object, keyed by this name.
+	Obj string
+	// Op is the operation's name (e.g. "WRITE").
+	Op string
+	// Entry is the first line of the operation's body.
+	Entry int
+	// RecoverEntry is the first line of the operation's recovery function.
+	RecoverEntry int
+}
+
+// Operation is a recoverable operation implemented as a resumable line
+// machine. Exec executes the operation's pseudo-code starting from the
+// given line and returns the operation's response. Implementations must
+// call ctx.Step(line) before the effect of each line, use ctx.Arg to read
+// the operation's arguments (they survive crashes), and keep any other
+// state either in Go locals (volatile) or in nvm words (non-volatile).
+//
+// Exec is entered at Info().Entry for a fresh run, at Info().RecoverEntry
+// when the system invokes the recovery function after a crash, and at the
+// frame's saved LI when the operation is resumed after a nested child
+// completed through recovery. In the latter case the line is necessarily
+// the line of the nested Invoke, and the Invoke call at that line returns
+// the child's response without re-invoking it.
+type Operation interface {
+	Info() OpInfo
+	Exec(c *Ctx, line int) uint64
+}

@@ -1,0 +1,178 @@
+package proc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Scheduler controls when processes take steps. Implementations must be
+// safe for concurrent use.
+type Scheduler interface {
+	// Begin announces the set of processes that will participate. The
+	// controlled scheduler defers dispatch until all of them have started.
+	Begin(procs []int)
+	// Start is called by process p's goroutine before its first step.
+	Start(p int)
+	// Yield is called by process p at every step boundary and may block.
+	Yield(p int)
+	// Done is called when process p's program finishes.
+	Done(p int)
+}
+
+// Free is the pass-through scheduler: processes run under the Go runtime
+// with no extra coordination. It is the default and the one benchmarks
+// use.
+type Free struct{}
+
+// Begin implements Scheduler.
+func (Free) Begin([]int) {}
+
+// Start implements Scheduler.
+func (Free) Start(int) {}
+
+// Yield implements Scheduler.
+func (Free) Yield(int) {}
+
+// Done implements Scheduler.
+func (Free) Done(int) {}
+
+// Picker chooses the next process to run from the non-empty candidates
+// slice (sorted ascending). step counts dispatch decisions made so far.
+type Picker func(candidates []int, step int) int
+
+// RandomPicker returns a seeded uniformly random picker.
+func RandomPicker(seed int64) Picker {
+	rng := rand.New(rand.NewSource(seed))
+	return func(candidates []int, _ int) int {
+		return candidates[rng.Intn(len(candidates))]
+	}
+}
+
+// RoundRobinPicker cycles through processes in id order.
+func RoundRobinPicker() Picker {
+	next := 0
+	return func(candidates []int, _ int) int {
+		p := candidates[next%len(candidates)]
+		next++
+		return p
+	}
+}
+
+// ScriptPicker follows the given process-id script, then falls back to
+// fallback (or round-robin if nil). A scripted id that is not currently
+// runnable is skipped.
+func ScriptPicker(script []int, fallback Picker) Picker {
+	if fallback == nil {
+		fallback = RoundRobinPicker()
+	}
+	i := 0
+	return func(candidates []int, step int) int {
+		for i < len(script) {
+			want := script[i]
+			i++
+			for _, c := range candidates {
+				if c == want {
+					return c
+				}
+			}
+		}
+		return fallback(candidates, step)
+	}
+}
+
+// Controlled serialises execution: at any moment exactly one process runs,
+// and at every step boundary the picker chooses who runs next. With a
+// deterministic picker and injector, runs are fully reproducible.
+type Controlled struct {
+	mu       sync.Mutex
+	pick     Picker
+	waiting  map[int]chan struct{}
+	expected map[int]bool // procs announced by Begin that have not started yet
+	running  int          // procs started and not blocked in Yield and not done
+	began    bool
+	steps    int
+}
+
+// NewControlled returns a controlled scheduler using the given picker
+// (RandomPicker(0) if nil).
+func NewControlled(pick Picker) *Controlled {
+	if pick == nil {
+		pick = RandomPicker(0)
+	}
+	return &Controlled{
+		pick:     pick,
+		waiting:  make(map[int]chan struct{}),
+		expected: make(map[int]bool),
+	}
+}
+
+// Begin implements Scheduler.
+func (s *Controlled) Begin(procs []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.began = true
+	for _, p := range procs {
+		s.expected[p] = true
+	}
+}
+
+// Start implements Scheduler.
+func (s *Controlled) Start(p int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.began {
+		panic(fmt.Sprintf("proc: controlled scheduler requires System.Run (process %d started without Begin)", p))
+	}
+	delete(s.expected, p)
+	s.running++
+}
+
+// Yield implements Scheduler.
+func (s *Controlled) Yield(p int) {
+	ch := make(chan struct{})
+	s.mu.Lock()
+	s.waiting[p] = ch
+	s.running--
+	s.dispatchLocked()
+	s.mu.Unlock()
+	<-ch
+}
+
+// Done implements Scheduler.
+func (s *Controlled) Done(p int) {
+	s.mu.Lock()
+	s.running--
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// dispatchLocked wakes one waiting process when every participant is
+// either blocked at a yield point or finished.
+func (s *Controlled) dispatchLocked() {
+	if s.running > 0 || len(s.expected) > 0 || len(s.waiting) == 0 {
+		return
+	}
+	candidates := make([]int, 0, len(s.waiting))
+	for p := range s.waiting {
+		candidates = append(candidates, p)
+	}
+	sortInts(candidates)
+	p := s.pick(candidates, s.steps)
+	s.steps++
+	ch, ok := s.waiting[p]
+	if !ok {
+		panic(fmt.Sprintf("proc: picker chose non-runnable process %d from %v", p, candidates))
+	}
+	delete(s.waiting, p)
+	s.running++
+	close(ch)
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

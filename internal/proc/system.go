@@ -1,0 +1,318 @@
+package proc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nrl/internal/history"
+	"nrl/internal/nvm"
+)
+
+// Config configures a System.
+type Config struct {
+	// Procs is the number of processes, identified 1..Procs.
+	Procs int
+	// Mem is the shared NVRAM. If nil, a fresh ADR memory is created.
+	Mem *nvm.Memory
+	// Recorder, if non-nil, receives every history step.
+	Recorder *history.Recorder
+	// Injector decides crash points (default: Never).
+	Injector Injector
+	// Scheduler controls interleaving (default: Free).
+	Scheduler Scheduler
+	// AwaitBudget bounds the iterations of any single Ctx.Await loop; when
+	// exceeded the run panics with a diagnostic, turning livelocks into
+	// test failures. 0 applies DefaultAwaitBudget; negative means
+	// unlimited.
+	AwaitBudget int
+	// RecoverPanics, when set, converts non-crash panics in process
+	// programs (await-budget exhaustion, algorithm bugs) into errors
+	// reported by Run/Err instead of crashing the whole test binary. The
+	// model checker in package explore uses this to turn livelocked
+	// branches into diagnostics. Leave false in ordinary tests so bugs
+	// fail loudly.
+	RecoverPanics bool
+}
+
+// DefaultAwaitBudget is the Await iteration bound applied when
+// Config.AwaitBudget is zero.
+const DefaultAwaitBudget = 5_000_000
+
+// System holds N processes sharing an NVRAM, a crash injector, a scheduler
+// and a history recorder. It plays the role of "the system" in the paper's
+// model: it resurrects crashed processes by invoking recovery functions.
+type System struct {
+	mem           *nvm.Memory
+	rec           *history.Recorder
+	inj           Injector
+	sched         Scheduler
+	procs         []*Proc
+	globalSteps   atomic.Uint64
+	awaitBudget   int
+	recoverPanics bool
+	wg            sync.WaitGroup
+
+	failMu   sync.Mutex
+	failures []error
+}
+
+// NewSystem creates a system with cfg.Procs processes.
+func NewSystem(cfg Config) *System {
+	if cfg.Procs <= 0 {
+		panic("proc: Config.Procs must be positive")
+	}
+	mem := cfg.Mem
+	if mem == nil {
+		mem = nvm.New()
+	}
+	inj := cfg.Injector
+	if inj == nil {
+		inj = Never{}
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = Free{}
+	}
+	budget := cfg.AwaitBudget
+	if budget == 0 {
+		budget = DefaultAwaitBudget
+	}
+	s := &System{
+		mem:           mem,
+		rec:           cfg.Recorder,
+		inj:           inj,
+		sched:         sched,
+		awaitBudget:   budget,
+		recoverPanics: cfg.RecoverPanics,
+	}
+	s.procs = make([]*Proc, cfg.Procs+1)
+	for p := 1; p <= cfg.Procs; p++ {
+		pr := &Proc{id: p, sys: s}
+		pr.ctx = &Ctx{p: pr}
+		s.procs[p] = pr
+	}
+	return s
+}
+
+// N returns the number of processes.
+func (s *System) N() int { return len(s.procs) - 1 }
+
+// Mem returns the shared NVRAM.
+func (s *System) Mem() *nvm.Memory { return s.mem }
+
+// Proc returns process p (1-based).
+func (s *System) Proc(p int) *Proc { return s.procs[p] }
+
+// GlobalSteps reports the total number of steps taken system-wide.
+func (s *System) GlobalSteps() uint64 { return s.globalSteps.Load() }
+
+// History returns the history recorded so far (empty if no recorder).
+func (s *System) History() history.History {
+	if s.rec == nil {
+		return history.History{}
+	}
+	return s.rec.History()
+}
+
+// Go launches body as the program of process p. Use Wait to join. Go is
+// for the free scheduler; with a controlled scheduler use Run, which
+// announces the participant set before starting anyone.
+func (s *System) Go(p int, body func(*Ctx)) {
+	pr := s.procs[p]
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.sched.Start(p)
+		defer s.sched.Done(p)
+		if s.recoverPanics {
+			defer func() {
+				if r := recover(); r != nil {
+					s.failMu.Lock()
+					s.failures = append(s.failures, fmt.Errorf("process %d panicked: %v", p, r))
+					s.failMu.Unlock()
+				}
+			}()
+		}
+		body(pr.ctx)
+	}()
+}
+
+// Wait blocks until all launched process programs finish.
+func (s *System) Wait() { s.wg.Wait() }
+
+// Err returns the first process-program failure captured under
+// Config.RecoverPanics, or nil.
+func (s *System) Err() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if len(s.failures) == 0 {
+		return nil
+	}
+	return s.failures[0]
+}
+
+// Run executes the given process programs (keyed by process id) to
+// completion. It announces the participant set to the scheduler first, as
+// the controlled scheduler requires. Under Config.RecoverPanics it
+// returns the first captured process failure.
+func (s *System) Run(bodies map[int]func(*Ctx)) error {
+	ids := make([]int, 0, len(bodies))
+	for p := range bodies {
+		ids = append(ids, p)
+	}
+	s.sched.Begin(ids)
+	for p, body := range bodies {
+		s.Go(p, body)
+	}
+	s.Wait()
+	return s.Err()
+}
+
+// crashSignal is the panic value used to model a crash of one process.
+type crashSignal struct{ proc int }
+
+// frame is the system-side record of one pending recoverable operation.
+// Everything except child/childValid is conceptually non-volatile: it is
+// exactly the information the paper's system uses to resurrect a process
+// (which operation, its arguments, and LI).
+type frame struct {
+	op   Operation
+	opID int64
+	args []uint64
+	li   int // last instruction begun (0 before the first step)
+
+	// child holds the response of a nested operation that completed
+	// through recovery, available to this frame's recovery function via
+	// Ctx.ChildResp. It models a response value freshly delivered to a
+	// volatile register of the process: it does not survive a crash.
+	child      uint64
+	childValid bool
+}
+
+// Proc is one process of the system.
+type Proc struct {
+	id  int
+	sys *System
+	ctx *Ctx
+
+	stack   []*frame
+	steps   uint64
+	crashes int
+}
+
+// ID returns the process id (1-based).
+func (p *Proc) ID() int { return p.id }
+
+// Steps reports how many steps the process has taken.
+func (p *Proc) Steps() uint64 { return p.steps }
+
+// Crashes reports how many crashes the process has suffered.
+func (p *Proc) Crashes() int { return p.crashes }
+
+// Ctx returns the process's context (useful for single-threaded tests that
+// do not go through Go/Run).
+func (p *Proc) Ctx() *Ctx { return p.ctx }
+
+func (p *Proc) top() *frame { return p.stack[len(p.stack)-1] }
+
+func (p *Proc) push(op Operation, args []uint64) *frame {
+	var opID int64
+	if p.sys.rec != nil {
+		opID = p.sys.rec.NewOpID()
+	}
+	fr := &frame{op: op, opID: opID, args: args}
+	p.stack = append(p.stack, fr)
+	return fr
+}
+
+func (p *Proc) pop() {
+	p.stack = p.stack[:len(p.stack)-1]
+}
+
+func (p *Proc) record(k history.Kind, fr *frame, args []uint64, ret uint64) {
+	if p.sys.rec == nil {
+		return
+	}
+	info := fr.op.Info()
+	p.sys.rec.Append(history.Step{
+		Kind: k, Proc: p.id, Obj: info.Obj, Op: info.Op,
+		Args: args, Ret: ret, OpID: fr.opID,
+	})
+}
+
+// call runs a top-level operation to completion, surviving any number of
+// crashes. It is the system's resurrection loop.
+func (p *Proc) call(op Operation, args []uint64) uint64 {
+	fr := p.push(op, args)
+	p.record(history.Inv, fr, fr.args, 0)
+	ret, ok := p.attempt(func() uint64 {
+		r := op.Exec(p.ctx, op.Info().Entry)
+		p.record(history.Res, fr, nil, r)
+		p.pop()
+		return r
+	})
+	for !ok {
+		ret, ok = p.attempt(p.resume)
+	}
+	return ret
+}
+
+// attempt runs f, converting a crash panic of this process into ok=false.
+func (p *Proc) attempt(f func() uint64) (ret uint64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			cs, isCrash := r.(crashSignal)
+			if !isCrash || cs.proc != p.id {
+				panic(r)
+			}
+			p.onCrash()
+		}
+	}()
+	return f(), true
+}
+
+// onCrash records the crash step and discards volatile state. The crashed
+// operation is the inner-most pending one (the top frame).
+func (p *Proc) onCrash() {
+	p.crashes++
+	p.record(history.Crash, p.top(), nil, 0)
+	for _, fr := range p.stack {
+		fr.childValid = false
+	}
+}
+
+// resume is the recover step: the system invokes the recovery function of
+// the inner-most pending operation. As each frame completes, its response
+// is delivered (volatilely) to the parent frame and the parent's recovery
+// function runs, continuing outward until the whole stack unwinds. A crash
+// during recovery panics out to the caller's attempt loop.
+func (p *Proc) resume() uint64 {
+	p.record(history.Rec, p.top(), nil, 0)
+	var ret uint64
+	for {
+		fr := p.top()
+		ret = fr.op.Exec(p.ctx, fr.op.Info().RecoverEntry)
+		p.record(history.Res, fr, nil, ret)
+		p.pop()
+		if len(p.stack) == 0 {
+			return ret
+		}
+		parent := p.top()
+		parent.child, parent.childValid = ret, true
+	}
+}
+
+func cloneArgs(args []uint64) []uint64 {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(args))
+	copy(out, args)
+	return out
+}
+
+// awaitExceeded builds the panic message for a blown await budget.
+func awaitExceeded(p int, line, budget int) string {
+	return fmt.Sprintf("proc: process %d exceeded await budget (%d iterations) at line %d; likely livelock", p, budget, line)
+}

@@ -1,0 +1,286 @@
+// Package spec defines sequential specifications of the objects built in
+// this repository. A Model maps (state, operation, arguments) to (new
+// state, response); the linearize package searches for an order of a
+// concurrent history's operations that the model accepts.
+//
+// States returned by models must be comparable values (they are used as
+// map keys for memoization) and cheap to copy.
+package spec
+
+import "fmt"
+
+// Ack is the response value of operations that return no data (e.g. WRITE,
+// INC, PUSH). Implementations return Ack and models expect it.
+const Ack uint64 = 0
+
+// Empty is the response of a POP on an empty stack.
+const Empty = ^uint64(0)
+
+// Model is a deterministic sequential specification.
+type Model interface {
+	// Name identifies the model in error messages.
+	Name() string
+	// Init returns the initial state.
+	Init() any
+	// Apply applies op(args) to state, returning the successor state and
+	// the response. It returns an error for operations outside the
+	// model's alphabet.
+	Apply(state any, op string, args []uint64) (any, uint64, error)
+}
+
+// Register models a read/write register holding a uint64.
+type Register struct {
+	// Initial is the register's initial value.
+	Initial uint64
+}
+
+// Name implements Model.
+func (Register) Name() string { return "register" }
+
+// Init implements Model.
+func (r Register) Init() any { return r.Initial }
+
+// Apply implements Model.
+func (Register) Apply(state any, op string, args []uint64) (any, uint64, error) {
+	s := state.(uint64)
+	switch op {
+	case "READ", "STRICTREAD":
+		return s, s, nil
+	case "WRITE":
+		return args[0], Ack, nil
+	default:
+		return nil, 0, fmt.Errorf("register: unknown operation %q", op)
+	}
+}
+
+// CAS models a compare-and-swap object over uint64 values with a READ
+// operation. CAS(old,new) succeeds (returns 1) iff the current value is
+// old.
+type CAS struct {
+	Initial uint64
+}
+
+// Name implements Model.
+func (CAS) Name() string { return "cas" }
+
+// Init implements Model.
+func (c CAS) Init() any { return c.Initial }
+
+// Apply implements Model.
+func (CAS) Apply(state any, op string, args []uint64) (any, uint64, error) {
+	s := state.(uint64)
+	switch op {
+	case "READ":
+		return s, s, nil
+	case "CAS", "STRICTCAS":
+		if s == args[0] {
+			return args[1], 1, nil
+		}
+		return s, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("cas: unknown operation %q", op)
+	}
+}
+
+// TAS models a non-resettable test-and-set object: T&S sets the object to
+// 1 and returns its previous value.
+type TAS struct{}
+
+// Name implements Model.
+func (TAS) Name() string { return "tas" }
+
+// Init implements Model.
+func (TAS) Init() any { return uint64(0) }
+
+// Apply implements Model.
+func (TAS) Apply(state any, op string, args []uint64) (any, uint64, error) {
+	s := state.(uint64)
+	switch op {
+	case "T&S":
+		return uint64(1), s, nil
+	default:
+		return nil, 0, fmt.Errorf("tas: unknown operation %q", op)
+	}
+}
+
+// Counter models a counter with INC and READ.
+type Counter struct{}
+
+// Name implements Model.
+func (Counter) Name() string { return "counter" }
+
+// Init implements Model.
+func (Counter) Init() any { return uint64(0) }
+
+// Apply implements Model.
+func (Counter) Apply(state any, op string, args []uint64) (any, uint64, error) {
+	s := state.(uint64)
+	switch op {
+	case "INC":
+		return s + 1, Ack, nil
+	case "READ":
+		return s, s, nil
+	default:
+		return nil, 0, fmt.Errorf("counter: unknown operation %q", op)
+	}
+}
+
+// FAA models a fetch-and-add object: FAA(d) adds d and returns the
+// previous value; READ returns the current value.
+type FAA struct{}
+
+// Name implements Model.
+func (FAA) Name() string { return "faa" }
+
+// Init implements Model.
+func (FAA) Init() any { return uint64(0) }
+
+// Apply implements Model.
+func (FAA) Apply(state any, op string, args []uint64) (any, uint64, error) {
+	s := state.(uint64)
+	switch op {
+	case "FAA", "STRICTFAA":
+		return s + args[0], s, nil
+	case "READ":
+		return s, s, nil
+	default:
+		return nil, 0, fmt.Errorf("faa: unknown operation %q", op)
+	}
+}
+
+// MaxRegister models a max-register: WRITEMAX(v) raises the value to at
+// least v; READMAX returns the maximum written so far.
+type MaxRegister struct{}
+
+// Name implements Model.
+func (MaxRegister) Name() string { return "maxreg" }
+
+// Init implements Model.
+func (MaxRegister) Init() any { return uint64(0) }
+
+// Apply implements Model.
+func (MaxRegister) Apply(state any, op string, args []uint64) (any, uint64, error) {
+	s := state.(uint64)
+	switch op {
+	case "WRITEMAX":
+		if args[0] > s {
+			s = args[0]
+		}
+		return s, Ack, nil
+	case "READMAX":
+		return s, s, nil
+	default:
+		return nil, 0, fmt.Errorf("maxreg: unknown operation %q", op)
+	}
+}
+
+// Mutex models a ticket lock: ACQUIRE returns the caller's ticket number
+// (0-based, consecutive) and is legal only while the lock is free;
+// RELEASE frees the lock. In any linearization of a correct lock history,
+// ACQUIRE/RELEASE pairs alternate, which is exactly what this model
+// enforces. The state packs a held bit with the count of tickets issued.
+type Mutex struct{}
+
+// Name implements Model.
+func (Mutex) Name() string { return "mutex" }
+
+// Init implements Model.
+func (Mutex) Init() any { return uint64(0) }
+
+const mutexHeld = uint64(1) << 63
+
+// Apply implements Model.
+func (Mutex) Apply(state any, op string, args []uint64) (any, uint64, error) {
+	s := state.(uint64)
+	held := s&mutexHeld != 0
+	count := s &^ mutexHeld
+	switch op {
+	case "ACQUIRE":
+		if held {
+			// Not linearizable here: no response can be produced while
+			// the lock is held. Returning an impossible response makes
+			// the checker reject this placement.
+			return s, ^uint64(0), nil
+		}
+		return (count + 1) | mutexHeld, count, nil
+	case "RELEASE":
+		if !held {
+			return s, ^uint64(0), nil
+		}
+		return count, Ack, nil
+	default:
+		return nil, 0, fmt.Errorf("mutex: unknown operation %q", op)
+	}
+}
+
+// Stack models a LIFO stack of uint64 values. Its state is a string
+// encoding (8 bytes per element, most recent last) so that states are
+// comparable.
+type Stack struct{}
+
+// Name implements Model.
+func (Stack) Name() string { return "stack" }
+
+// Init implements Model.
+func (Stack) Init() any { return "" }
+
+// Apply implements Model.
+func (Stack) Apply(state any, op string, args []uint64) (any, uint64, error) {
+	s := state.(string)
+	switch op {
+	case "PUSH":
+		return s + encodeWord(args[0]), Ack, nil
+	case "POP":
+		if len(s) == 0 {
+			return s, Empty, nil
+		}
+		top := decodeWord(s[len(s)-8:])
+		return s[:len(s)-8], top, nil
+	default:
+		return nil, 0, fmt.Errorf("stack: unknown operation %q", op)
+	}
+}
+
+// Queue models a FIFO queue of uint64 values. Its state is a string
+// encoding (8 bytes per element, oldest first) so that states are
+// comparable.
+type Queue struct{}
+
+// Name implements Model.
+func (Queue) Name() string { return "queue" }
+
+// Init implements Model.
+func (Queue) Init() any { return "" }
+
+// Apply implements Model.
+func (Queue) Apply(state any, op string, args []uint64) (any, uint64, error) {
+	s := state.(string)
+	switch op {
+	case "ENQ":
+		return s + encodeWord(args[0]), Ack, nil
+	case "DEQ":
+		if len(s) == 0 {
+			return s, Empty, nil
+		}
+		head := decodeWord(s[:8])
+		return s[8:], head, nil
+	default:
+		return nil, 0, fmt.Errorf("queue: unknown operation %q", op)
+	}
+}
+
+func encodeWord(v uint64) string {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return string(b[:])
+}
+
+func decodeWord(s string) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(s[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,296 @@
+package spec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func apply(t *testing.T, m Model, st any, op string, args ...uint64) (any, uint64) {
+	t.Helper()
+	st2, resp, err := m.Apply(st, op, args)
+	if err != nil {
+		t.Fatalf("%s.Apply(%v, %s, %v): %v", m.Name(), st, op, args, err)
+	}
+	return st2, resp
+}
+
+func TestRegister(t *testing.T) {
+	m := Register{Initial: 3}
+	st := m.Init()
+	st, v := apply(t, m, st, "READ")
+	if v != 3 {
+		t.Errorf("READ = %d, want 3", v)
+	}
+	st, v = apply(t, m, st, "WRITE", 9)
+	if v != Ack {
+		t.Errorf("WRITE = %d, want Ack", v)
+	}
+	_, v = apply(t, m, st, "READ")
+	if v != 9 {
+		t.Errorf("READ = %d, want 9", v)
+	}
+	if _, _, err := m.Apply(st, "NOPE", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestCAS(t *testing.T) {
+	m := CAS{Initial: 1}
+	st := m.Init()
+	st, ok := apply(t, m, st, "CAS", 2, 5)
+	if ok != 0 {
+		t.Error("CAS(2,5) on 1 succeeded")
+	}
+	st, ok = apply(t, m, st, "CAS", 1, 5)
+	if ok != 1 {
+		t.Error("CAS(1,5) on 1 failed")
+	}
+	_, v := apply(t, m, st, "READ")
+	if v != 5 {
+		t.Errorf("READ = %d, want 5", v)
+	}
+	if _, _, err := m.Apply(st, "NOPE", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestTAS(t *testing.T) {
+	m := TAS{}
+	st := m.Init()
+	st, v := apply(t, m, st, "T&S")
+	if v != 0 {
+		t.Errorf("first T&S = %d, want 0", v)
+	}
+	_, v = apply(t, m, st, "T&S")
+	if v != 1 {
+		t.Errorf("second T&S = %d, want 1", v)
+	}
+	if _, _, err := m.Apply(st, "READ", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	m := Counter{}
+	st := m.Init()
+	for i := 0; i < 5; i++ {
+		st, _ = apply(t, m, st, "INC")
+	}
+	_, v := apply(t, m, st, "READ")
+	if v != 5 {
+		t.Errorf("READ = %d, want 5", v)
+	}
+	if _, _, err := m.Apply(st, "NOPE", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestFAA(t *testing.T) {
+	m := FAA{}
+	st := m.Init()
+	st, v := apply(t, m, st, "FAA", 4)
+	if v != 0 {
+		t.Errorf("FAA returned %d, want 0", v)
+	}
+	st, v = apply(t, m, st, "FAA", 2)
+	if v != 4 {
+		t.Errorf("FAA returned %d, want 4", v)
+	}
+	_, v = apply(t, m, st, "READ")
+	if v != 6 {
+		t.Errorf("READ = %d, want 6", v)
+	}
+	if _, _, err := m.Apply(st, "NOPE", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestMaxRegister(t *testing.T) {
+	m := MaxRegister{}
+	st := m.Init()
+	st, _ = apply(t, m, st, "WRITEMAX", 7)
+	st, _ = apply(t, m, st, "WRITEMAX", 3)
+	_, v := apply(t, m, st, "READMAX")
+	if v != 7 {
+		t.Errorf("READMAX = %d, want 7", v)
+	}
+	if _, _, err := m.Apply(st, "NOPE", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestStack(t *testing.T) {
+	m := Stack{}
+	st := m.Init()
+	st, v := apply(t, m, st, "POP")
+	if v != Empty {
+		t.Errorf("POP on empty = %d, want Empty", v)
+	}
+	st, _ = apply(t, m, st, "PUSH", 10)
+	st, _ = apply(t, m, st, "PUSH", 20)
+	st, v = apply(t, m, st, "POP")
+	if v != 20 {
+		t.Errorf("POP = %d, want 20", v)
+	}
+	st, v = apply(t, m, st, "POP")
+	if v != 10 {
+		t.Errorf("POP = %d, want 10", v)
+	}
+	_, v = apply(t, m, st, "POP")
+	if v != Empty {
+		t.Errorf("POP = %d, want Empty", v)
+	}
+	if _, _, err := m.Apply(st, "NOPE", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+// TestQuickStackMatchesSlice drives the stack model with random pushes and
+// pops and compares it against a plain slice.
+func TestQuickStackMatchesSlice(t *testing.T) {
+	m := Stack{}
+	f := func(ops []byte) bool {
+		st := m.Init()
+		var ref []uint64
+		for i, b := range ops {
+			if b%2 == 0 {
+				v := uint64(i) + 1
+				st2, resp, err := m.Apply(st, "PUSH", []uint64{v})
+				if err != nil || resp != Ack {
+					return false
+				}
+				st = st2
+				ref = append(ref, v)
+			} else {
+				st2, resp, err := m.Apply(st, "POP", nil)
+				if err != nil {
+					return false
+				}
+				st = st2
+				if len(ref) == 0 {
+					if resp != Empty {
+						return false
+					}
+				} else {
+					want := ref[len(ref)-1]
+					ref = ref[:len(ref)-1]
+					if resp != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCounterMatchesCount checks that after any number of INCs the
+// counter model reads the number of INCs.
+func TestQuickCounterMatchesCount(t *testing.T) {
+	m := Counter{}
+	f := func(n uint8) bool {
+		st := m.Init()
+		for i := 0; i < int(n); i++ {
+			st2, _, err := m.Apply(st, "INC", nil)
+			if err != nil {
+				return false
+			}
+			st = st2
+		}
+		_, v, err := m.Apply(st, "READ", nil)
+		return err == nil && v == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatesComparable ensures model states can be used as map keys (the
+// checker memoizes on them).
+func TestStatesComparable(t *testing.T) {
+	models := []Model{Register{}, CAS{}, TAS{}, Counter{}, FAA{}, MaxRegister{}, Stack{}}
+	for _, m := range models {
+		seen := map[any]bool{}
+		seen[m.Init()] = true
+		if !seen[m.Init()] {
+			t.Errorf("%s: Init state not stable as map key", m.Name())
+		}
+	}
+}
+
+func TestMutex(t *testing.T) {
+	m := Mutex{}
+	st := m.Init()
+	st, tk := apply(t, m, st, "ACQUIRE")
+	if tk != 0 {
+		t.Errorf("first ACQUIRE ticket = %d, want 0", tk)
+	}
+	// Acquiring a held lock yields the impossible response.
+	_, bad := apply(t, m, st, "ACQUIRE")
+	if bad != ^uint64(0) {
+		t.Errorf("ACQUIRE while held = %d, want impossible response", bad)
+	}
+	st, v := apply(t, m, st, "RELEASE")
+	if v != Ack {
+		t.Errorf("RELEASE = %d, want Ack", v)
+	}
+	// Releasing a free lock yields the impossible response.
+	_, bad = apply(t, m, st, "RELEASE")
+	if bad != ^uint64(0) {
+		t.Errorf("RELEASE while free = %d, want impossible response", bad)
+	}
+	st, tk = apply(t, m, st, "ACQUIRE")
+	if tk != 1 {
+		t.Errorf("second ACQUIRE ticket = %d, want 1", tk)
+	}
+	if _, _, err := m.Apply(st, "NOPE", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestQueue(t *testing.T) {
+	m := Queue{}
+	st := m.Init()
+	st, v := apply(t, m, st, "DEQ")
+	if v != Empty {
+		t.Errorf("DEQ on empty = %d, want Empty", v)
+	}
+	st, _ = apply(t, m, st, "ENQ", 10)
+	st, _ = apply(t, m, st, "ENQ", 20)
+	st, v = apply(t, m, st, "DEQ")
+	if v != 10 {
+		t.Errorf("DEQ = %d, want 10 (FIFO)", v)
+	}
+	st, v = apply(t, m, st, "DEQ")
+	if v != 20 {
+		t.Errorf("DEQ = %d, want 20", v)
+	}
+	if _, _, err := m.Apply(st, "NOPE", nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	tests := []struct {
+		m    Model
+		want string
+	}{
+		{Register{}, "register"},
+		{CAS{}, "cas"},
+		{TAS{}, "tas"},
+		{Counter{}, "counter"},
+		{FAA{}, "faa"},
+		{MaxRegister{}, "maxreg"},
+		{Mutex{}, "mutex"},
+		{Stack{}, "stack"},
+		{Queue{}, "queue"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}

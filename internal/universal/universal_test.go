@@ -1,0 +1,246 @@
+package universal_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nrl/internal/history"
+	"nrl/internal/linearize"
+	"nrl/internal/proc"
+	"nrl/internal/spec"
+	"nrl/internal/universal"
+)
+
+// models wires the universal object itself (checked against the SAME
+// sequential model that drives it) plus its nested allocator.
+func models(m spec.Model) linearize.ModelFor {
+	return func(obj string) spec.Model {
+		switch {
+		case strings.HasSuffix(obj, ".cas"):
+			return spec.CAS{}
+		case strings.HasSuffix(obj, ".alloc"):
+			return spec.FAA{}
+		default:
+			return m
+		}
+	}
+}
+
+func newSys(inj proc.Injector, n int, sched proc.Scheduler) (*proc.System, *history.Recorder) {
+	rec := history.NewRecorder()
+	sys := proc.NewSystem(proc.Config{Procs: n, Recorder: rec, Injector: inj, Scheduler: sched})
+	return sys, rec
+}
+
+func mustNRL(t *testing.T, m spec.Model, h history.History) {
+	t.Helper()
+	if err := linearize.CheckNRL(models(m), h); err != nil {
+		t.Fatalf("NRL violated: %v\nhistory:\n%s", err, h)
+	}
+}
+
+func TestUniversalCounter(t *testing.T) {
+	sys, rec := newSys(nil, 2, nil)
+	u := universal.New(sys, "u", spec.Counter{}, 64, []string{"INC", "READ"})
+	c1 := sys.Proc(1).Ctx()
+	c2 := sys.Proc(2).Ctx()
+	u.Invoke(c1, "INC")
+	u.Invoke(c2, "INC")
+	if got := u.Invoke(c1, "READ"); got != 2 {
+		t.Errorf("READ = %d, want 2", got)
+	}
+	if u.Name() != "u" || u.AllocName() != "u.alloc" {
+		t.Errorf("names = %q, %q", u.Name(), u.AllocName())
+	}
+	mustNRL(t, spec.Counter{}, rec.History())
+}
+
+func TestUniversalStack(t *testing.T) {
+	sys, rec := newSys(nil, 1, nil)
+	u := universal.New(sys, "u", spec.Stack{}, 64, []string{"PUSH", "POP"})
+	c := sys.Proc(1).Ctx()
+	u.Invoke(c, "PUSH", 10)
+	u.Invoke(c, "PUSH", 20)
+	if got := u.Invoke(c, "POP"); got != 20 {
+		t.Errorf("POP = %d, want 20", got)
+	}
+	if got := u.Invoke(c, "POP"); got != 10 {
+		t.Errorf("POP = %d, want 10", got)
+	}
+	if got := u.Invoke(c, "POP"); got != spec.Empty {
+		t.Errorf("POP = %d, want Empty", got)
+	}
+	mustNRL(t, spec.Stack{}, rec.History())
+}
+
+func TestUniversalCASWithTwoArgs(t *testing.T) {
+	sys, rec := newSys(nil, 2, nil)
+	u := universal.New(sys, "u", spec.CAS{}, 64, []string{"CAS", "READ"})
+	c1 := sys.Proc(1).Ctx()
+	if got := u.Invoke(c1, "CAS", 0, 5); got != 1 {
+		t.Errorf("CAS(0,5) = %d, want success", got)
+	}
+	if got := u.Invoke(sys.Proc(2).Ctx(), "CAS", 0, 7); got != 0 {
+		t.Errorf("CAS(0,7) = %d, want failure", got)
+	}
+	if got := u.Invoke(c1, "READ"); got != 5 {
+		t.Errorf("READ = %d, want 5", got)
+	}
+	mustNRL(t, spec.CAS{}, rec.History())
+}
+
+// TestUniversalCrashEveryLine crashes the append machine at every line
+// (and the recovery) and checks the counter stays exactly-once.
+func TestUniversalCrashEveryLine(t *testing.T) {
+	for _, line := range []int{1, 2, 3, 4, 5, 6, 7, 8, 10} {
+		t.Run(fmt.Sprintf("line%d", line), func(t *testing.T) {
+			var inj proc.Injector
+			if line == 10 {
+				inj = proc.Multi{
+					&proc.AtLine{Obj: "u", Op: "INC", Line: 5},
+					&proc.AtLine{Obj: "u", Op: "INC", Line: 10},
+				}
+			} else {
+				inj = &proc.AtLine{Obj: "u", Op: "INC", Line: line}
+			}
+			sys, rec := newSys(inj, 1, nil)
+			u := universal.New(sys, "u", spec.Counter{}, 64, []string{"INC", "READ"})
+			c := sys.Proc(1).Ctx()
+			u.Invoke(c, "INC")
+			u.Invoke(c, "INC")
+			if got := u.Invoke(c, "READ"); got != 2 {
+				t.Errorf("READ = %d, want 2 (operation lost or duplicated)", got)
+			}
+			mustNRL(t, spec.Counter{}, rec.History())
+		})
+	}
+}
+
+// TestUniversalCrashAfterLink: the critical recovery path — the primitive
+// cas linked the cell, the crash lost the volatile response, and replay
+// reconstructs it deterministically.
+func TestUniversalCrashAfterLink(t *testing.T) {
+	inj := &proc.AtLine{Obj: "u", Op: "POP", Line: 7} // LI=6: cas executed
+	sys, rec := newSys(inj, 1, nil)
+	u := universal.New(sys, "u", spec.Stack{}, 64, []string{"PUSH", "POP"})
+	c := sys.Proc(1).Ctx()
+	u.Invoke(c, "PUSH", 42)
+	if got := u.Invoke(c, "POP"); got != 42 {
+		t.Errorf("POP = %d, want 42 (response not reconstructed)", got)
+	}
+	if !inj.Fired() {
+		t.Error("injector did not fire")
+	}
+	mustNRL(t, spec.Stack{}, rec.History())
+}
+
+// TestUniversalStressAgainstDirectModels runs concurrent mixed workloads
+// over universal objects for several specs under random schedules and
+// crashes, checking NRL for each.
+func TestUniversalStressAgainstDirectModels(t *testing.T) {
+	type workload struct {
+		name  string
+		model spec.Model
+		alpha []string
+		body  func(u *universal.Object, c *proc.Ctx, p, i int)
+	}
+	workloads := []workload{
+		{
+			name: "counter", model: spec.Counter{}, alpha: []string{"INC", "READ"},
+			body: func(u *universal.Object, c *proc.Ctx, p, i int) {
+				u.Invoke(c, "INC")
+				if i%2 == 1 {
+					u.Invoke(c, "READ")
+				}
+			},
+		},
+		{
+			name: "queue", model: spec.Queue{}, alpha: []string{"ENQ", "DEQ"},
+			body: func(u *universal.Object, c *proc.Ctx, p, i int) {
+				u.Invoke(c, "ENQ", uint64(p*100+i))
+				if i%2 == 1 {
+					u.Invoke(c, "DEQ")
+				}
+			},
+		},
+		{
+			name: "maxreg", model: spec.MaxRegister{}, alpha: []string{"WRITEMAX", "READMAX"},
+			body: func(u *universal.Object, c *proc.Ctx, p, i int) {
+				u.Invoke(c, "WRITEMAX", uint64(p*10+i))
+				u.Invoke(c, "READMAX")
+			},
+		},
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				inj := &proc.Random{Rate: 0.02, Seed: seed, MaxCrashes: 5}
+				sys, rec := newSys(inj, 3, proc.NewControlled(proc.RandomPicker(seed)))
+				u := universal.New(sys, "u", w.model, 256, w.alpha)
+				bodies := make(map[int]func(*proc.Ctx))
+				for p := 1; p <= 3; p++ {
+					p := p
+					bodies[p] = func(c *proc.Ctx) {
+						for i := 0; i < 3; i++ {
+							w.body(u, c, p, i)
+						}
+					}
+				}
+				sys.Run(bodies)
+				mustNRL(t, w.model, rec.History())
+			}
+		})
+	}
+}
+
+func TestUniversalValidation(t *testing.T) {
+	sys, _ := newSys(nil, 1, nil)
+	t.Run("bad capacity", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		universal.New(sys, "bad", spec.Counter{}, 0, []string{"INC"})
+	})
+	t.Run("empty alphabet", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		universal.New(sys, "bad", spec.Counter{}, 8, nil)
+	})
+	t.Run("unknown op", func(t *testing.T) {
+		u := universal.New(sys, "u", spec.Counter{}, 8, []string{"INC"})
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		u.Invoke(sys.Proc(1).Ctx(), "NOPE")
+	})
+	t.Run("too many args", func(t *testing.T) {
+		u := universal.New(sys, "u2", spec.Counter{}, 8, []string{"INC"})
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		u.Invoke(sys.Proc(1).Ctx(), "INC", 1, 2, 3)
+	})
+	t.Run("op accessor", func(t *testing.T) {
+		u := universal.New(sys, "u3", spec.Counter{}, 8, []string{"INC"})
+		if u.Op("INC") == nil {
+			t.Error("Op returned nil")
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for unknown Op")
+			}
+		}()
+		u.Op("NOPE")
+	})
+}

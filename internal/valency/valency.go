@@ -1,0 +1,288 @@
+// Package valency mechanises the paper's Theorem 4: no recoverable
+// non-resettable test-and-set object built from read/write and
+// (non-recoverable) test-and-set base objects can have both a wait-free
+// T&S operation and a wait-free T&S.Recover function.
+//
+// One cannot execute an impossibility proof, but one can run its
+// adversary. The proof's crux is an indistinguishability argument: after
+// both processes have applied the critical t&s primitive and one of them
+// crashes, the crashed process cannot tell whether its own primitive came
+// first (it holds the win) or second (it lost) — the primitive's response
+// lived in a volatile register, the base object is not readable, and
+// nothing else distinguishes the two configurations. A wait-free recovery
+// must therefore return the same answer in both, and each possible answer
+// is wrong in one of them.
+//
+// The package provides two natural wait-free-recovery strawmen that
+// realise the two possible answers — RetryTAS re-executes the primitive
+// ("assume it never happened"), AssumeWinTAS fabricates a win ("assume it
+// did") — and the two adversarial schedules from the proof. Each strawman
+// passes one schedule and violates NRL on the other, exactly as the
+// theorem predicts; the blocking recovery of core.TAS (Algorithm 3)
+// passes both, and package core's tests demonstrate that it does so by
+// waiting for concurrently pending operations.
+package valency
+
+import (
+	"fmt"
+
+	"nrl/internal/history"
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// RecoverableTAS is the interface the scenarios drive.
+type RecoverableTAS interface {
+	// TestAndSet performs the recoverable T&S operation.
+	TestAndSet(c *proc.Ctx) uint64
+}
+
+// strawman is the shared state of the two wait-free-recovery strawmen:
+// a base t&s word plus a persisted response per process.
+type strawman struct {
+	name string
+	t    nvm.Addr
+	res  []nvm.Addr
+	done []nvm.Addr
+}
+
+func newStrawman(sys *proc.System, name string) strawman {
+	mem := sys.Mem()
+	n := sys.N()
+	return strawman{
+		name: name,
+		t:    mem.Alloc(name+".T", 0),
+		res:  mem.AllocArray(name+".Res", n+1, 0),
+		done: mem.AllocArray(name+".Done", n+1, 0),
+	}
+}
+
+// RetryTAS is a recoverable TAS whose wait-free recovery re-executes the
+// t&s primitive when the response was not yet persisted. Its T&S body:
+//
+//	2: ret <- T.t&s()
+//	3: Res_p <- ret
+//	4: Done_p <- 1
+//	5: return ret
+//
+//	T&S.RECOVER (wait-free):
+//	7: if Done_p = 1 then return Res_p
+//	8: proceed from line 2
+//
+// If the process's lost primitive had won, the retry consumes a second
+// primitive application and returns 1: nobody returns 0 and NRL breaks.
+type RetryTAS struct {
+	op *retryOp
+}
+
+// NewRetryTAS allocates the strawman.
+func NewRetryTAS(sys *proc.System, name string) *RetryTAS {
+	return &RetryTAS{op: &retryOp{s: newStrawman(sys, name)}}
+}
+
+// TestAndSet implements RecoverableTAS.
+func (o *RetryTAS) TestAndSet(c *proc.Ctx) uint64 { return c.Invoke(o.op) }
+
+// Observable returns everything process p's recovery function can read:
+// its persisted done flag and response. The base t&s object is not
+// readable. The proof's indistinguishability argument is that these
+// observations are identical whether p's lost primitive won or lost.
+func (o *RetryTAS) Observable(mem *nvm.Memory, p int) (done, res uint64) {
+	return mem.Read(o.op.s.done[p]), mem.Read(o.op.s.res[p])
+}
+
+type retryOp struct {
+	s strawman
+}
+
+func (o *retryOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.s.name, Op: "T&S", Entry: 2, RecoverEntry: 7}
+}
+
+func (o *retryOp) Exec(c *proc.Ctx, line int) uint64 {
+	var (
+		p   = c.P()
+		ret uint64
+	)
+	for {
+		switch line {
+		case 2:
+			c.Step(2)
+			ret = c.TAS(o.s.t)
+			line = 3
+		case 3:
+			c.Step(3)
+			c.Write(o.s.res[p], ret)
+			line = 4
+		case 4:
+			c.Step(4)
+			c.Write(o.s.done[p], 1)
+			line = 5
+		case 5:
+			c.Step(5)
+			return ret
+		case 7:
+			c.RecStep(7)
+			if c.Read(o.s.done[p]) == 1 {
+				return c.Read(o.s.res[p])
+			}
+			line = 2 // line 8: retry the primitive
+		default:
+			panic(fmt.Sprintf("valency: retryOp bad line %d", line))
+		}
+	}
+}
+
+// AssumeWinTAS is the opposite strawman: its wait-free recovery fabricates
+// a win when the response was not persisted:
+//
+//	T&S.RECOVER (wait-free):
+//	7: if Done_p = 1 then return Res_p
+//	8: Res_p <- 0; Done_p <- 1; return 0
+//
+// If the process's lost primitive had in fact lost, two processes return
+// 0 and NRL breaks.
+type AssumeWinTAS struct {
+	op *assumeWinOp
+}
+
+// NewAssumeWinTAS allocates the strawman.
+func NewAssumeWinTAS(sys *proc.System, name string) *AssumeWinTAS {
+	return &AssumeWinTAS{op: &assumeWinOp{s: newStrawman(sys, name)}}
+}
+
+// TestAndSet implements RecoverableTAS.
+func (o *AssumeWinTAS) TestAndSet(c *proc.Ctx) uint64 { return c.Invoke(o.op) }
+
+type assumeWinOp struct {
+	s strawman
+}
+
+func (o *assumeWinOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.s.name, Op: "T&S", Entry: 2, RecoverEntry: 7}
+}
+
+func (o *assumeWinOp) Exec(c *proc.Ctx, line int) uint64 {
+	var (
+		p   = c.P()
+		ret uint64
+	)
+	for {
+		switch line {
+		case 2:
+			c.Step(2)
+			ret = c.TAS(o.s.t)
+			line = 3
+		case 3:
+			c.Step(3)
+			c.Write(o.s.res[p], ret)
+			line = 4
+		case 4:
+			c.Step(4)
+			c.Write(o.s.done[p], 1)
+			line = 5
+		case 5:
+			c.Step(5)
+			return ret
+		case 7:
+			c.RecStep(7)
+			if c.Read(o.s.done[p]) == 1 {
+				return c.Read(o.s.res[p])
+			}
+			c.RecStep(8)
+			c.Write(o.s.res[p], 0)
+			c.Write(o.s.done[p], 1)
+			return 0
+		default:
+			panic(fmt.Sprintf("valency: assumeWinOp bad line %d", line))
+		}
+	}
+}
+
+// Outcome is the result of running a scenario.
+type Outcome struct {
+	// Rets[p] is the response of process p's T&S (index 1 and 2).
+	Rets [3]uint64
+	// History is the recorded history.
+	History history.History
+	// Crashes is the number of crashes suffered by the crashing process.
+	Crashes int
+}
+
+// Scenario identifies one of the two adversarial schedules from the
+// Theorem 4 proof. In both, process 1 crashes immediately after applying
+// the critical t&s primitive, before persisting the response.
+type Scenario int
+
+const (
+	// CrashedPrimitiveWon: p1 applies the primitive first (and thus holds
+	// the win when it crashes); p2 completes; p1 recovers.
+	CrashedPrimitiveWon Scenario = iota + 1
+	// CrashedPrimitiveLost: p2 completes its whole operation first; p1
+	// then applies the primitive (losing), crashes, and recovers.
+	CrashedPrimitiveLost
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case CrashedPrimitiveWon:
+		return "crashed-primitive-won"
+	case CrashedPrimitiveLost:
+		return "crashed-primitive-lost"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Run builds a 2-process system, constructs the scenario's schedule with
+// a crash of process 1 at crashLine (the line just after the critical
+// primitive, before the response is persisted), runs the object returned
+// by mk, and reports the outcome.
+func Run(s Scenario, crashLine int, mk func(sys *proc.System) RecoverableTAS) Outcome {
+	rec := history.NewRecorder()
+	inj := &proc.AtLine{Proc: 1, Line: crashLine}
+	var picker proc.Picker
+	switch s {
+	case CrashedPrimitiveWon:
+		// p1 until it crashes, then p2 to completion, then p1's recovery.
+		picker = func(candidates []int, step int) int {
+			if !inj.Fired() {
+				return candidates[0]
+			}
+			for _, c := range candidates {
+				if c == 2 {
+					return c
+				}
+			}
+			return candidates[0]
+		}
+	case CrashedPrimitiveLost:
+		// p2 to completion, then p1 (which crashes and recovers).
+		picker = func(candidates []int, step int) int {
+			for _, c := range candidates {
+				if c == 2 {
+					return c
+				}
+			}
+			return candidates[0]
+		}
+	default:
+		panic("valency: unknown scenario")
+	}
+	sys := proc.NewSystem(proc.Config{
+		Procs:     2,
+		Recorder:  rec,
+		Injector:  inj,
+		Scheduler: proc.NewControlled(picker),
+	})
+	obj := mk(sys)
+	var out Outcome
+	sys.Run(map[int]func(*proc.Ctx){
+		1: func(c *proc.Ctx) { out.Rets[1] = obj.TestAndSet(c) },
+		2: func(c *proc.Ctx) { out.Rets[2] = obj.TestAndSet(c) },
+	})
+	out.History = rec.History()
+	out.Crashes = sys.Proc(1).Crashes()
+	return out
+}

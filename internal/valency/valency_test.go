@@ -1,0 +1,175 @@
+package valency_test
+
+import (
+	"testing"
+
+	"nrl/internal/core"
+	"nrl/internal/linearize"
+	"nrl/internal/proc"
+	"nrl/internal/spec"
+	"nrl/internal/valency"
+)
+
+func tasModels() linearize.ModelFor {
+	return func(obj string) spec.Model { return spec.TAS{} }
+}
+
+func nrlErr(t *testing.T, out valency.Outcome) error {
+	t.Helper()
+	return linearize.CheckNRL(tasModels(), out.History)
+}
+
+func TestRetryStrawmanFailsWhenPrimitiveWon(t *testing.T) {
+	out := valency.Run(valency.CrashedPrimitiveWon, 3, func(sys *proc.System) valency.RecoverableTAS {
+		return valency.NewRetryTAS(sys, "t")
+	})
+	if out.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", out.Crashes)
+	}
+	// The retry consumed a second primitive application: nobody wins.
+	if out.Rets[1] != 1 || out.Rets[2] != 1 {
+		t.Errorf("responses = %d,%d, want 1,1 (the lost win)", out.Rets[1], out.Rets[2])
+	}
+	if err := nrlErr(t, out); err == nil {
+		t.Error("NRL checker accepted a winnerless TAS history; the strawman should violate NRL")
+	}
+}
+
+func TestRetryStrawmanPassesWhenPrimitiveLost(t *testing.T) {
+	out := valency.Run(valency.CrashedPrimitiveLost, 3, func(sys *proc.System) valency.RecoverableTAS {
+		return valency.NewRetryTAS(sys, "t")
+	})
+	if out.Rets[1] != 1 || out.Rets[2] != 0 {
+		t.Errorf("responses = %d,%d, want 1,0", out.Rets[1], out.Rets[2])
+	}
+	if err := nrlErr(t, out); err != nil {
+		t.Errorf("NRL violated on the benign schedule: %v", err)
+	}
+}
+
+func TestAssumeWinStrawmanFailsWhenPrimitiveLost(t *testing.T) {
+	out := valency.Run(valency.CrashedPrimitiveLost, 3, func(sys *proc.System) valency.RecoverableTAS {
+		return valency.NewAssumeWinTAS(sys, "t")
+	})
+	if out.Rets[1] != 0 || out.Rets[2] != 0 {
+		t.Errorf("responses = %d,%d, want 0,0 (two winners)", out.Rets[1], out.Rets[2])
+	}
+	if err := nrlErr(t, out); err == nil {
+		t.Error("NRL checker accepted a two-winner TAS history; the strawman should violate NRL")
+	}
+}
+
+func TestAssumeWinStrawmanPassesWhenPrimitiveWon(t *testing.T) {
+	out := valency.Run(valency.CrashedPrimitiveWon, 3, func(sys *proc.System) valency.RecoverableTAS {
+		return valency.NewAssumeWinTAS(sys, "t")
+	})
+	if out.Rets[1] != 0 || out.Rets[2] != 1 {
+		t.Errorf("responses = %d,%d, want 0,1", out.Rets[1], out.Rets[2])
+	}
+	if err := nrlErr(t, out); err != nil {
+		t.Errorf("NRL violated on the benign schedule: %v", err)
+	}
+}
+
+// TestAlgorithm3PassesBothSchedules: the paper's TAS, with its blocking
+// recovery, survives both adversarial schedules with a unique winner.
+func TestAlgorithm3PassesBothSchedules(t *testing.T) {
+	for _, s := range []valency.Scenario{valency.CrashedPrimitiveWon, valency.CrashedPrimitiveLost} {
+		t.Run(s.String(), func(t *testing.T) {
+			out := valency.Run(s, 9, func(sys *proc.System) valency.RecoverableTAS {
+				return core.NewTAS(sys, "t")
+			})
+			zeros := 0
+			for p := 1; p <= 2; p++ {
+				if out.Rets[p] == 0 {
+					zeros++
+				}
+			}
+			if zeros != 1 {
+				t.Errorf("%d winners, want 1 (responses %d,%d)", zeros, out.Rets[1], out.Rets[2])
+			}
+			if err := nrlErr(t, out); err != nil {
+				t.Errorf("NRL violated: %v", err)
+			}
+		})
+	}
+}
+
+// TestIndistinguishability mechanises the proof's key step: at the moment
+// of the crash, everything the crashed process's recovery can observe is
+// identical in the two scenarios, even though the correct responses
+// differ. A wait-free recovery is a function of these observations only,
+// so it must answer identically — and be wrong in one scenario.
+func TestIndistinguishability(t *testing.T) {
+	type obs struct{ done, res uint64 }
+	observe := func(s valency.Scenario) obs {
+		var (
+			o       *valency.RetryTAS
+			sysRef  *proc.System
+			atCrash obs
+		)
+		inj := &proc.AtLine{Proc: 1, Line: 3}
+		wrapped := proc.Func(func(pt proc.CrashPoint) bool {
+			if inj.ShouldCrash(pt) {
+				atCrash.done, atCrash.res = o.Observable(sysRef.Mem(), 1)
+				return true
+			}
+			return false
+		})
+		var picker proc.Picker
+		if s == valency.CrashedPrimitiveWon {
+			picker = func(cand []int, step int) int {
+				if !inj.Fired() {
+					return cand[0]
+				}
+				for _, c := range cand {
+					if c == 2 {
+						return c
+					}
+				}
+				return cand[0]
+			}
+		} else {
+			picker = func(cand []int, step int) int {
+				for _, c := range cand {
+					if c == 2 {
+						return c
+					}
+				}
+				return cand[0]
+			}
+		}
+		sys := proc.NewSystem(proc.Config{
+			Procs:     2,
+			Injector:  wrapped,
+			Scheduler: proc.NewControlled(picker),
+		})
+		sysRef = sys
+		o = valency.NewRetryTAS(sys, "t")
+		sys.Run(map[int]func(*proc.Ctx){
+			1: func(c *proc.Ctx) { o.TestAndSet(c) },
+			2: func(c *proc.Ctx) { o.TestAndSet(c) },
+		})
+		if !inj.Fired() {
+			t.Fatalf("%v: crash not injected", s)
+		}
+		return atCrash
+	}
+	won := observe(valency.CrashedPrimitiveWon)
+	lost := observe(valency.CrashedPrimitiveLost)
+	if won != lost {
+		t.Errorf("recovery observations differ between scenarios: won=%+v lost=%+v", won, lost)
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if valency.CrashedPrimitiveWon.String() != "crashed-primitive-won" {
+		t.Error("bad name for CrashedPrimitiveWon")
+	}
+	if valency.CrashedPrimitiveLost.String() != "crashed-primitive-lost" {
+		t.Error("bad name for CrashedPrimitiveLost")
+	}
+	if valency.Scenario(9).String() == "" {
+		t.Error("unknown scenario has empty name")
+	}
+}

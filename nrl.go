@@ -1,0 +1,221 @@
+// Package nrl is a Go implementation of Nesting-Safe Recoverable
+// Linearizability (Attiya, Ben-Baruch, Hendler, PODC 2018): an abstract
+// individual-process crash-recovery model for non-volatile memory, the
+// NRL correctness condition, nesting-safe recoverable base objects
+// (read/write register, CAS, test-and-set), and modular constructions on
+// top of them (counter, fetch-and-add, max-register, stack).
+//
+// The package is a facade: it re-exports the building blocks from the
+// internal packages so that applications read naturally.
+//
+//	sys := nrl.NewSystem(nrl.Config{Procs: 4, Recorder: nrl.NewRecorder()})
+//	ctr := nrl.NewCounter(sys, "ctr")
+//	sys.Go(1, func(c *nrl.Ctx) { ctr.Inc(c) })
+//	sys.Wait()
+//
+// See DESIGN.md for the model, the substitution decisions and the
+// experiment index, and EXPERIMENTS.md for reproduction results.
+package nrl
+
+import (
+	"strings"
+
+	"nrl/internal/core"
+	"nrl/internal/history"
+	"nrl/internal/linearize"
+	"nrl/internal/nvm"
+	"nrl/internal/objects"
+	"nrl/internal/proc"
+	"nrl/internal/rme"
+	"nrl/internal/spec"
+	"nrl/internal/universal"
+)
+
+// Core model types.
+type (
+	// System is the crash-recovery system: processes + NVRAM + scheduler
+	// + crash injector + history recorder.
+	System = proc.System
+	// Config configures a System.
+	Config = proc.Config
+	// Ctx is the per-process execution context.
+	Ctx = proc.Ctx
+	// Operation is a recoverable operation (a resumable line machine).
+	Operation = proc.Operation
+	// OpInfo describes an Operation.
+	OpInfo = proc.OpInfo
+	// Injector decides where processes crash.
+	Injector = proc.Injector
+	// CrashPoint describes a potential crash site.
+	CrashPoint = proc.CrashPoint
+	// Scheduler controls interleaving.
+	Scheduler = proc.Scheduler
+	// Picker chooses the next process under the controlled scheduler.
+	Picker = proc.Picker
+	// Memory is the simulated NVRAM.
+	Memory = nvm.Memory
+	// Addr addresses one NVRAM word.
+	Addr = nvm.Addr
+	// History is a recorded operation history.
+	History = history.History
+	// Recorder collects history steps.
+	Recorder = history.Recorder
+	// Model is a sequential specification.
+	Model = spec.Model
+	// ModelFor resolves the model of an object by name.
+	ModelFor = linearize.ModelFor
+)
+
+// Recoverable objects (the paper's algorithms and the extensions).
+type (
+	// Register is the recoverable read/write register (Algorithm 1).
+	Register = core.Register
+	// CASObject is the recoverable compare-and-swap object (Algorithm 2).
+	CASObject = core.CASObject
+	// TAS is the recoverable test-and-set object (Algorithm 3).
+	TAS = core.TAS
+	// Counter is the recoverable counter (Algorithm 4).
+	Counter = objects.Counter
+	// FAA is the recoverable fetch-and-add extension.
+	FAA = objects.FAA
+	// MaxRegister is the recoverable max-register extension.
+	MaxRegister = objects.MaxRegister
+	// Stack is the recoverable stack extension.
+	Stack = objects.Stack
+	// Queue is the recoverable FIFO queue extension.
+	Queue = objects.Queue
+	// Lock is the recoverable mutual-exclusion ticket lock extension.
+	Lock = rme.Lock
+	// Universal is the recoverable universal construction: any
+	// deterministic sequential specification becomes an NRL object whose
+	// responses are recovered by replaying a durable operation log.
+	Universal = universal.Object
+	// WFUniversal is the wait-free variant of the universal construction
+	// (Herlihy-style turn-based helping).
+	WFUniversal = universal.WFObject
+)
+
+// Constructors and helpers, re-exported.
+var (
+	// NewSystem creates a crash-recovery system.
+	NewSystem = proc.NewSystem
+	// NewRecorder creates a history recorder.
+	NewRecorder = history.NewRecorder
+	// NewMemory creates a simulated NVRAM (see nvm options).
+	NewMemory = nvm.New
+	// NewControlled creates the deterministic scheduler.
+	NewControlled = proc.NewControlled
+	// RandomPicker returns a seeded random scheduling picker.
+	RandomPicker = proc.RandomPicker
+	// RoundRobinPicker returns a round-robin picker.
+	RoundRobinPicker = proc.RoundRobinPicker
+	// ScriptPicker returns a scripted picker.
+	ScriptPicker = proc.ScriptPicker
+
+	// NewRegister creates a recoverable register (Algorithm 1).
+	NewRegister = core.NewRegister
+	// NewCASObject creates a recoverable CAS object (Algorithm 2).
+	NewCASObject = core.NewCASObject
+	// NewTAS creates a recoverable test-and-set object (Algorithm 3).
+	NewTAS = core.NewTAS
+	// NewTASReadableBase creates the footnote-3 TAS variant (readable
+	// base t&s instead of a doorway).
+	NewTASReadableBase = core.NewTASReadableBase
+	// NewCounter creates a recoverable counter (Algorithm 4).
+	NewCounter = objects.NewCounter
+	// NewFAA creates a recoverable fetch-and-add object.
+	NewFAA = objects.NewFAA
+	// NewMaxRegister creates a recoverable max-register.
+	NewMaxRegister = objects.NewMaxRegister
+	// NewStack creates a recoverable stack with the given capacity.
+	NewStack = objects.NewStack
+	// NewQueue creates a recoverable FIFO queue with the given capacity.
+	NewQueue = objects.NewQueue
+	// NewLock creates a recoverable mutual-exclusion ticket lock.
+	NewLock = rme.NewLock
+	// NewUniversal creates a recoverable object from any sequential
+	// specification (the recoverable universal construction).
+	NewUniversal = universal.New
+	// NewWaitFreeUniversal creates the wait-free variant: every
+	// invocation completes in a bounded number of its own steps, crashes
+	// included, via turn-based helping.
+	NewWaitFreeUniversal = universal.NewWaitFree
+
+	// Distinct packs (pid, seq, payload) into a globally distinct
+	// register value (Algorithm 1 requires distinct written values).
+	Distinct = core.Distinct
+	// DistinctCAS packs (pid, seq, payload) into a CAS-object value.
+	DistinctCAS = core.DistinctCAS
+
+	// CheckNRL verifies Definition 4 against a recorded history.
+	CheckNRL = linearize.CheckNRL
+	// CheckLinearizable verifies Definition 2 against a crash-free
+	// history.
+	CheckLinearizable = linearize.Check
+)
+
+// Crash injectors, re-exported.
+type (
+	// Never never crashes (the default).
+	Never = proc.Never
+	// AtLine crashes a process at a specific pseudo-code line, once.
+	AtLine = proc.AtLine
+	// AtStep crashes a process at a specific step count, once.
+	AtStep = proc.AtStep
+	// RandomCrash crashes each step with a fixed probability, bounded.
+	RandomCrash = proc.Random
+	// MultiInjector combines injectors.
+	MultiInjector = proc.Multi
+)
+
+// Empty is the response of Stack.Pop on an empty stack.
+const Empty = objects.Empty
+
+// Models builds a ModelFor that resolves both the objects the caller
+// names explicitly and, by naming convention, the recoverable base
+// objects nested inside this package's composite objects:
+//
+//	<name>.R[i]                      — registers inside a Counter
+//	<name>.cas, .top, .head, .tail   — CAS objects inside FAA,
+//	                                   MaxRegister, Stack and Queue
+//	<name>.alloc, <name>.next        — FAA objects inside Stack, Queue
+//	                                   and Lock
+func Models(explicit map[string]Model) ModelFor {
+	return func(obj string) spec.Model {
+		if m, ok := explicit[obj]; ok {
+			return m
+		}
+		switch {
+		case strings.Contains(obj, ".R["):
+			return spec.Register{}
+		case strings.HasSuffix(obj, ".cas"), strings.HasSuffix(obj, ".top"),
+			strings.HasSuffix(obj, ".head"), strings.HasSuffix(obj, ".tail"):
+			return spec.CAS{}
+		case strings.HasSuffix(obj, ".alloc"), strings.HasSuffix(obj, ".next"):
+			return spec.FAA{}
+		}
+		return nil
+	}
+}
+
+// Spec models, re-exported for use with Models.
+type (
+	// RegisterModel is the sequential specification of a register.
+	RegisterModel = spec.Register
+	// CASModel is the sequential specification of a CAS object.
+	CASModel = spec.CAS
+	// TASModel is the sequential specification of a TAS object.
+	TASModel = spec.TAS
+	// CounterModel is the sequential specification of a counter.
+	CounterModel = spec.Counter
+	// FAAModel is the sequential specification of a fetch-and-add object.
+	FAAModel = spec.FAA
+	// MaxRegisterModel is the sequential specification of a max-register.
+	MaxRegisterModel = spec.MaxRegister
+	// StackModel is the sequential specification of a stack.
+	StackModel = spec.Stack
+	// QueueModel is the sequential specification of a FIFO queue.
+	QueueModel = spec.Queue
+	// MutexModel is the sequential specification of a ticket lock.
+	MutexModel = spec.Mutex
+)

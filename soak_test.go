@@ -1,0 +1,73 @@
+package nrl_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"nrl"
+)
+
+// TestSoak is an opt-in long-running randomized campaign over every
+// recoverable object: set NRL_SOAK to the number of seeded rounds (e.g.
+// NRL_SOAK=500 go test -run Soak -timeout 0 .). Each round uses a
+// distinct schedule seed and crash pattern, and every history is
+// NRL-checked.
+func TestSoak(t *testing.T) {
+	roundsStr := os.Getenv("NRL_SOAK")
+	if roundsStr == "" {
+		t.Skip("set NRL_SOAK=<rounds> to run the soak campaign")
+	}
+	rounds, err := strconv.Atoi(roundsStr)
+	if err != nil || rounds <= 0 {
+		t.Fatalf("bad NRL_SOAK value %q", roundsStr)
+	}
+	for seed := 0; seed < rounds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rec := nrl.NewRecorder()
+			inj := &nrl.RandomCrash{Rate: 0.02, Seed: int64(seed), MaxCrashes: 10}
+			sys := nrl.NewSystem(nrl.Config{
+				Procs:     4,
+				Recorder:  rec,
+				Injector:  inj,
+				Scheduler: nrl.NewControlled(nrl.RandomPicker(int64(seed))),
+			})
+			ctr := nrl.NewCounter(sys, "ctr")
+			q := nrl.NewQueue(sys, "q", 4096)
+			st := nrl.NewStack(sys, "stk", 4096)
+			l := nrl.NewLock(sys, "lock")
+			bodies := make(map[int]func(*nrl.Ctx))
+			for p := 1; p <= 4; p++ {
+				p := p
+				bodies[p] = func(c *nrl.Ctx) {
+					for i := 0; i < 5; i++ {
+						ctr.Inc(c)
+						q.Enqueue(c, uint64(p*1000+i))
+						st.Push(c, uint64(p*1000+i))
+						l.Acquire(c)
+						l.Release(c)
+						if i%2 == 1 {
+							q.Dequeue(c)
+							st.Pop(c)
+						}
+					}
+				}
+			}
+			sys.Run(bodies)
+			if got := ctr.Read(sys.Proc(1).Ctx()); got != 20 {
+				t.Errorf("counter = %d, want 20", got)
+			}
+			models := nrl.Models(map[string]nrl.Model{
+				"ctr":  nrl.CounterModel{},
+				"q":    nrl.QueueModel{},
+				"stk":  nrl.StackModel{},
+				"lock": nrl.MutexModel{},
+			})
+			if err := nrl.CheckNRL(models, rec.History()); err != nil {
+				t.Fatalf("NRL violated: %v", err)
+			}
+		})
+	}
+}
