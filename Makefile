@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet bench golden
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1000x -run '^$$' .
+
+# Regenerate the golden files of the CLI tests (after an intentional
+# output change).
+golden:
+	$(GO) test ./cmd/nrltrace/ ./cmd/nrlstat/ -update

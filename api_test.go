@@ -152,3 +152,55 @@ func TestFacadeCheckLinearizable(t *testing.T) {
 		t.Errorf("CheckLinearizable with no models = %v", err)
 	}
 }
+
+// TestFacadeTracing drives the tracing surface end to end through the
+// facade: ring sink via Config.Tracer, then profile aggregation.
+func TestFacadeTracing(t *testing.T) {
+	ring := nrl.NewRingTracer(1 << 12)
+	sys := nrl.NewSystem(nrl.Config{Procs: 1, Tracer: ring})
+	ctr := nrl.NewCounter(sys, "ctr")
+	c := sys.Proc(1).Ctx()
+	const ops = 5
+	for i := 0; i < ops; i++ {
+		ctr.Inc(c)
+	}
+	if ring.Total() == 0 {
+		t.Fatal("tracer received no events")
+	}
+	p := nrl.BuildTraceProfile(ring.Events())
+	o := p.PerObject["ctr"]
+	if o == nil {
+		t.Fatalf("no ctr profile; objects: %v", p.Objects())
+	}
+	// Each INC is one top-level op plus nested register ops, all folded
+	// to the root object.
+	if o.Completes < ops {
+		t.Errorf("Completes = %d, want >= %d", o.Completes, ops)
+	}
+	if o.Mem.Ops() == 0 {
+		t.Error("no memory primitives attributed to ctr")
+	}
+	if o.Latency.Count != ops {
+		t.Errorf("top-level latency samples = %d, want %d", o.Latency.Count, ops)
+	}
+}
+
+// TestUntracedPathAllocatesNothing: with Config.Tracer nil, the memory
+// shorthands must not construct events or allocate at all — tracing off
+// means zero cost beyond a nil check.
+func TestUntracedPathAllocatesNothing(t *testing.T) {
+	sys := nrl.NewSystem(nrl.Config{Procs: 1})
+	a := sys.Mem().Alloc("x", 0)
+	c := sys.Proc(1).Ctx()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Write(a, 1)
+		c.Read(a)
+		c.CAS(a, 1, 2)
+		c.FAA(a, 1)
+		c.Flush(a)
+		c.Fence()
+	})
+	if allocs != 0 {
+		t.Errorf("untraced memory shorthands allocate %.1f times per run, want 0", allocs)
+	}
+}

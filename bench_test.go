@@ -5,6 +5,7 @@ package nrl_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"nrl"
@@ -15,6 +16,7 @@ import (
 	"nrl/internal/proc"
 	"nrl/internal/rme"
 	"nrl/internal/spec"
+	"nrl/internal/trace"
 )
 
 func benchSys(n int) *proc.System {
@@ -375,6 +377,31 @@ func BenchmarkE8_Write(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- tracing overhead -------------------------------------------------------
+
+// BenchmarkTracerOverhead measures the cost the trace layer adds to a
+// recoverable counter INC: no tracer at all (the nil fast path), the Nop
+// sink (normalized to nil at install, so identical to untraced by
+// construction), the ring sink, and JSONL encoding to io.Discard. The
+// ring and JSONL rows are the true price of recording; untraced and nop
+// must sit within noise of each other.
+func BenchmarkTracerOverhead(b *testing.B) {
+	bench := func(b *testing.B, tr trace.Tracer) {
+		b.Helper()
+		sys := proc.NewSystem(proc.Config{Procs: 1, Tracer: tr})
+		ctr := objects.NewCounter(sys, "ctr")
+		c := sys.Proc(1).Ctx()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctr.Inc(c)
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { bench(b, nil) })
+	b.Run("nop", func(b *testing.B) { bench(b, trace.Nop{}) })
+	b.Run("ring", func(b *testing.B) { bench(b, trace.NewRing(1<<16)) })
+	b.Run("jsonl-discard", func(b *testing.B) { bench(b, trace.NewJSONL(io.Discard)) })
 }
 
 // --- extension objects (ablation of the modular constructions) -------------

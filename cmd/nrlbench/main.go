@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nrlbench [-ops N] [-exp E1,E3,...]
+//	nrlbench [-ops N] [-exp E1,E3,...] [-trace out.jsonl]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"nrl/internal/harness"
+	"nrl/internal/trace"
 )
 
 func main() {
@@ -28,10 +29,20 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("nrlbench", flag.ContinueOnError)
 	ops := fs.Int("ops", 20000, "base operation count per measurement")
 	expFlag := fs.String("exp", "all", "comma-separated experiments to run (E1..E10) or 'all'")
+	traceOut := fs.String("trace", "", "write a JSONL event trace of the whole run to this file (skews timings)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	scale := harness.Scale{Ops: *ops}
+	var sink *trace.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		sink = trace.NewJSONL(f)
+		scale.Tracer = sink
+	}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
@@ -56,8 +67,8 @@ func run(args []string) error {
 			return harness.E4CrashRateSweep(scale, []float64{0, 1e-4, 1e-3, 1e-2})
 		}},
 		{"E5", func() *harness.Table { return harness.E5Strictness(scale) }},
-		{"E6", func() *harness.Table { return harness.E6TASRecoveryBlocking([]int{2, 4, 8}) }},
-		{"E7", func() *harness.Table { return harness.E7CheckerCost([]int{120, 600, 1500, 3000}) }},
+		{"E6", func() *harness.Table { return harness.E6TASRecoveryBlocking(scale, []int{2, 4, 8}) }},
+		{"E7", func() *harness.Table { return harness.E7CheckerCost(scale, []int{120, 600, 1500, 3000}) }},
 		{"E8", func() *harness.Table { return harness.E8PersistenceModes(scale) }},
 		{"E9", func() *harness.Table { return harness.E9CompositeCost(scale) }},
 		{"E10", func() *harness.Table { return harness.E10UniversalAblation(scale) }},
@@ -72,6 +83,11 @@ func run(args []string) error {
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiments selected (got -exp=%q)", *expFlag)
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestSummaryGoldens locks down the profile summary of each scenario at
+// the default flags: runs are deterministic (controlled scheduler, seeded
+// picker and injector, no wall-clock in the output), so the exact tables
+// are reproducible.
+func TestSummaryGoldens(t *testing.T) {
+	for _, s := range []string{"counter", "durable-log"} {
+		t.Run(s, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run([]string{"-scenario", s, "-seed", "1"}, &out); err != nil {
+				t.Fatalf("run(%s) = %v", s, err)
+			}
+			golden := filepath.Join("testdata", s+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestAllScenariosRun exercises every scenario (small, to keep the
+// NRL-check search cheap) and sanity-checks the summary shape.
+func TestAllScenariosRun(t *testing.T) {
+	for _, s := range []string{"counter", "cas", "stack", "mixed", "durable-log"} {
+		t.Run(s, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run([]string{"-scenario", s, "-ops", "30", "-procs", "2"}, &out); err != nil {
+				t.Fatalf("run(%s) = %v", s, err)
+			}
+			o := out.String()
+			for _, want := range []string{"Per-object profile", "Recovery depth", "check: ok", "flush/op", "fence/op"} {
+				if !strings.Contains(o, want) {
+					t.Errorf("summary missing %q:\n%s", want, o)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceFlag: the acceptance path — -trace must emit one valid JSON
+// object per line while the summary still prints.
+func TestTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "counter", "-seed", "1", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) < 100 {
+		t.Fatalf("suspiciously small trace: %d lines", len(lines))
+	}
+	for i, line := range lines {
+		var e map[string]any
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
+		}
+		if _, ok := e["kind"]; !ok {
+			t.Fatalf("line %d has no kind: %s", i+1, line)
+		}
+	}
+	if !strings.Contains(out.String(), "NRL check: ok") {
+		t.Error("summary missing NRL check")
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "nope"}, &out); err == nil {
+		t.Error("run accepted an unknown scenario")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{{"-bogus"}, {"-ops", "0"}, {"-procs", "-1"}} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted bad flags", args)
+		}
+	}
+}

@@ -6,31 +6,49 @@
 // Usage:
 //
 //	nrltrace [-scenario counter|cas-helping|tas-winner-crash] [-seed N]
+//	         [-trace out.jsonl]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nrl"
 	"nrl/internal/history"
+	"nrl/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "nrltrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("nrltrace", flag.ContinueOnError)
 	scenario := fs.String("scenario", "counter", "scenario: counter, cas-helping or tas-winner-crash")
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	gantt := fs.Bool("gantt", true, "render an ASCII timeline of the history")
+	traceOut := fs.String("trace", "", "write the structured event stream to this JSONL file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var sink *trace.JSONL
+	var tracer trace.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		sink = trace.NewJSONL(f)
+		tracer = sink
 	}
 	var (
 		h      history.History
@@ -39,33 +57,38 @@ func run(args []string) error {
 	)
 	switch *scenario {
 	case "counter":
-		h, models, err = counterScenario(*seed)
+		h, models, err = counterScenario(*seed, tracer)
 	case "cas-helping":
-		h, models, err = casHelpingScenario()
+		h, models, err = casHelpingScenario(tracer)
 	case "tas-winner-crash":
-		h, models, err = tasWinnerCrashScenario()
+		h, models, err = tasWinnerCrashScenario(tracer)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Print(h)
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil {
+			return fmt.Errorf("writing trace: %w", cerr)
+		}
+	}
+	fmt.Fprint(w, h)
 	if *gantt {
-		fmt.Println("\ntimeline:")
-		fmt.Print(h.Gantt(64))
+		fmt.Fprintln(w, "\ntimeline:")
+		fmt.Fprint(w, h.Gantt(64))
 	}
 	if err := nrl.CheckNRL(models, h); err != nil {
 		return fmt.Errorf("NRL check failed: %w", err)
 	}
-	fmt.Println("\nNRL check: ok")
+	fmt.Fprintln(w, "\nNRL check: ok")
 	return nil
 }
 
 // counterScenario: two processes increment a recoverable counter; one
 // crashes inside the nested register WRITE (the paper's Algorithm 4
 // walkthrough).
-func counterScenario(seed int64) (history.History, nrl.ModelFor, error) {
+func counterScenario(seed int64, tracer nrl.Tracer) (history.History, nrl.ModelFor, error) {
 	rec := nrl.NewRecorder()
 	inj := &nrl.AtLine{Proc: 1, Obj: "ctr.R[1]", Op: "WRITE", Line: 5}
 	sys := nrl.NewSystem(nrl.Config{
@@ -73,6 +96,7 @@ func counterScenario(seed int64) (history.History, nrl.ModelFor, error) {
 		Recorder:  rec,
 		Injector:  inj,
 		Scheduler: nrl.NewControlled(nrl.RandomPicker(seed)),
+		Tracer:    tracer,
 	})
 	ctr := nrl.NewCounter(sys, "ctr")
 	sys.Run(map[int]func(*nrl.Ctx){
@@ -88,7 +112,7 @@ func counterScenario(seed int64) (history.History, nrl.ModelFor, error) {
 // casHelpingScenario: p1's cas primitive succeeds, p1 crashes before
 // reading the response, p2 overwrites (helping first through R[p1][p2]),
 // and p1's recovery still reports success.
-func casHelpingScenario() (history.History, nrl.ModelFor, error) {
+func casHelpingScenario(tracer nrl.Tracer) (history.History, nrl.ModelFor, error) {
 	rec := nrl.NewRecorder()
 	inj := &nrl.AtLine{Proc: 1, Obj: "cas", Op: "CAS", Line: 8}
 	picker := func(candidates []int, step int) int {
@@ -107,6 +131,7 @@ func casHelpingScenario() (history.History, nrl.ModelFor, error) {
 		Recorder:  rec,
 		Injector:  inj,
 		Scheduler: nrl.NewControlled(picker),
+		Tracer:    tracer,
 	})
 	o := nrl.NewCASObject(sys, "cas")
 	v1 := nrl.DistinctCAS(1, 1, 11)
@@ -125,7 +150,7 @@ func casHelpingScenario() (history.History, nrl.ModelFor, error) {
 // tasWinnerCrashScenario: the primitive winner crashes before declaring
 // itself; its blocking recovery claims the win after the other process
 // completes.
-func tasWinnerCrashScenario() (history.History, nrl.ModelFor, error) {
+func tasWinnerCrashScenario(tracer nrl.Tracer) (history.History, nrl.ModelFor, error) {
 	rec := nrl.NewRecorder()
 	inj := &nrl.AtLine{Proc: 1, Obj: "tas", Op: "T&S", Line: 9}
 	picker := func(candidates []int, step int) int {
@@ -144,6 +169,7 @@ func tasWinnerCrashScenario() (history.History, nrl.ModelFor, error) {
 		Recorder:  rec,
 		Injector:  inj,
 		Scheduler: nrl.NewControlled(picker),
+		Tracer:    tracer,
 	})
 	o := nrl.NewTAS(sys, "tas")
 	rets := make([]uint64, 3)

@@ -1,26 +1,87 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
-func TestScenarios(t *testing.T) {
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestScenarioGoldens locks down the exact output of every scenario at
+// the default seed: the controlled scheduler, seeded picker and
+// deterministic injectors make each run fully reproducible, so any drift
+// in the model, the recorder or the renderer shows up as a diff.
+func TestScenarioGoldens(t *testing.T) {
 	for _, s := range []string{"counter", "cas-helping", "tas-winner-crash"} {
-		s := s
 		t.Run(s, func(t *testing.T) {
-			if err := run([]string{"-scenario", s}); err != nil {
-				t.Errorf("run(%s) = %v", s, err)
+			var out bytes.Buffer
+			if err := run([]string{"-scenario", s, "-seed", "1"}, &out); err != nil {
+				t.Fatalf("run(%s) = %v", s, err)
+			}
+			golden := filepath.Join("testdata", s+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
 			}
 		})
 	}
 }
 
+// TestTraceFlag: -trace must produce one valid JSON event per line,
+// including the crash/recover lifecycle of the scenario.
+func TestTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "counter", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) == 0 {
+		t.Fatal("empty trace file")
+	}
+	kinds := map[string]int{}
+	for i, line := range lines {
+		var e struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
+		}
+		kinds[e.Kind]++
+	}
+	for _, want := range []string{"invoke", "response", "crash", "recover", "recover-done", "mem-read", "mem-write"} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+}
+
 func TestUnknownScenario(t *testing.T) {
-	if err := run([]string{"-scenario", "nope"}); err == nil {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "nope"}, &out); err == nil {
 		t.Error("run accepted an unknown scenario")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
 		t.Error("run accepted a bad flag")
 	}
 }

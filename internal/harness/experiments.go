@@ -14,12 +14,18 @@ import (
 	"nrl/internal/proc"
 	"nrl/internal/rme"
 	"nrl/internal/spec"
+	"nrl/internal/trace"
 	"nrl/internal/universal"
 )
 
 // Scale multiplies the default operation counts of every experiment.
 type Scale struct {
 	Ops int // base per-measurement operation count (default 20000)
+	// Tracer, if non-nil, is installed into every system an experiment
+	// builds, so a whole experiment run can be exported as one event
+	// stream (cmd/nrlbench -trace). Tracing adds per-primitive work;
+	// leave nil for timing-sensitive comparisons.
+	Tracer trace.Tracer
 }
 
 func (s Scale) ops() int {
@@ -29,8 +35,8 @@ func (s Scale) ops() int {
 	return s.Ops
 }
 
-func newSys(procs int, inj proc.Injector, rec *history.Recorder) *proc.System {
-	return proc.NewSystem(proc.Config{Procs: procs, Injector: inj, Recorder: rec})
+func newSys(s Scale, procs int, inj proc.Injector, rec *history.Recorder) *proc.System {
+	return proc.NewSystem(proc.Config{Procs: procs, Injector: inj, Recorder: rec, Tracer: s.Tracer})
 }
 
 // E1PrimitiveOverhead measures single-process ns/op of each recoverable
@@ -47,7 +53,7 @@ func E1PrimitiveOverhead(s Scale) *Table {
 	}
 
 	{ // register read
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		br := baseline.NewRegister(sys, "b", 0)
 		rr := core.NewRegister(sys, "r", 0)
 		c := sys.Proc(1).Ctx()
@@ -64,7 +70,7 @@ func E1PrimitiveOverhead(s Scale) *Table {
 		add("READ", b, r)
 	}
 	{ // register write
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		br := baseline.NewRegister(sys, "b", 0)
 		rr := core.NewRegister(sys, "r", 0)
 		c := sys.Proc(1).Ctx()
@@ -81,7 +87,7 @@ func E1PrimitiveOverhead(s Scale) *Table {
 		add("WRITE", b, r)
 	}
 	{ // cas (successful chain)
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		bc := baseline.NewCAS(sys, "b", 0)
 		rc := core.NewCASObject(sys, "r")
 		c := sys.Proc(1).Ctx()
@@ -102,7 +108,7 @@ func E1PrimitiveOverhead(s Scale) *Table {
 	}
 	{ // tas: one-shot objects, pre-allocated
 		const tasOps = 2000
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		bts := make([]*baseline.TAS, tasOps)
 		rts := make([]*core.TAS, tasOps)
 		for i := range bts {
@@ -123,7 +129,7 @@ func E1PrimitiveOverhead(s Scale) *Table {
 		add("T&S", b, r)
 	}
 	{ // counter inc
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		bc := baseline.NewCounter(sys, "b")
 		rc := objects.NewCounter(sys, "r")
 		c := sys.Proc(1).Ctx()
@@ -153,12 +159,12 @@ func E2CounterScaling(s Scale, procCounts []int) *Table {
 	}
 	for _, n := range procCounts {
 		base := func() float64 {
-			sys := newSys(n, nil, nil)
+			sys := newSys(s, n, nil, nil)
 			bc := baseline.NewCounter(sys, "b")
 			return run2(sys, n, opsPerProc, func(c *proc.Ctx) { bc.Inc(c) })
 		}()
 		rec := func() float64 {
-			sys := newSys(n, nil, nil)
+			sys := newSys(s, n, nil, nil)
 			rc := objects.NewCounter(sys, "r")
 			return run2(sys, n, opsPerProc, func(c *proc.Ctx) { rc.Inc(c) })
 		}()
@@ -195,7 +201,7 @@ func E3CASContention(s Scale, procCounts []int) *Table {
 			continue
 		}
 		base := func() float64 {
-			sys := newSys(n, nil, nil)
+			sys := newSys(s, n, nil, nil)
 			o := baseline.NewCAS(sys, "b", 0)
 			return run2(sys, n, updatesPerProc, func(c *proc.Ctx) {
 				for {
@@ -208,7 +214,7 @@ func E3CASContention(s Scale, procCounts []int) *Table {
 		}()
 		var attempts atomic.Uint64
 		rec := func() float64 {
-			sys := newSys(n, nil, nil)
+			sys := newSys(s, n, nil, nil)
 			o := core.NewCASObject(sys, "r")
 			seqs := make([]uint32, n+1)
 			return run2(sys, n, updatesPerProc, func(c *proc.Ctx) {
@@ -241,7 +247,7 @@ func E4CrashRateSweep(s Scale, rates []float64) *Table {
 	}
 	for _, rate := range rates {
 		inj := &proc.Random{Rate: rate, Seed: 42}
-		sys := newSys(1, inj, nil)
+		sys := newSys(s, 1, inj, nil)
 		ctr := objects.NewCounter(sys, "ctr")
 		c := sys.Proc(1).Ctx()
 		ns := timeOps(ops, func() {
@@ -280,7 +286,7 @@ func E5Strictness(s Scale) *Table {
 	{
 		var plain, strict float64
 		for rep := 0; rep < rounds; rep++ {
-			sys := newSys(1, nil, nil)
+			sys := newSys(s, 1, nil, nil)
 			r := core.NewRegister(sys, "r", 0)
 			c := sys.Proc(1).Ctx()
 			p := timeOps(ops, func() {
@@ -301,7 +307,7 @@ func E5Strictness(s Scale) *Table {
 	{
 		var plain, strict float64
 		for rep := 0; rep < rounds; rep++ {
-			sys := newSys(1, nil, nil)
+			sys := newSys(s, 1, nil, nil)
 			o := core.NewCASObject(sys, "c")
 			c := sys.Proc(1).Ctx()
 			prev := uint64(0)
@@ -312,7 +318,7 @@ func E5Strictness(s Scale) *Table {
 					prev = next
 				}
 			})
-			sys2 := newSys(1, nil, nil)
+			sys2 := newSys(s, 1, nil, nil)
 			o2 := core.NewCASObject(sys2, "c")
 			c2 := sys2.Proc(1).Ctx()
 			prev = 0
@@ -334,7 +340,7 @@ func E5Strictness(s Scale) *Table {
 // E6TASRecoveryBlocking measures the steps a crashed TAS contender spends
 // before completing recovery, as a function of how many processes are
 // concurrently mid-operation (experiment E6, the Theorem 4 cost).
-func E6TASRecoveryBlocking(procCounts []int) *Table {
+func E6TASRecoveryBlocking(s Scale, procCounts []int) *Table {
 	t := &Table{
 		Title:   "E6: TAS recovery work vs concurrency (contenders crash after t&s)",
 		Note:    "only processes that pass the doorway reach the crash line; their recovery must wait out everyone else",
@@ -343,7 +349,7 @@ func E6TASRecoveryBlocking(procCounts []int) *Table {
 	for _, n := range procCounts {
 		// Crash-free baseline.
 		freeSteps := func() float64 {
-			sys := newSys(n, nil, nil)
+			sys := newSys(s, n, nil, nil)
 			o := core.NewTAS(sys, "t")
 			for p := 1; p <= n; p++ {
 				sys.Go(p, func(c *proc.Ctx) { o.TestAndSet(c) })
@@ -364,7 +370,7 @@ func E6TASRecoveryBlocking(procCounts []int) *Table {
 			for p := 1; p <= n; p++ {
 				inj = append(inj, &proc.AtLine{Proc: p, Obj: "t", Op: "T&S", Line: 9})
 			}
-			sys := newSys(n, inj, nil)
+			sys := newSys(s, n, inj, nil)
 			o := core.NewTAS(sys, "t")
 			rets := make([]uint64, n+1)
 			for p := 1; p <= n; p++ {
@@ -392,7 +398,7 @@ func E6TASRecoveryBlocking(procCounts []int) *Table {
 
 // E7CheckerCost measures NRL checking time against history length
 // (experiment E7).
-func E7CheckerCost(lengths []int) *Table {
+func E7CheckerCost(s Scale, lengths []int) *Table {
 	t := &Table{
 		Title:   "E7: NRL checker cost vs history length (counter, 3 processes)",
 		Columns: []string{"ops in history", "history steps", "check ms"},
@@ -400,7 +406,7 @@ func E7CheckerCost(lengths []int) *Table {
 	for _, L := range lengths {
 		rec := history.NewRecorder()
 		inj := &proc.Random{Rate: 0.002, Seed: 1, MaxCrashes: 10}
-		sys := proc.NewSystem(proc.Config{Procs: 3, Recorder: rec, Injector: inj})
+		sys := newSys(s, 3, inj, rec)
 		ctr := objects.NewCounter(sys, "ctr")
 		per := L / 3
 		for p := 1; p <= 3; p++ {
@@ -440,6 +446,9 @@ func E8PersistenceModes(s Scale) *Table {
 		Columns: []string{"mode", "ns/op", "flushes", "fences"},
 	}
 	measure := func(name string, mem *nvm.Memory, persist bool) {
+		if s.Tracer != nil {
+			mem.SetTracer(s.Tracer)
+		}
 		a := mem.Alloc("x", 0)
 		ns := timeOps(ops, func() {
 			for i := 0; i < ops; i++ {
@@ -476,7 +485,7 @@ func E9CompositeCost(s Scale) *Table {
 		return float64(sys.Mem().Stats().Total()) / float64(n)
 	}
 	{ // counter INC (Algorithm 4)
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		rc := objects.NewCounter(sys, "r")
 		bc := baseline.NewCounter(sys, "b")
 		c := sys.Proc(1).Ctx()
@@ -498,7 +507,7 @@ func E9CompositeCost(s Scale) *Table {
 		t.Add("counter INC", ns, mo, bns)
 	}
 	{ // FAA
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		rf := objects.NewFAA(sys, "r")
 		bf := baseline.NewFAA(sys, "b")
 		c := sys.Proc(1).Ctx()
@@ -520,7 +529,7 @@ func E9CompositeCost(s Scale) *Table {
 		t.Add("FAA", ns, mo, bns)
 	}
 	{ // max register
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		m := objects.NewMaxRegister(sys, "r")
 		br := baseline.NewRegister(sys, "b", 0)
 		c := sys.Proc(1).Ctx()
@@ -542,7 +551,7 @@ func E9CompositeCost(s Scale) *Table {
 		t.Add("maxreg WRITEMAX", ns, mo, bns)
 	}
 	{ // stack push+pop
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		st := objects.NewStack(sys, "r", 2*ops+16)
 		c := sys.Proc(1).Ctx()
 		ns := timeOps(2*ops, func() {
@@ -560,7 +569,7 @@ func E9CompositeCost(s Scale) *Table {
 		t.Add("stack PUSH+POP", ns, mo, "n/a")
 	}
 	{ // queue enq+deq
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		q := objects.NewQueue(sys, "r", 2*ops+16)
 		c := sys.Proc(1).Ctx()
 		ns := timeOps(2*ops, func() {
@@ -578,7 +587,7 @@ func E9CompositeCost(s Scale) *Table {
 		t.Add("queue ENQ+DEQ", ns, mo, "n/a")
 	}
 	{ // lock acquire+release
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		l := rme.NewLock(sys, "r")
 		c := sys.Proc(1).Ctx()
 		ns := timeOps(2*ops, func() {
@@ -615,7 +624,7 @@ func E10UniversalAblation(s Scale) *Table {
 		return float64(sys.Mem().Stats().Total()) / float64(n)
 	}
 	{
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		ctr := baseline.NewCounter(sys, "b")
 		c := sys.Proc(1).Ctx()
 		ns := timeOps(ops, func() {
@@ -631,7 +640,7 @@ func E10UniversalAblation(s Scale) *Table {
 		t.Add("baseline (not recoverable)", ns, mo)
 	}
 	{
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		ctr := objects.NewCounter(sys, "r")
 		c := sys.Proc(1).Ctx()
 		ns := timeOps(ops, func() {
@@ -647,7 +656,7 @@ func E10UniversalAblation(s Scale) *Table {
 		t.Add("Algorithm 4 (hand-built NRL)", ns, mo)
 	}
 	{
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		u := universal.New(sys, "u", spec.Counter{}, 3*ops+16, []string{"INC"})
 		c := sys.Proc(1).Ctx()
 		ns := timeOps(ops, func() {
@@ -663,7 +672,7 @@ func E10UniversalAblation(s Scale) *Table {
 		t.Add("universal construction (NRL)", ns, mo)
 	}
 	{
-		sys := newSys(1, nil, nil)
+		sys := newSys(s, 1, nil, nil)
 		u := universal.NewWaitFree(sys, "w", spec.Counter{}, 3*ops+16, []string{"INC"})
 		c := sys.Proc(1).Ctx()
 		ns := timeOps(ops, func() {

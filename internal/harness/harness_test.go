@@ -33,8 +33,8 @@ func TestExperimentsRunTiny(t *testing.T) {
 		E3CASContention(scale, []int{1, 2}),
 		E4CrashRateSweep(scale, []float64{0, 1e-3}),
 		E5Strictness(scale),
-		E6TASRecoveryBlocking([]int{2, 3}),
-		E7CheckerCost([]int{60, 120}),
+		E6TASRecoveryBlocking(scale, []int{2, 3}),
+		E7CheckerCost(scale, []int{60, 120}),
 		E8PersistenceModes(scale),
 		E9CompositeCost(scale),
 		E10UniversalAblation(scale),
@@ -61,7 +61,7 @@ func TestExperimentsRunTiny(t *testing.T) {
 
 // TestE6UniqueWinnerColumn: E6 must report exactly one winner per round.
 func TestE6UniqueWinnerColumn(t *testing.T) {
-	tab := E6TASRecoveryBlocking([]int{2})
+	tab := E6TASRecoveryBlocking(Scale{}, []int{2})
 	for _, row := range tab.Rows {
 		if row[len(row)-1] != "1" {
 			t.Errorf("E6 row %v: winners = %s, want 1", row, row[len(row)-1])

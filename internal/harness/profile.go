@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+
+	"nrl/internal/trace"
+)
+
+// ProfileTables renders a trace.Profile as printable tables: a per-object
+// breakdown, a per-process breakdown and (when any crashes occurred) the
+// system-wide recovery-depth distribution. cmd/nrlstat prints these after
+// a run; any trace captured elsewhere (Ring or parsed JSONL) renders the
+// same way via trace.Build.
+func ProfileTables(p *trace.Profile) []*Table {
+	perOp := func(n uint64, ops uint64) string {
+		if ops == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f", float64(n)/float64(ops))
+	}
+
+	obj := &Table{
+		Title: "Per-object profile",
+		Note:  "ops = completed operations (all nesting levels folded to the root object); steps = global scheduler steps from top-level invoke to completion",
+		Columns: []string{
+			"object", "ops", "mem/op", "flush/op", "fence/op",
+			"crashes", "recoveries", "re-exec/op", "steps ~p50", "steps ~p99", "steps max",
+		},
+	}
+	for _, o := range p.Objects() {
+		obj.Add(
+			o.Obj, o.Completes,
+			perOp(o.Mem.Ops(), o.Completes),
+			perOp(o.Mem.Flushes, o.Completes),
+			perOp(o.Mem.Fences, o.Completes),
+			o.Crashes, o.Recoveries,
+			perOp(o.ReExecs.Sum, o.Completes),
+			o.Latency.Quantile(0.5), o.Latency.Quantile(0.99), o.Latency.Max,
+		)
+	}
+
+	proc := &Table{
+		Title: "Per-process profile",
+		Columns: []string{
+			"proc", "ops", "mem/op", "crashes", "recoveries",
+			"steps ~p50", "steps ~p99", "steps max",
+		},
+	}
+	for _, pr := range p.Procs() {
+		proc.Add(
+			fmt.Sprintf("p%d", pr.P), pr.Completes,
+			perOp(pr.Mem.Ops(), pr.Completes),
+			pr.Crashes, pr.Recoveries,
+			pr.Latency.Quantile(0.5), pr.Latency.Quantile(0.99), pr.Latency.Max,
+		)
+	}
+
+	rd := &Table{
+		Title:   "Recovery depth",
+		Note:    "crashes by nesting depth at the crash (1 = top-level frame)",
+		Columns: []string{"depth", "crashes"},
+	}
+	for _, d := range p.Depths() {
+		rd.Add(d, p.RecoveryDepth[d])
+	}
+	if len(rd.Rows) == 0 {
+		rd.Add("(none)", 0)
+	}
+	return []*Table{obj, proc, rd}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"nrl/internal/trace"
 )
 
 // Mode selects the persistence semantics of a Memory.
@@ -73,6 +75,11 @@ type Memory struct {
 	pmu sync.Mutex // Buffered mode: guards persistence metadata
 
 	stats Stats
+
+	// trc, when non-nil, receives one trace event per primitive. It is
+	// set once, before the memory is shared (see SetTracer), so the
+	// nil-check on the hot path needs no synchronisation.
+	trc trace.Tracer
 }
 
 // Option configures a Memory.
@@ -98,6 +105,38 @@ func New(opts ...Option) *Memory {
 
 // Mode reports the persistence mode of the memory.
 func (m *Memory) Mode() Mode { return m.mode }
+
+// SetTracer installs a trace sink receiving one event per memory
+// primitive. It must be called before the memory is shared between
+// goroutines (proc.NewSystem installs Config.Tracer here). nil and
+// trace.Nop both leave the primitives untraced: no events are
+// constructed at all (see trace.Active).
+func (m *Memory) SetTracer(t trace.Tracer) { m.trc = trace.Active(t) }
+
+// Tracer returns the installed trace sink (nil if none, or if the
+// installed sink was trace.Nop).
+func (m *Memory) Tracer() trace.Tracer { return m.trc }
+
+// emit sends one memory-primitive event. Attribution: an empty at.Obj is
+// filled with the root of the target word's allocation name, so raw
+// accesses (outside any recoverable operation) still land under a usable
+// per-object key in profiles.
+func (m *Memory) emit(k trace.Kind, a Addr, ret uint64, at trace.Attr) {
+	e := trace.Event{
+		Kind: k, P: at.P, Obj: at.Obj, Op: at.Op, Depth: at.Depth,
+		Addr: int32(a), Ret: ret,
+	}
+	if a != InvalidAddr {
+		name := m.Name(a)
+		if e.Obj == "" {
+			e.Obj = trace.Root(name)
+		}
+		if k == trace.MemFlush {
+			e.Name = name
+		}
+	}
+	m.trc.Emit(e)
+}
 
 // Alloc allocates one word initialized to init and returns its address.
 // The name is retained for tracing and error messages only.
@@ -144,13 +183,24 @@ func (m *Memory) word(a Addr) *word {
 }
 
 // Read atomically reads the word at a.
-func (m *Memory) Read(a Addr) uint64 {
+func (m *Memory) Read(a Addr) uint64 { return m.ReadAt(a, trace.Attr{}) }
+
+// ReadAt is Read carrying trace attribution for the issuing operation
+// (package proc routes Ctx accesses through here).
+func (m *Memory) ReadAt(a Addr, at trace.Attr) uint64 {
 	m.stats.reads.Add(1)
-	return m.word(a).val.Load()
+	v := m.word(a).val.Load()
+	if m.trc != nil {
+		m.emit(trace.MemRead, a, v, at)
+	}
+	return v
 }
 
 // Write atomically stores v into the word at a.
-func (m *Memory) Write(a Addr, v uint64) {
+func (m *Memory) Write(a Addr, v uint64) { m.WriteAt(a, v, trace.Attr{}) }
+
+// WriteAt is Write carrying trace attribution.
+func (m *Memory) WriteAt(a Addr, v uint64, at trace.Attr) {
 	m.stats.writes.Add(1)
 	w := m.word(a)
 	if m.mode == Buffered {
@@ -160,111 +210,163 @@ func (m *Memory) Write(a Addr, v uint64) {
 			w.state = wordDirty
 		}
 		m.pmu.Unlock()
-		return
+	} else {
+		w.val.Store(v)
 	}
-	w.val.Store(v)
+	if m.trc != nil {
+		m.emit(trace.MemWrite, a, v, at)
+	}
 }
 
 // CAS atomically replaces the word at a with new if it currently holds old,
 // reporting whether the swap happened.
 func (m *Memory) CAS(a Addr, old, new uint64) bool {
+	return m.CASAt(a, old, new, trace.Attr{})
+}
+
+// CASAt is CAS carrying trace attribution. The emitted event's Ret is 1
+// for a successful swap and 0 for a failed one.
+func (m *Memory) CASAt(a Addr, old, new uint64, at trace.Attr) bool {
 	m.stats.cases.Add(1)
 	w := m.word(a)
+	var ok bool
 	if m.mode == Buffered {
 		m.pmu.Lock()
-		defer m.pmu.Unlock()
-		if w.val.Load() != old {
-			return false
+		if w.val.Load() == old {
+			w.val.Store(new)
+			if w.state == wordClean {
+				w.state = wordDirty
+			}
+			ok = true
 		}
-		w.val.Store(new)
-		if w.state == wordClean {
-			w.state = wordDirty
-		}
-		return true
+		m.pmu.Unlock()
+	} else {
+		ok = w.val.CompareAndSwap(old, new)
 	}
-	return w.val.CompareAndSwap(old, new)
+	if m.trc != nil {
+		var ret uint64
+		if ok {
+			ret = 1
+		}
+		m.emit(trace.MemCAS, a, ret, at)
+	}
+	return ok
 }
 
 // TAS atomically sets the word at a to 1 and returns its previous value.
 // It implements the paper's non-resettable t&s primitive; the word is
 // expected to be used only with values 0 and 1.
-func (m *Memory) TAS(a Addr) uint64 {
+func (m *Memory) TAS(a Addr) uint64 { return m.TASAt(a, trace.Attr{}) }
+
+// TASAt is TAS carrying trace attribution.
+func (m *Memory) TASAt(a Addr, at trace.Attr) uint64 {
 	m.stats.tases.Add(1)
 	w := m.word(a)
+	var prev uint64
 	if m.mode == Buffered {
 		m.pmu.Lock()
-		defer m.pmu.Unlock()
-		prev := w.val.Load()
+		prev = w.val.Load()
 		w.val.Store(1)
 		if w.state == wordClean {
 			w.state = wordDirty
 		}
-		return prev
+		m.pmu.Unlock()
+	} else {
+		prev = w.val.Swap(1)
 	}
-	return w.val.Swap(1)
+	if m.trc != nil {
+		m.emit(trace.MemTAS, a, prev, at)
+	}
+	return prev
 }
 
 // FAA atomically adds delta to the word at a and returns the previous value.
 func (m *Memory) FAA(a Addr, delta uint64) uint64 {
+	return m.FAAAt(a, delta, trace.Attr{})
+}
+
+// FAAAt is FAA carrying trace attribution.
+func (m *Memory) FAAAt(a Addr, delta uint64, at trace.Attr) uint64 {
 	m.stats.faas.Add(1)
 	w := m.word(a)
+	var prev uint64
 	if m.mode == Buffered {
 		m.pmu.Lock()
-		defer m.pmu.Unlock()
-		prev := w.val.Load()
+		prev = w.val.Load()
 		w.val.Store(prev + delta)
 		if w.state == wordClean {
 			w.state = wordDirty
 		}
-		return prev
+		m.pmu.Unlock()
+	} else {
+		prev = w.val.Add(delta) - delta
 	}
-	return w.val.Add(delta) - delta
+	if m.trc != nil {
+		m.emit(trace.MemFAA, a, prev, at)
+	}
+	return prev
 }
 
 // Flush initiates persistence of the word at a. In Buffered mode the
 // current value is captured and becomes durable at the next Fence; in ADR
 // mode Flush only counts (stores are already durable).
-func (m *Memory) Flush(a Addr) {
+func (m *Memory) Flush(a Addr) { m.FlushAt(a, trace.Attr{}) }
+
+// FlushAt is Flush carrying trace attribution. The emitted event's Name
+// records the flushed word's allocation name, so profiles can attribute
+// unowned flushes to the word's root object.
+func (m *Memory) FlushAt(a Addr, at trace.Attr) {
 	m.stats.flushes.Add(1)
-	if m.mode != Buffered {
-		return
+	if m.mode == Buffered {
+		w := m.word(a)
+		m.pmu.Lock()
+		w.flushed = w.val.Load()
+		w.state = wordFlushing
+		m.pmu.Unlock()
 	}
-	w := m.word(a)
-	m.pmu.Lock()
-	w.flushed = w.val.Load()
-	w.state = wordFlushing
-	m.pmu.Unlock()
+	if m.trc != nil {
+		m.emit(trace.MemFlush, a, 0, at)
+	}
 }
 
 // Fence makes all previously flushed values durable. In ADR mode it only
 // counts.
-func (m *Memory) Fence() {
+func (m *Memory) Fence() { m.FenceAt(trace.Attr{}) }
+
+// FenceAt is Fence carrying trace attribution. The emitted event has no
+// address: a fence orders every outstanding flush at once.
+func (m *Memory) FenceAt(at trace.Attr) {
 	m.stats.fences.Add(1)
-	if m.mode != Buffered {
-		return
-	}
-	m.mu.Lock()
-	words := m.words
-	m.mu.Unlock()
-	m.pmu.Lock()
-	for _, w := range words {
-		if w.state == wordFlushing {
-			w.persisted = w.flushed
-			if w.val.Load() == w.persisted {
-				w.state = wordClean
-			} else {
-				w.state = wordDirty
+	if m.mode == Buffered {
+		m.mu.Lock()
+		words := m.words
+		m.mu.Unlock()
+		m.pmu.Lock()
+		for _, w := range words {
+			if w.state == wordFlushing {
+				w.persisted = w.flushed
+				if w.val.Load() == w.persisted {
+					w.state = wordClean
+				} else {
+					w.state = wordDirty
+				}
 			}
 		}
+		m.pmu.Unlock()
 	}
-	m.pmu.Unlock()
+	if m.trc != nil {
+		m.emit(trace.MemFence, InvalidAddr, 0, at)
+	}
 }
 
 // Persist flushes the word at a and fences, making its current value
 // durable before returning.
-func (m *Memory) Persist(a Addr) {
-	m.Flush(a)
-	m.Fence()
+func (m *Memory) Persist(a Addr) { m.PersistAt(a, trace.Attr{}) }
+
+// PersistAt is Persist carrying trace attribution.
+func (m *Memory) PersistAt(a Addr, at trace.Attr) {
+	m.FlushAt(a, at)
+	m.FenceAt(at)
 }
 
 // CrashAll simulates a full-system power failure: every word reverts to its

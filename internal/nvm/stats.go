@@ -5,6 +5,24 @@ import "sync/atomic"
 // Stats counts the operations applied to a Memory since creation (or since
 // the last ResetStats). Counters are updated atomically and may be sampled
 // concurrently with memory operations.
+//
+// # Snapshot consistency contract
+//
+// Each counter is individually atomic, but a StatsSnapshot is NOT a
+// cross-counter atomic picture: Stats loads the eight counters one after
+// another, so a snapshot taken while memory operations are in flight may
+// pair a read count from before a concurrent operation with a write count
+// from after it. Likewise ResetStats zeroes the counters one at a time; a
+// concurrent sampler can observe some counters already reset and others
+// not, and an increment racing a reset lands on whichever side of the
+// zeroing its Add happens to fall — it is never lost and never double
+// counted, but which interval it is attributed to is unspecified.
+//
+// Callers that need exact per-interval deltas must either quiesce the
+// memory around the sample (what the harness does: it samples between
+// System.Wait and the next workload) or use DrainStats, which atomically
+// steals each counter's value so that every increment is attributed to
+// exactly one interval even under concurrency.
 type Stats struct {
 	reads         atomic.Uint64
 	writes        atomic.Uint64
@@ -48,7 +66,9 @@ func (m *Memory) Stats() StatsSnapshot {
 	}
 }
 
-// ResetStats zeroes all counters.
+// ResetStats zeroes all counters. See the Stats type documentation for
+// the consistency contract with concurrent samplers: the reset is atomic
+// per counter, not across counters.
 func (m *Memory) ResetStats() {
 	m.stats.reads.Store(0)
 	m.stats.writes.Store(0)
@@ -58,4 +78,23 @@ func (m *Memory) ResetStats() {
 	m.stats.flushes.Store(0)
 	m.stats.fences.Store(0)
 	m.stats.systemCrashes.Store(0)
+}
+
+// DrainStats atomically swaps every counter to zero and returns the
+// drained values. Unlike a Stats-then-ResetStats pair, an increment
+// racing the drain is attributed to exactly one interval: either it is
+// included in the returned snapshot or it survives into the next one.
+// (The snapshot is still assembled counter by counter; only per-counter
+// exactness is guaranteed, per the Stats contract.)
+func (m *Memory) DrainStats() StatsSnapshot {
+	return StatsSnapshot{
+		Reads:         m.stats.reads.Swap(0),
+		Writes:        m.stats.writes.Swap(0),
+		CASes:         m.stats.cases.Swap(0),
+		TASes:         m.stats.tases.Swap(0),
+		FAAs:          m.stats.faas.Swap(0),
+		Flushes:       m.stats.flushes.Swap(0),
+		Fences:        m.stats.fences.Swap(0),
+		SystemCrashes: m.stats.systemCrashes.Swap(0),
+	}
 }

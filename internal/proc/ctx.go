@@ -5,6 +5,7 @@ import (
 
 	"nrl/internal/history"
 	"nrl/internal/nvm"
+	"nrl/internal/trace"
 )
 
 // Ctx is the execution context handed to operation implementations and
@@ -107,8 +108,10 @@ func (c *Ctx) Invoke(op Operation, args ...uint64) uint64 {
 	}
 	fr := p.push(op, cloneArgs(args))
 	p.record(history.Inv, fr, fr.args, 0)
+	p.emitOp(trace.Invoke, fr, fr.args, 0)
 	ret := op.Exec(c, op.Info().Entry)
 	p.record(history.Res, fr, nil, ret)
+	p.emitOp(trace.Response, fr, nil, ret)
 	p.pop()
 	return ret
 }
@@ -133,17 +136,48 @@ func (c *Ctx) Await(line int, cond func() bool) {
 	}
 }
 
-// Read is shorthand for Mem().Read.
-func (c *Ctx) Read(a nvm.Addr) uint64 { return c.p.sys.mem.Read(a) }
+// attr builds the trace attribution for a memory access issued by this
+// process: the issuing pid, the inner-most pending operation (if any) and
+// the nesting depth. With tracing off it returns the zero Attr without
+// touching the frame stack, keeping the untraced path allocation-free.
+func (c *Ctx) attr() trace.Attr {
+	p := c.p
+	if p.sys.tracer == nil {
+		return trace.Attr{}
+	}
+	at := trace.Attr{P: p.id, Depth: len(p.stack)}
+	if len(p.stack) > 0 {
+		info := p.top().op.Info()
+		at.Obj, at.Op = info.Obj, info.Op
+	}
+	return at
+}
 
-// Write is shorthand for Mem().Write.
-func (c *Ctx) Write(a nvm.Addr, v uint64) { c.p.sys.mem.Write(a, v) }
+// Read is shorthand for Mem().Read, attributed to this process and its
+// current operation in traces.
+func (c *Ctx) Read(a nvm.Addr) uint64 { return c.p.sys.mem.ReadAt(a, c.attr()) }
 
-// CAS is shorthand for Mem().CAS.
-func (c *Ctx) CAS(a nvm.Addr, old, new uint64) bool { return c.p.sys.mem.CAS(a, old, new) }
+// Write is shorthand for Mem().Write, attributed in traces.
+func (c *Ctx) Write(a nvm.Addr, v uint64) { c.p.sys.mem.WriteAt(a, v, c.attr()) }
 
-// TAS is shorthand for Mem().TAS.
-func (c *Ctx) TAS(a nvm.Addr) uint64 { return c.p.sys.mem.TAS(a) }
+// CAS is shorthand for Mem().CAS, attributed in traces.
+func (c *Ctx) CAS(a nvm.Addr, old, new uint64) bool {
+	return c.p.sys.mem.CASAt(a, old, new, c.attr())
+}
 
-// FAA is shorthand for Mem().FAA.
-func (c *Ctx) FAA(a nvm.Addr, delta uint64) uint64 { return c.p.sys.mem.FAA(a, delta) }
+// TAS is shorthand for Mem().TAS, attributed in traces.
+func (c *Ctx) TAS(a nvm.Addr) uint64 { return c.p.sys.mem.TASAt(a, c.attr()) }
+
+// FAA is shorthand for Mem().FAA, attributed in traces.
+func (c *Ctx) FAA(a nvm.Addr, delta uint64) uint64 {
+	return c.p.sys.mem.FAAAt(a, delta, c.attr())
+}
+
+// Flush is shorthand for Mem().Flush, attributed in traces.
+func (c *Ctx) Flush(a nvm.Addr) { c.p.sys.mem.FlushAt(a, c.attr()) }
+
+// Fence is shorthand for Mem().Fence, attributed in traces.
+func (c *Ctx) Fence() { c.p.sys.mem.FenceAt(c.attr()) }
+
+// Persist is shorthand for Mem().Persist, attributed in traces.
+func (c *Ctx) Persist(a nvm.Addr) { c.p.sys.mem.PersistAt(a, c.attr()) }

@@ -7,6 +7,7 @@ import (
 
 	"nrl/internal/history"
 	"nrl/internal/nvm"
+	"nrl/internal/trace"
 )
 
 // Config configures a System.
@@ -17,6 +18,13 @@ type Config struct {
 	Mem *nvm.Memory
 	// Recorder, if non-nil, receives every history step.
 	Recorder *history.Recorder
+	// Tracer, if non-nil, receives a structured trace event for every
+	// operation lifecycle transition (invoke/response/crash/recover/
+	// recover-done) and — installed into Mem via nvm.Memory.SetTracer —
+	// for every NVRAM primitive, attributed to the issuing process and
+	// operation. nil (or trace.Nop, which normalizes to nil) skips event
+	// construction entirely; see internal/trace for the sinks.
+	Tracer trace.Tracer
 	// Injector decides crash points (default: Never).
 	Injector Injector
 	// Scheduler controls interleaving (default: Free).
@@ -45,6 +53,7 @@ const DefaultAwaitBudget = 5_000_000
 type System struct {
 	mem           *nvm.Memory
 	rec           *history.Recorder
+	tracer        trace.Tracer
 	inj           Injector
 	sched         Scheduler
 	procs         []*Proc
@@ -78,9 +87,14 @@ func NewSystem(cfg Config) *System {
 	if budget == 0 {
 		budget = DefaultAwaitBudget
 	}
+	tracer := trace.Active(cfg.Tracer)
+	if tracer != nil {
+		mem.SetTracer(tracer)
+	}
 	s := &System{
 		mem:           mem,
 		rec:           cfg.Recorder,
+		tracer:        tracer,
 		inj:           inj,
 		sched:         sched,
 		awaitBudget:   budget,
@@ -100,6 +114,9 @@ func (s *System) N() int { return len(s.procs) - 1 }
 
 // Mem returns the shared NVRAM.
 func (s *System) Mem() *nvm.Memory { return s.mem }
+
+// Tracer returns the configured trace sink (nil if tracing is off).
+func (s *System) Tracer() trace.Tracer { return s.tracer }
 
 // Proc returns process p (1-based).
 func (s *System) Proc(p int) *Proc { return s.procs[p] }
@@ -181,6 +198,9 @@ type frame struct {
 	opID int64
 	args []uint64
 	li   int // last instruction begun (0 before the first step)
+	// attempts counts how many times this frame's recovery function has
+	// been entered (0 for an operation that never crashed).
+	attempts int
 
 	// child holds the response of a nested operation that completed
 	// through recovery, available to this frame's recovery function via
@@ -241,14 +261,33 @@ func (p *Proc) record(k history.Kind, fr *frame, args []uint64, ret uint64) {
 	})
 }
 
+// emitOp sends one operation-lifecycle trace event for fr. The event
+// snapshots the frame's LI, recovery-attempt count and nesting depth, and
+// the process/global step counters, at the moment of emission.
+func (p *Proc) emitOp(k trace.Kind, fr *frame, args []uint64, ret uint64) {
+	t := p.sys.tracer
+	if t == nil {
+		return
+	}
+	info := fr.op.Info()
+	t.Emit(trace.Event{
+		Kind: k, P: p.id, Obj: info.Obj, Op: info.Op,
+		Depth: len(p.stack), Line: fr.li, Attempt: fr.attempts,
+		PStep: p.steps, GStep: p.sys.globalSteps.Load(),
+		Addr: int32(nvm.InvalidAddr), Args: args, Ret: ret,
+	})
+}
+
 // call runs a top-level operation to completion, surviving any number of
 // crashes. It is the system's resurrection loop.
 func (p *Proc) call(op Operation, args []uint64) uint64 {
 	fr := p.push(op, args)
 	p.record(history.Inv, fr, fr.args, 0)
+	p.emitOp(trace.Invoke, fr, fr.args, 0)
 	ret, ok := p.attempt(func() uint64 {
 		r := op.Exec(p.ctx, op.Info().Entry)
 		p.record(history.Res, fr, nil, r)
+		p.emitOp(trace.Response, fr, nil, r)
 		p.pop()
 		return r
 	})
@@ -277,6 +316,7 @@ func (p *Proc) attempt(f func() uint64) (ret uint64, ok bool) {
 func (p *Proc) onCrash() {
 	p.crashes++
 	p.record(history.Crash, p.top(), nil, 0)
+	p.emitOp(trace.Crash, p.top(), nil, 0)
 	for _, fr := range p.stack {
 		fr.childValid = false
 	}
@@ -292,8 +332,11 @@ func (p *Proc) resume() uint64 {
 	var ret uint64
 	for {
 		fr := p.top()
+		fr.attempts++
+		p.emitOp(trace.Recover, fr, nil, 0)
 		ret = fr.op.Exec(p.ctx, fr.op.Info().RecoverEntry)
 		p.record(history.Res, fr, nil, ret)
+		p.emitOp(trace.RecoverDone, fr, nil, ret)
 		p.pop()
 		if len(p.stack) == 0 {
 			return ret

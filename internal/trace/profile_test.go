@@ -1,0 +1,169 @@
+package trace
+
+import "testing"
+
+func TestHist(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty hist should report zeros")
+	}
+	for _, v := range []uint64{0, 1, 1, 2, 3, 4, 8, 100} {
+		h.Add(v)
+	}
+	if h.Count != 8 {
+		t.Fatalf("Count = %d", h.Count)
+	}
+	if h.Max != 100 {
+		t.Errorf("Max = %d", h.Max)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p100 = %d, want 100 (capped at Max)", got)
+	}
+	if got := h.Quantile(0.5); got > 3 {
+		t.Errorf("p50 = %d, want <= 3", got)
+	}
+	if m := h.Mean(); m != 119.0/8 {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestHistOverflowBucket(t *testing.T) {
+	var h Hist
+	h.Add(1 << 40) // far beyond any realistic step span; must not panic
+	if h.Count != 1 || h.Max != 1<<40 {
+		t.Errorf("Count=%d Max=%d", h.Count, h.Max)
+	}
+}
+
+func TestMemCountsOps(t *testing.T) {
+	m := MemCounts{Reads: 1, Writes: 2, CASes: 3, TASes: 4, FAAs: 5, Flushes: 100, Fences: 100}
+	if m.Ops() != 15 {
+		t.Errorf("Ops = %d, want 15 (flushes/fences excluded)", m.Ops())
+	}
+}
+
+// lifecycle builds the event stream of one traced counter increment that
+// crashes once inside a nested register write and completes via recovery.
+func lifecycle() []Event {
+	return []Event{
+		{Kind: Invoke, P: 1, Obj: "ctr", Op: "INC", Depth: 1, GStep: 0, Addr: -1},
+		{Kind: Invoke, P: 1, Obj: "ctr.R[1]", Op: "WRITE", Depth: 2, GStep: 2, Addr: -1},
+		{Kind: MemRead, P: 1, Obj: "ctr.R[1]", Op: "WRITE", Depth: 2, Addr: 0, Ret: 5},
+		{Kind: Crash, P: 1, Obj: "ctr.R[1]", Op: "WRITE", Depth: 2, Line: 5, GStep: 4, Addr: -1},
+		{Kind: Recover, P: 1, Obj: "ctr.R[1]", Op: "WRITE", Depth: 2, Line: 5, Attempt: 1, GStep: 4, Addr: -1},
+		{Kind: MemWrite, P: 1, Obj: "ctr.R[1]", Op: "WRITE", Depth: 2, Addr: 1, Ret: 6},
+		{Kind: RecoverDone, P: 1, Obj: "ctr.R[1]", Op: "WRITE", Depth: 2, Attempt: 1, GStep: 7, Addr: -1},
+		{Kind: Recover, P: 1, Obj: "ctr", Op: "INC", Depth: 1, Attempt: 1, GStep: 7, Addr: -1},
+		{Kind: RecoverDone, P: 1, Obj: "ctr", Op: "INC", Depth: 1, Attempt: 1, GStep: 9, Addr: -1},
+	}
+}
+
+func TestBuildLifecycle(t *testing.T) {
+	p := Build(lifecycle())
+	ctr := p.PerObject["ctr"]
+	if ctr == nil {
+		t.Fatal("no ctr profile")
+	}
+	// Both the INC and the nested WRITE fold to root object "ctr".
+	if ctr.Invokes != 2 || ctr.Completes != 2 {
+		t.Errorf("Invokes=%d Completes=%d, want 2,2", ctr.Invokes, ctr.Completes)
+	}
+	if ctr.Crashes != 1 || ctr.Recoveries != 2 || ctr.RecoveredOps != 2 {
+		t.Errorf("Crashes=%d Recoveries=%d RecoveredOps=%d, want 1,2,2",
+			ctr.Crashes, ctr.Recoveries, ctr.RecoveredOps)
+	}
+	if ctr.MaxDepth != 2 {
+		t.Errorf("MaxDepth = %d, want 2", ctr.MaxDepth)
+	}
+	if ctr.RecoveryDepth[2] != 1 {
+		t.Errorf("RecoveryDepth[2] = %d, want 1 (crash struck the nested frame)", ctr.RecoveryDepth[2])
+	}
+	if p.RecoveryDepth[2] != 1 {
+		t.Errorf("global RecoveryDepth[2] = %d, want 1", p.RecoveryDepth[2])
+	}
+	if ctr.Mem.Reads != 1 || ctr.Mem.Writes != 1 {
+		t.Errorf("Mem = %+v, want 1 read 1 write", ctr.Mem)
+	}
+	// Top-level latency: invoke at gstep 0, recover-done at gstep 9.
+	if ctr.Latency.Count != 1 || ctr.Latency.Max != 9 {
+		t.Errorf("Latency count=%d max=%d, want 1,9", ctr.Latency.Count, ctr.Latency.Max)
+	}
+	pr := p.PerProc[1]
+	if pr == nil || pr.Completes != 2 || pr.Crashes != 1 {
+		t.Fatalf("proc profile = %+v", pr)
+	}
+	if p.Events != uint64(len(lifecycle())) {
+		t.Errorf("Events = %d", p.Events)
+	}
+}
+
+func TestBuildFenceAttribution(t *testing.T) {
+	events := []Event{
+		{Kind: MemWrite, Obj: "log", Addr: 0, Ret: 1},
+		{Kind: MemFlush, Obj: "", Name: "log.rec[0]", Addr: 0},
+		{Kind: MemFence, Addr: -1},
+		{Kind: MemFlush, Obj: "reg", Addr: 3},
+		{Kind: MemFlush, Obj: "log", Name: "log.len", Addr: 1},
+		{Kind: MemFence, Addr: -1},
+		{Kind: MemFence, Addr: -1}, // fence with nothing flushed: global only
+	}
+	p := Build(events)
+	log := p.PerObject["log"]
+	if log.Mem.Flushes != 2 || log.Mem.Fences != 2 {
+		t.Errorf("log: %d flushes %d fences, want 2,2", log.Mem.Flushes, log.Mem.Fences)
+	}
+	reg := p.PerObject["reg"]
+	if reg.Mem.Flushes != 1 || reg.Mem.Fences != 1 {
+		t.Errorf("reg: %d flushes %d fences, want 1,1", reg.Mem.Flushes, reg.Mem.Fences)
+	}
+	if p.Fences != 3 {
+		t.Errorf("global fences = %d, want 3", p.Fences)
+	}
+}
+
+func TestBuildTruncatedStream(t *testing.T) {
+	// A ring that dropped the invoke: the response must not pair with a
+	// stale frame or panic, and latency must be skipped.
+	events := []Event{
+		{Kind: Response, P: 1, Obj: "ctr", Op: "INC", Depth: 1, GStep: 50, Addr: -1},
+		{Kind: MemRead, P: 2, Obj: "q", Addr: 9},
+	}
+	p := Build(events)
+	if p.PerObject["ctr"].Completes != 1 {
+		t.Error("response not counted")
+	}
+	if p.PerObject["ctr"].Latency.Count != 0 {
+		t.Error("latency computed from a truncated stream")
+	}
+	if p.PerObject["q"].Mem.Reads != 1 {
+		t.Error("mem read not attributed")
+	}
+}
+
+func TestBuildUnattributedKey(t *testing.T) {
+	p := Build([]Event{{Kind: MemRead, Addr: 2}})
+	o := p.PerObject["(unattributed)"]
+	if o == nil || o.Mem.Reads != 1 {
+		t.Fatalf("unattributed read not bucketed: %+v", p.PerObject)
+	}
+}
+
+func TestProfileSortedAccessors(t *testing.T) {
+	p := Build([]Event{
+		{Kind: MemRead, P: 2, Obj: "b", Addr: 0},
+		{Kind: MemRead, P: 1, Obj: "a", Addr: 0},
+		{Kind: Crash, P: 1, Obj: "a", Depth: 1, Addr: -1},
+		{Kind: Crash, P: 1, Obj: "a", Depth: 3, Addr: -1},
+	})
+	objs := p.Objects()
+	if len(objs) != 2 || objs[0].Obj != "a" || objs[1].Obj != "b" {
+		t.Errorf("Objects() not sorted: %v", []string{objs[0].Obj, objs[1].Obj})
+	}
+	procs := p.Procs()
+	if len(procs) != 2 || procs[0].P != 1 || procs[1].P != 2 {
+		t.Error("Procs() not sorted")
+	}
+	if d := p.Depths(); len(d) != 2 || d[0] != 1 || d[1] != 3 {
+		t.Errorf("Depths() = %v", d)
+	}
+}

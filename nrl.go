@@ -28,6 +28,7 @@ import (
 	"nrl/internal/proc"
 	"nrl/internal/rme"
 	"nrl/internal/spec"
+	"nrl/internal/trace"
 	"nrl/internal/universal"
 )
 
@@ -64,6 +65,31 @@ type (
 	Model = spec.Model
 	// ModelFor resolves the model of an object by name.
 	ModelFor = linearize.ModelFor
+)
+
+// Tracing and profiling (see internal/trace and DESIGN.md §Observability).
+type (
+	// Tracer receives structured trace events; install one via
+	// Config.Tracer to record every operation lifecycle transition and
+	// NVRAM primitive of a run.
+	Tracer = trace.Tracer
+	// TraceEvent is one structured trace event.
+	TraceEvent = trace.Event
+	// TraceKind discriminates trace events (invoke, crash, mem-cas, ...).
+	TraceKind = trace.Kind
+	// RingTracer keeps the last N events in memory (overwrite-oldest).
+	RingTracer = trace.Ring
+	// JSONLTracer streams events to an io.Writer, one JSON object per
+	// line.
+	JSONLTracer = trace.JSONL
+	// NopTracer discards events. It is normalized to nil at install time,
+	// so it costs exactly as much as no tracer at all.
+	NopTracer = trace.Nop
+	// MultiTracer fans events out to several sinks.
+	MultiTracer = trace.Multi
+	// TraceProfile aggregates a trace into per-object and per-process
+	// latency, memory-traffic and recovery statistics.
+	TraceProfile = trace.Profile
 )
 
 // Recoverable objects (the paper's algorithms and the extensions).
@@ -111,6 +137,14 @@ var (
 	RoundRobinPicker = proc.RoundRobinPicker
 	// ScriptPicker returns a scripted picker.
 	ScriptPicker = proc.ScriptPicker
+
+	// NewRingTracer creates an in-memory ring sink holding the last n
+	// events (n <= 0 applies a default capacity).
+	NewRingTracer = trace.NewRing
+	// NewJSONLTracer creates a buffered JSONL sink over an io.Writer.
+	NewJSONLTracer = trace.NewJSONL
+	// BuildTraceProfile aggregates recorded events into a TraceProfile.
+	BuildTraceProfile = trace.Build
 
 	// NewRegister creates a recoverable register (Algorithm 1).
 	NewRegister = core.NewRegister
