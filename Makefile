@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench golden
+.PHONY: all build test race vet bench golden chaos
 
 all: vet build test
 
@@ -22,4 +22,9 @@ bench:
 # Regenerate the golden files of the CLI tests (after an intentional
 # output change).
 golden:
-	$(GO) test ./cmd/nrltrace/ ./cmd/nrlstat/ -update
+	$(GO) test ./cmd/nrltrace/ ./cmd/nrlstat/ ./cmd/nrlchaos/ ./cmd/nrlcheck/ ./cmd/nrlsweep/ -update
+
+# Seeded coverage-guided crash campaign over every real workload (the CI
+# smoke; raise -runs for a deeper hunt).
+chaos:
+	$(GO) run ./cmd/nrlchaos -runs 25 -seed 1

@@ -1,0 +1,209 @@
+// Command nrlchaos runs coverage-guided crash campaigns against the
+// harness workloads: N seeded runs per workload, crashes biased toward
+// never-crashed coordinates (object, operation, line, depth,
+// crashes-so-far), every history NRL-checked, livelocks diagnosed by the
+// watchdog as structured stuck reports, and failures shrunk to a minimal
+// deterministic reproducer printed as replayable flags.
+//
+// Usage:
+//
+//	nrlchaos [-workload NAME|all] [-runs N] [-seed S] [-procs N] [-ops N]
+//	         [-rate R] [-boost B] [-maxcrashes N] [-target EXPR]
+//	         [-shrink] [-coverage]
+//	nrlchaos -workload NAME -replay SITES -seed RUNSEED [-procs N] [-ops N]
+//	         [-trace out.jsonl]
+//
+// In campaign mode -seed is the master seed (each run derives its own);
+// in replay mode -seed is the failing run's seed as printed in the
+// reproducer line. -target restricts crashes to a region, e.g.
+// "recovery&depth>=2" (during nested recovery), "await" (inside a
+// waiting loop), "attempt>=1" (second crash of the same frame).
+//
+// Exit codes: 0 clean, 1 NRL violation found (or reproduced), 2 stuck
+// runs (livelock) without a violation, 3 usage error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nrl/internal/chaos"
+	"nrl/internal/harness"
+	"nrl/internal/proc"
+	"nrl/internal/trace"
+)
+
+// Exit codes (shared convention with nrlcheck and nrlsweep).
+const (
+	exitClean     = 0
+	exitViolation = 1
+	exitStuck     = 2
+	exitUsage     = 3
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("nrlchaos", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	workload := fs.String("workload", "all", "workload: "+harness.WorkloadUsage())
+	runs := fs.Int("runs", 50, "seeded runs per workload")
+	seed := fs.Int64("seed", 1, "master seed (campaign) or run seed (replay)")
+	procs := fs.Int("procs", 2, "number of processes (clamped by the workload)")
+	ops := fs.Int("ops", 2, "operations per process per run")
+	rate := fs.Float64("rate", chaos.DefaultRate, "base crash probability for covered coordinates")
+	boost := fs.Float64("boost", chaos.DefaultBoost, "rate multiplier for never-crashed coordinates")
+	maxCrashes := fs.Int("maxcrashes", 0, "crash budget per run (0 = 2*procs+2)")
+	target := fs.String("target", "", "restrict crashes to a region (e.g. recovery&depth>=2, await, attempt>=1)")
+	shrink := fs.Bool("shrink", true, "shrink failures to a minimal reproducer")
+	coverage := fs.Bool("coverage", false, "print the full coverage table per workload")
+	replay := fs.String("replay", "", "replay crash sites (p1@12,p2@40) instead of campaigning")
+	traceOut := fs.String("trace", "", "replay only: write the run's event stream to this JSONL file")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *replay != "" {
+		return runReplay(out, errOut, *workload, *replay, *seed, *procs, *ops, *traceOut)
+	}
+
+	var loads []harness.Workload
+	if *workload == "all" {
+		loads = harness.RealWorkloads()
+	} else {
+		w, ok := harness.WorkloadByName(*workload)
+		if !ok {
+			fmt.Fprintf(errOut, "nrlchaos: unknown workload %q (want %s)\n", *workload, harness.WorkloadUsage())
+			return exitUsage
+		}
+		loads = []harness.Workload{w}
+	}
+
+	code := exitClean
+	for _, w := range loads {
+		res, err := chaos.Run(chaos.Config{
+			Workload: w,
+			Procs:    *procs, Ops: *ops,
+			Runs: *runs, Seed: *seed,
+			Rate: *rate, Boost: *boost, MaxCrashes: *maxCrashes,
+			Target: *target, Shrink: *shrink,
+		})
+		if err != nil {
+			fmt.Fprintf(errOut, "nrlchaos: %s: %v\n", w.Name, err)
+			return exitUsage
+		}
+		printSummary(out, w, res, *procs, *ops)
+		if *coverage {
+			printCoverage(out, res.Coverage)
+		}
+		if res.Failure != nil {
+			code = exitViolation
+		} else if res.Stuck > 0 && code == exitClean {
+			code = exitStuck
+		}
+	}
+	return code
+}
+
+func printSummary(out io.Writer, w harness.Workload, res *chaos.Result, procs, ops int) {
+	d, c := res.Coverage.Stats()
+	fmt.Fprintf(out, "%-12s %d runs, %d crashes, coverage %d/%d coords (%.0f%%)",
+		w.Name, res.Runs, res.Crashes, c, d, res.Coverage.Fraction()*100)
+	if res.Stuck > 0 {
+		fmt.Fprintf(out, ", %d stuck", res.Stuck)
+	}
+	if res.Partial > 0 {
+		fmt.Fprintf(out, ", %d partial verdicts", res.Partial)
+	}
+	if res.Failure == nil {
+		fmt.Fprintf(out, ": ok\n")
+	} else {
+		fmt.Fprintf(out, ": VIOLATION\n")
+	}
+	if res.Stuck > 0 && res.FirstStuck != nil {
+		fmt.Fprintf(out, "  first stuck run:\n")
+		printIndented(out, res.FirstStuck.String(), "    ")
+	}
+	if f := res.Failure; f != nil {
+		fmt.Fprintf(out, "  run %d (seed %d): %v\n", f.Run, f.RunSeed, f.Err)
+		fmt.Fprintf(out, "  crash sites: %s", chaos.FormatSites(f.Sites))
+		if len(f.Shrunk) < len(f.Sites) {
+			fmt.Fprintf(out, " -> shrunk to %s (%d replays)", chaos.FormatSites(f.Shrunk), f.ShrinkRuns)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "  replay: nrlchaos -workload %s -procs %d -ops %d -seed %d -replay %s\n",
+			w.Name, procs, ops, f.RunSeed, chaos.FormatSites(f.Shrunk))
+	}
+}
+
+func printCoverage(out io.Writer, cov *chaos.Coverage) {
+	fmt.Fprintf(out, "  %-28s %8s %8s\n", "coordinate", "offered", "crashes")
+	for _, row := range cov.Rows() {
+		fmt.Fprintf(out, "  %-28s %8d %8d\n", row.Coord, row.Offered, row.Crashes)
+	}
+}
+
+func printIndented(out io.Writer, s, prefix string) {
+	for len(s) > 0 {
+		line := s
+		if i := indexByte(s, '\n'); i >= 0 {
+			line, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
+		fmt.Fprintf(out, "%s%s\n", prefix, line)
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func runReplay(out, errOut io.Writer, workload, sitesFlag string, seed int64, procs, ops int, traceOut string) int {
+	w, ok := harness.WorkloadByName(workload)
+	if !ok || workload == "all" {
+		fmt.Fprintf(errOut, "nrlchaos: -replay needs a single workload (want %s)\n", harness.WorkloadUsage())
+		return exitUsage
+	}
+	sites, err := chaos.ParseSites(sitesFlag)
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlchaos:", err)
+		return exitUsage
+	}
+	var tr trace.Tracer
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(errOut, "nrlchaos:", err)
+			return exitUsage
+		}
+		defer f.Close()
+		jl := trace.NewJSONL(f)
+		defer jl.Flush()
+		tr = jl
+	}
+	h, verdict := chaos.ReplayTraced(w, procs, ops, seed, sites, 0, 0, tr)
+	fmt.Fprintf(out, "replay %s seed %d sites %s: %d history steps\n",
+		w.Name, seed, chaos.FormatSites(sites), len(h.Steps))
+	if verdict == nil {
+		fmt.Fprintln(out, "verdict: ok (no NRL violation)")
+		return exitClean
+	}
+	var se *proc.StuckError
+	if errors.As(verdict, &se) {
+		fmt.Fprintln(out, "verdict: STUCK")
+		printIndented(out, se.Report.String(), "  ")
+		return exitStuck
+	}
+	fmt.Fprintf(out, "verdict: VIOLATION: %v\nhistory:\n%s", verdict, h)
+	return exitViolation
+}

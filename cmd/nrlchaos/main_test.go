@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden runs the CLI and compares stdout (and the exit code) against a
+// golden file. Campaigns are deterministic — controlled scheduler, seeded
+// picker and injector streams, no wall-clock in the output — so the exact
+// summaries are reproducible.
+func golden(t *testing.T, name string, wantCode int, args ...string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	if code != wantCode {
+		t.Fatalf("run(%v) = exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			args, code, wantCode, out.String(), errOut.String())
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, out.Bytes(), want)
+	}
+}
+
+// TestCampaignBrokenGolden: the negative control exits 1 and prints the
+// failure block with a replayable flag line.
+func TestCampaignBrokenGolden(t *testing.T) {
+	golden(t, "broken", exitViolation,
+		"-workload", "broken", "-procs", "1", "-ops", "2", "-runs", "30", "-seed", "42")
+}
+
+// TestCampaignCleanGolden: a real algorithm exits 0 with its coverage
+// summary (and full table).
+func TestCampaignCleanGolden(t *testing.T) {
+	golden(t, "counter", exitClean,
+		"-workload", "counter", "-runs", "25", "-seed", "7", "-coverage")
+}
+
+// TestCampaignStuckGolden: the stuck strawman exits 2 and prints the
+// structured watchdog report instead of panicking.
+func TestCampaignStuckGolden(t *testing.T) {
+	golden(t, "stuck", exitStuck,
+		"-workload", "stuck", "-procs", "1", "-ops", "1", "-runs", "3", "-seed", "3")
+}
+
+// TestReplayGolden replays the reproducer printed by the broken campaign
+// (seed and site taken from testdata/broken.golden) and exits 1 with the
+// violating history.
+func TestReplayGolden(t *testing.T) {
+	golden(t, "replay", exitViolation,
+		"-workload", "broken", "-procs", "1", "-ops", "2",
+		"-seed", "6349198060258255764", "-replay", "p1@8")
+}
+
+// TestReplayTrace: -trace writes one valid JSON event per line alongside
+// the replay verdict.
+func TestReplayTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-workload", "broken", "-procs", "1", "-ops", "2",
+		"-seed", "6349198060258255764", "-replay", "p1@8", "-trace", path,
+	}, &out, &errOut)
+	if code != exitViolation {
+		t.Fatalf("exit %d, want %d\n%s%s", code, exitViolation, out.String(), errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) < 10 {
+		t.Fatalf("suspiciously small trace: %d lines", len(lines))
+	}
+	for i, line := range lines {
+		var e map[string]any
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
+		}
+	}
+	if !bytes.Contains(data, []byte(`"crash"`)) {
+		t.Error("trace has no crash event despite an injected crash")
+	}
+}
+
+// TestTargetedCampaign: -target restricts the injector; the recovery
+// campaign still completes cleanly on a correct object.
+func TestTargetedCampaign(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-workload", "cas", "-runs", "10", "-seed", "5", "-target", "recovery",
+	}, &out, &errOut)
+	if code != exitClean {
+		t.Fatalf("exit %d, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "cas") {
+		t.Errorf("summary missing workload name:\n%s", out.String())
+	}
+}
+
+// TestUsageErrors: unknown workload, bad sites, bad target, bad flag all
+// exit 3 without touching stdout.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "nope"},
+		{"-workload", "counter", "-replay", "zzz"},
+		{"-replay", "p1@3"}, // -workload all cannot be replayed
+		{"-workload", "counter", "-target", "bogus"},
+		{"-bogus"},
+		{"-workload", "counter", "-runs", "0"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != exitUsage {
+			t.Errorf("run(%v) = exit %d, want %d", args, code, exitUsage)
+		}
+		if out.Len() != 0 {
+			t.Errorf("run(%v) wrote to stdout on a usage error:\n%s", args, out.String())
+		}
+	}
+}

@@ -1,214 +1,110 @@
 // Command nrlcheck stress-tests the recoverable objects: it runs seeded
 // adversarial schedules with random crash injection against the chosen
-// object, records every history, and machine-checks each against
-// nesting-safe recoverable linearizability (Definition 4). A non-zero
-// exit means a counterexample was found; its history is printed.
+// workload, records every history, and machine-checks each against
+// nesting-safe recoverable linearizability (Definition 4).
 //
 // Usage:
 //
-//	nrlcheck [-obj counter|register|cas|tas|faa|maxreg|stack|queue|lock|universal|all]
-//	         [-procs N] [-ops N] [-seeds N] [-rate P] [-v]
+//	nrlcheck [-obj NAME|all] [-procs N] [-ops N] [-seeds N] [-rate P] [-v]
+//
+// Exit codes: 0 all histories NRL, 1 a counterexample was found (its
+// history is printed), 2 a run livelocked (the watchdog's stuck report is
+// printed), 3 usage error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"nrl"
+	"nrl/internal/harness"
 	"nrl/internal/history"
+	"nrl/internal/linearize"
+	"nrl/internal/proc"
+)
+
+// Exit codes (shared convention with nrlsweep and nrlchaos).
+const (
+	exitClean     = 0
+	exitViolation = 1
+	exitStuck     = 2
+	exitUsage     = 3
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "nrlcheck:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) error {
+func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("nrlcheck", flag.ContinueOnError)
-	obj := fs.String("obj", "all", "object under test: counter, register, cas, tas, faa, maxreg, stack, queue, lock, universal, wf-universal or all")
-	procs := fs.Int("procs", 3, "number of processes")
+	fs.SetOutput(errOut)
+	obj := fs.String("obj", "all", "workload: "+harness.WorkloadUsage())
+	procs := fs.Int("procs", 3, "number of processes (clamped by the workload)")
 	ops := fs.Int("ops", 6, "operations per process per run")
 	seeds := fs.Int("seeds", 50, "number of seeded runs")
 	rate := fs.Float64("rate", 0.02, "crash probability per step")
 	verbose := fs.Bool("v", false, "print per-run statistics")
+	awaitBudget := fs.Int("awaitbudget", 0, "await iterations before the watchdog declares a livelock (0 = default)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitUsage
 	}
 
-	objects := []string{"counter", "register", "cas", "tas", "faa", "maxreg", "stack", "queue", "lock", "universal", "wf-universal"}
-	if *obj != "all" {
-		objects = []string{*obj}
-	}
-	for _, name := range objects {
-		w, ok := workloads[name]
+	var loads []harness.Workload
+	if *obj == "all" {
+		loads = harness.RealWorkloads()
+	} else {
+		w, ok := harness.WorkloadByName(*obj)
 		if !ok {
-			return fmt.Errorf("unknown object %q", name)
+			fmt.Fprintf(errOut, "nrlcheck: unknown workload %q (want %s)\n", *obj, harness.WorkloadUsage())
+			return exitUsage
 		}
+		loads = []harness.Workload{w}
+	}
+	for _, w := range loads {
+		np := w.Procs(*procs)
 		totalCrashes := 0
 		for seed := 0; seed < *seeds; seed++ {
-			h, crashes, err := runOnce(w, *procs, *ops, *rate, int64(seed))
+			h, crashes, err := runOnce(w, np, *ops, *rate, int64(seed), *awaitBudget)
 			totalCrashes += crashes
+			var se *proc.StuckError
+			if errors.As(err, &se) {
+				fmt.Fprintf(out, "%s seed %d: STUCK\n%s\n", w.Name, seed, se.Report.String())
+				return exitStuck
+			}
 			if err != nil {
-				fmt.Printf("%s seed %d: VIOLATION\n%v\n\nhistory:\n%s", name, seed, err, h)
-				return fmt.Errorf("%s: NRL violated at seed %d", name, seed)
+				fmt.Fprintf(out, "%s seed %d: VIOLATION\n%v\n\nhistory:\n%s", w.Name, seed, err, h)
+				fmt.Fprintln(errOut, "nrlcheck:", w.Name, "NRL violated at seed", seed)
+				return exitViolation
 			}
 			if *verbose {
-				fmt.Printf("%s seed %d: ok (%d steps, %d crashes)\n", name, seed, h.Len(), crashes)
+				fmt.Fprintf(out, "%s seed %d: ok (%d steps, %d crashes)\n", w.Name, seed, h.Len(), crashes)
 			}
 		}
-		fmt.Printf("%-8s ok: %d runs x %d procs x %d ops, %d crashes injected, all NRL\n",
-			name, *seeds, *procs, *ops, totalCrashes)
+		fmt.Fprintf(out, "%-12s ok: %d runs x %d procs x %d ops, %d crashes injected, all NRL\n",
+			w.Name, *seeds, np, *ops, totalCrashes)
 	}
-	return nil
+	return exitClean
 }
 
-// workload builds the object under test and returns the per-process body
-// plus the model wiring for the checker.
-type workload func(sys *nrl.System, procs, ops int) (body func(*nrl.Ctx), models nrl.ModelFor)
-
-var workloads = map[string]workload{
-	"counter": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		ctr := nrl.NewCounter(sys, "ctr")
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					ctr.Inc(c)
-					if i%2 == 1 {
-						ctr.Read(c)
-					}
-				}
-			},
-			nrl.Models(map[string]nrl.Model{"ctr": nrl.CounterModel{}})
-	},
-	"register": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		r := nrl.NewRegister(sys, "reg", 0)
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					if i%3 == 2 {
-						r.Read(c)
-					} else {
-						r.Write(c, nrl.Distinct(c.P(), uint32(i+1), uint32(i)))
-					}
-				}
-			},
-			nrl.Models(map[string]nrl.Model{"reg": nrl.RegisterModel{}})
-	},
-	"cas": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		o := nrl.NewCASObject(sys, "cas")
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					cur := o.Read(c)
-					o.CAS(c, cur, nrl.DistinctCAS(c.P(), uint32(i+1), uint32(i)))
-				}
-			},
-			nrl.Models(map[string]nrl.Model{"cas": nrl.CASModel{}})
-	},
-	"tas": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		o := nrl.NewTAS(sys, "tas")
-		return func(c *nrl.Ctx) { o.TestAndSet(c) },
-			nrl.Models(map[string]nrl.Model{"tas": nrl.TASModel{}})
-	},
-	"faa": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		f := nrl.NewFAA(sys, "faa")
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					f.Add(c, uint64(c.P()))
-				}
-			},
-			nrl.Models(map[string]nrl.Model{"faa": nrl.FAAModel{}})
-	},
-	"maxreg": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		m := nrl.NewMaxRegister(sys, "maxreg")
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					m.WriteMax(c, uint64(c.P()*100+i))
-					if i%2 == 1 {
-						m.ReadMax(c)
-					}
-				}
-			},
-			nrl.Models(map[string]nrl.Model{"maxreg": nrl.MaxRegisterModel{}})
-	},
-	"lock": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		l := nrl.NewLock(sys, "lock")
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					l.Acquire(c)
-					l.Release(c)
-				}
-			},
-			nrl.Models(map[string]nrl.Model{
-				"lock":      nrl.MutexModel{},
-				"lock.next": nrl.FAAModel{},
-			})
-	},
-	"queue": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		q := nrl.NewQueue(sys, "q", 4096)
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					q.Enqueue(c, uint64(c.P()*1000+i))
-					if i%2 == 1 {
-						q.Dequeue(c)
-					}
-				}
-			},
-			nrl.Models(map[string]nrl.Model{"q": nrl.QueueModel{}})
-	},
-	"universal": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		u := nrl.NewUniversal(sys, "u", nrl.QueueModel{}, 4096, []string{"ENQ", "DEQ"})
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					u.Invoke(c, "ENQ", uint64(c.P()*1000+i))
-					if i%2 == 1 {
-						u.Invoke(c, "DEQ")
-					}
-				}
-			},
-			nrl.Models(map[string]nrl.Model{"u": nrl.QueueModel{}})
-	},
-	"wf-universal": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		u := nrl.NewWaitFreeUniversal(sys, "w", nrl.CounterModel{}, 4096, []string{"INC", "READ"})
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					u.Invoke(c, "INC")
-					if i%2 == 1 {
-						u.Invoke(c, "READ")
-					}
-				}
-			},
-			nrl.Models(map[string]nrl.Model{"w": nrl.CounterModel{}})
-	},
-	"stack": func(sys *nrl.System, procs, ops int) (func(*nrl.Ctx), nrl.ModelFor) {
-		s := nrl.NewStack(sys, "stk", 4096)
-		return func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					s.Push(c, uint64(c.P()*1000+i))
-					if i%2 == 1 {
-						s.Pop(c)
-					}
-				}
-			},
-			nrl.Models(map[string]nrl.Model{"stk": nrl.StackModel{}})
-	},
-}
-
-func runOnce(w workload, procs, ops int, rate float64, seed int64) (history.History, int, error) {
-	rec := nrl.NewRecorder()
-	inj := &nrl.RandomCrash{Rate: rate, Seed: seed, MaxCrashes: procs * 2}
-	sys := nrl.NewSystem(nrl.Config{
-		Procs:     procs,
-		Recorder:  rec,
-		Injector:  inj,
-		Scheduler: nrl.NewControlled(nrl.RandomPicker(seed)),
+// runOnce performs one seeded run. It returns a *proc.StuckError (wrapped)
+// when the run livelocked, or the NRL checker's verdict otherwise.
+func runOnce(w harness.Workload, procs, ops int, rate float64, seed int64, awaitBudget int) (history.History, int, error) {
+	rec := history.NewRecorder()
+	inj := &proc.Random{Rate: rate, Seed: seed, MaxCrashes: procs * 2}
+	sys := proc.NewSystem(proc.Config{
+		Procs:         procs,
+		Recorder:      rec,
+		Injector:      inj,
+		Scheduler:     proc.NewControlled(proc.RandomPicker(seed)),
+		AwaitBudget:   awaitBudget,
+		RecoverPanics: true,
 	})
-	body, models := w(sys, procs, ops)
-	bodies := make(map[int]func(*nrl.Ctx), procs)
-	for p := 1; p <= procs; p++ {
-		bodies[p] = body
-	}
-	sys.Run(bodies)
+	sys.Run(w.Build(sys, procs, ops))
 	h := rec.History()
-	return h, inj.Crashes(), nrl.CheckNRL(models, h)
+	for _, f := range sys.Failures() {
+		return h, inj.Crashes(), f
+	}
+	return h, inj.Crashes(), linearize.CheckNRL(w.Models, h)
 }

@@ -1,150 +1,98 @@
 // Command nrlsweep runs the crash-point sweeper: it discovers every
 // (process, object, operation, line) crash site a workload visits, then
-// re-runs the workload with a single crash at each site (and optionally a
-// second crash at the first recovery step), checking every history for
-// nesting-safe recoverable linearizability.
+// re-runs the workload with a single crash at each site — and optionally
+// a second crash at the first recovery step (-double) or at every line of
+// the recovery path (-deep) — checking every history for nesting-safe
+// recoverable linearizability.
 //
 // Usage:
 //
-//	nrlsweep [-obj counter|cas|tas|stack|queue|lock|all] [-procs N]
-//	         [-ops N] [-double] [-seed N]
+//	nrlsweep [-obj NAME|all] [-procs N] [-ops N] [-double] [-deep] [-seed N]
+//
+// Exit codes: 0 all placements NRL, 1 a placement violated NRL (its
+// history is printed), 2 a placement livelocked recovery (the watchdog's
+// stuck report is printed), 3 usage error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"nrl"
+	"nrl/internal/harness"
 	"nrl/internal/proc"
 	"nrl/internal/sweep"
 )
 
+// Exit codes (shared convention with nrlcheck and nrlchaos).
+const (
+	exitClean     = 0
+	exitViolation = 1
+	exitStuck     = 2
+	exitUsage     = 3
+)
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "nrlsweep:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) error {
+func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("nrlsweep", flag.ContinueOnError)
-	obj := fs.String("obj", "all", "workload: counter, cas, tas, stack, queue, lock or all")
-	procs := fs.Int("procs", 2, "number of processes")
+	fs.SetOutput(errOut)
+	obj := fs.String("obj", "all", "workload: "+harness.WorkloadUsage())
+	procs := fs.Int("procs", 2, "number of processes (clamped by the workload)")
 	ops := fs.Int("ops", 3, "operations per process")
 	double := fs.Bool("double", true, "also inject a second crash at the first recovery step")
+	deep := fs.Bool("deep", false, "inject the second crash at every line of the recovery path")
 	seed := fs.Int64("seed", 1, "controlled-scheduler seed")
+	awaitBudget := fs.Int("awaitbudget", 100_000, "await iterations before the watchdog declares a livelock")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitUsage
 	}
-	names := []string{"counter", "cas", "tas", "stack", "queue", "lock"}
-	if *obj != "all" {
-		names = []string{*obj}
-	}
-	for _, name := range names {
-		build, ok := builders[name]
+
+	var loads []harness.Workload
+	if *obj == "all" {
+		loads = harness.RealWorkloads()
+	} else {
+		w, ok := harness.WorkloadByName(*obj)
 		if !ok {
-			return fmt.Errorf("unknown workload %q", name)
+			fmt.Fprintf(errOut, "nrlsweep: unknown workload %q (want %s)\n", *obj, harness.WorkloadUsage())
+			return exitUsage
 		}
+		loads = []harness.Workload{w}
+	}
+	for _, w := range loads {
+		w := w
+		np := w.Procs(*procs)
 		stats, err := sweep.Run(sweep.Config{
-			Procs:       *procs,
-			Build:       build(*procs, *ops),
-			Models:      models(),
-			Seed:        *seed,
-			DoubleCrash: *double,
+			Procs: np,
+			Build: func(sys *proc.System) map[int]func(*proc.Ctx) {
+				return w.Build(sys, np, *ops)
+			},
+			Models:        w.Models,
+			Seed:          *seed,
+			DoubleCrash:   *double && !*deep,
+			DeepRecovery:  *deep,
+			AwaitBudget:   *awaitBudget,
+			RecoverPanics: true,
 		})
+		var se *proc.StuckError
+		if errors.As(err, &se) {
+			fmt.Fprintf(out, "%s: STUCK\n%s\n", w.Name, se.Report.String())
+			return exitStuck
+		}
 		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+			fmt.Fprintf(out, "%s: VIOLATION\n%v\n", w.Name, err)
+			fmt.Fprintln(errOut, "nrlsweep:", w.Name, "failed")
+			return exitViolation
 		}
-		fmt.Printf("%-8s ok: %d crash points, %d runs, %d crashes injected, all NRL\n",
-			name, stats.Points, stats.Runs, stats.Crashes)
+		fmt.Fprintf(out, "%-12s ok: %d crash points, %d runs, %d crashes injected", w.Name, stats.Points, stats.Runs, stats.Crashes)
+		if *deep {
+			fmt.Fprintf(out, ", %d recovery sites", stats.RecoverySites)
+		}
+		fmt.Fprintln(out, ", all NRL")
 	}
-	return nil
-}
-
-func models() nrl.ModelFor {
-	return nrl.Models(map[string]nrl.Model{
-		"ctr":  nrl.CounterModel{},
-		"cas":  nrl.CASModel{},
-		"t":    nrl.TASModel{},
-		"stk":  nrl.StackModel{},
-		"q":    nrl.QueueModel{},
-		"lock": nrl.MutexModel{},
-	})
-}
-
-// builders construct per-workload Build functions.
-var builders = map[string]func(procs, ops int) func(sys *nrl.System) map[int]func(*nrl.Ctx){
-	"counter": func(procs, ops int) func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-		return func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-			ctr := nrl.NewCounter(sys, "ctr")
-			return bodies(procs, func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					ctr.Inc(c)
-				}
-			})
-		}
-	},
-	"cas": func(procs, ops int) func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-		return func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-			o := nrl.NewCASObject(sys, "cas")
-			return bodies(procs, func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					cur := o.Read(c)
-					o.CAS(c, cur, nrl.DistinctCAS(c.P(), uint32(i+1), uint32(i)))
-				}
-			})
-		}
-	},
-	"tas": func(procs, ops int) func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-		return func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-			o := nrl.NewTAS(sys, "t")
-			return bodies(procs, func(c *nrl.Ctx) { o.TestAndSet(c) })
-		}
-	},
-	"stack": func(procs, ops int) func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-		return func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-			s := nrl.NewStack(sys, "stk", 1024)
-			return bodies(procs, func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					s.Push(c, uint64(c.P()*100+i))
-					if i%2 == 1 {
-						s.Pop(c)
-					}
-				}
-			})
-		}
-	},
-	"queue": func(procs, ops int) func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-		return func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-			q := nrl.NewQueue(sys, "q", 1024)
-			return bodies(procs, func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					q.Enqueue(c, uint64(c.P()*100+i))
-					if i%2 == 1 {
-						q.Dequeue(c)
-					}
-				}
-			})
-		}
-	},
-	"lock": func(procs, ops int) func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-		return func(sys *nrl.System) map[int]func(*nrl.Ctx) {
-			l := nrl.NewLock(sys, "lock")
-			return bodies(procs, func(c *nrl.Ctx) {
-				for i := 0; i < ops; i++ {
-					l.Acquire(c)
-					l.Release(c)
-				}
-			})
-		}
-	},
-}
-
-func bodies(procs int, body func(*nrl.Ctx)) map[int]func(*nrl.Ctx) {
-	m := make(map[int]func(*proc.Ctx), procs)
-	for p := 1; p <= procs; p++ {
-		m[p] = body
-	}
-	return m
+	return exitClean
 }

@@ -1,0 +1,284 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"nrl/internal/harness"
+	"nrl/internal/history"
+	"nrl/internal/linearize"
+	"nrl/internal/proc"
+	"nrl/internal/trace"
+)
+
+// Campaign defaults.
+const (
+	// DefaultAwaitBudget is deliberately far below proc.DefaultAwaitBudget:
+	// campaigns run thousands of schedules and want livelocked placements
+	// diagnosed in milliseconds, not spun for millions of iterations.
+	DefaultAwaitBudget = 10_000
+	// DefaultCheckBudget bounds the WGL search per object per history.
+	DefaultCheckBudget = 2_000_000
+	// DefaultShrinkBudget bounds the replays spent minimising one failure.
+	DefaultShrinkBudget = 200
+)
+
+// Config describes a campaign.
+type Config struct {
+	// Workload is the harness workload under attack.
+	Workload harness.Workload
+	// Procs and Ops shape each run (Procs is clamped by the workload).
+	Procs int
+	Ops   int
+	// Runs is the number of seeded executions.
+	Runs int
+	// Seed is the master seed; run i derives its schedule and injector
+	// streams via proc.SplitSeed(Seed, i).
+	Seed int64
+	// Rate/Boost tune the guided injector (<= 0 applies defaults).
+	Rate  float64
+	Boost float64
+	// MaxCrashes bounds crashes per run (<= 0: 2×Procs+2).
+	MaxCrashes int
+	// Target restricts where crashes fire (ParseTarget grammar; "" = any).
+	Target string
+	// Shrink minimises the first failure to a minimal site list.
+	Shrink bool
+	// ShrinkBudget bounds the replays spent shrinking (<= 0 applies
+	// DefaultShrinkBudget).
+	ShrinkBudget int
+	// AwaitBudget and CheckBudget override the campaign defaults (<= 0).
+	AwaitBudget int
+	CheckBudget int
+}
+
+// Failure is one NRL violation found by a campaign, with everything
+// needed to replay it deterministically.
+type Failure struct {
+	// Run is the index of the failing run; RunSeed its derived seed (the
+	// schedule is Controlled(RandomPicker(RunSeed))).
+	Run     int
+	RunSeed int64
+	// Sites is the crash placement of the failing run, as fired.
+	Sites []CrashSite
+	// Shrunk is the minimised placement (equal to Sites when shrinking is
+	// off or nothing could be dropped).
+	Shrunk []CrashSite
+	// ShrinkRuns is how many replays the shrinker spent.
+	ShrinkRuns int
+	// Err is the NRL checker's verdict.
+	Err error
+}
+
+// Result summarises a campaign.
+type Result struct {
+	Runs    int
+	Crashes int
+	// Stuck counts runs that ended in a livelock watchdog report instead
+	// of completing; FirstStuck retains the first such report.
+	Stuck      int
+	FirstStuck *proc.StuckReport
+	// Partial counts runs whose NRL check exceeded its budget and fell
+	// back to a windowed check of a history prefix.
+	Partial int
+	// Coverage is the campaign-wide crash-coordinate table.
+	Coverage *Coverage
+	// Failure is the first NRL violation (nil if the campaign is clean).
+	Failure *Failure
+}
+
+// Run executes a campaign. A returned error means the campaign itself
+// could not run (bad config, a non-watchdog panic in a workload);
+// NRL violations are reported in Result.Failure, livelocks in
+// Result.Stuck — neither aborts the remaining runs' error scan.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workload.Build == nil || cfg.Workload.Models == nil {
+		return nil, fmt.Errorf("chaos: Config.Workload is required")
+	}
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("chaos: Config.Runs must be positive")
+	}
+	procs := cfg.Workload.Procs(cfg.Procs)
+	ops := cfg.Ops
+	if ops <= 0 {
+		ops = 2
+	}
+	maxCrashes := cfg.MaxCrashes
+	if maxCrashes <= 0 {
+		maxCrashes = 2*procs + 2
+	}
+	awaitBudget := cfg.AwaitBudget
+	if awaitBudget <= 0 {
+		awaitBudget = DefaultAwaitBudget
+	}
+	checkBudget := cfg.CheckBudget
+	if checkBudget <= 0 {
+		checkBudget = DefaultCheckBudget
+	}
+	target, err := ParseTarget(cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Coverage: NewCoverage()}
+	for i := 0; i < cfg.Runs; i++ {
+		runSeed := proc.SplitSeed(cfg.Seed, i)
+		g := NewGuided(res.Coverage, proc.SplitSeed(runSeed, 1<<20), cfg.Rate, cfg.Boost, maxCrashes, target)
+		h, failures := execute(cfg.Workload, procs, ops, runSeed, g, awaitBudget)
+		res.Runs++
+		res.Crashes += g.Crashes()
+		stuck, err := classifyFailures(failures)
+		if err != nil {
+			return res, fmt.Errorf("chaos: run %d (seed %d): %w", i, runSeed, err)
+		}
+		if stuck != nil {
+			res.Stuck++
+			if res.FirstStuck == nil {
+				res.FirstStuck = stuck
+			}
+		}
+		verdict, partial := checkWindowed(cfg.Workload.Models, h, checkBudget)
+		if partial {
+			res.Partial++
+		}
+		if verdict != nil && res.Failure == nil {
+			f := &Failure{
+				Run: i, RunSeed: runSeed,
+				Sites: g.Sites(), Shrunk: g.Sites(), Err: verdict,
+			}
+			if cfg.Shrink {
+				budget := cfg.ShrinkBudget
+				if budget <= 0 {
+					budget = DefaultShrinkBudget
+				}
+				f.Shrunk, f.ShrinkRuns = shrink(cfg.Workload, procs, ops, runSeed, f.Sites, awaitBudget, checkBudget, budget)
+			}
+			res.Failure = f
+		}
+	}
+	return res, nil
+}
+
+// execute performs one deterministic run: controlled scheduler seeded by
+// seed, RecoverPanics on so watchdog reports surface as failures.
+func execute(w harness.Workload, procs, ops int, seed int64, inj proc.Injector, awaitBudget int) (history.History, []error) {
+	return executeTraced(w, procs, ops, seed, inj, awaitBudget, nil)
+}
+
+func executeTraced(w harness.Workload, procs, ops int, seed int64, inj proc.Injector, awaitBudget int, tr trace.Tracer) (history.History, []error) {
+	rec := history.NewRecorder()
+	sys := proc.NewSystem(proc.Config{
+		Procs:         procs,
+		Recorder:      rec,
+		Injector:      inj,
+		Scheduler:     proc.NewControlled(proc.RandomPicker(seed)),
+		AwaitBudget:   awaitBudget,
+		RecoverPanics: true,
+		Tracer:        tr,
+	})
+	sys.Run(w.Build(sys, procs, ops))
+	return rec.History(), sys.Failures()
+}
+
+// classifyFailures separates watchdog reports (expected, returned as the
+// first StuckReport) from genuine panics (returned as an error).
+func classifyFailures(failures []error) (*proc.StuckReport, error) {
+	var first *proc.StuckReport
+	for _, f := range failures {
+		var se *proc.StuckError
+		if !errors.As(f, &se) {
+			return nil, f
+		}
+		if first == nil {
+			first = &se.Report
+		}
+	}
+	return first, nil
+}
+
+// checkWindowed NRL-checks h under the node budget; when the budget is
+// exceeded it degrades to checking successively shorter prefixes of h
+// (any prefix of a recoverable-well-formed history is itself recoverable
+// well-formed, so the partial verdict is sound). It returns the violation
+// (nil if clean or undecided) and whether the verdict is partial.
+func checkWindowed(models linearize.ModelFor, h history.History, budget int) (violation error, partial bool) {
+	err := linearize.CheckNRLBudget(models, h, budget)
+	if err == nil {
+		return nil, false
+	}
+	if !errors.Is(err, linearize.ErrSearchBudget) {
+		return err, false
+	}
+	for w := len(h.Steps) / 2; w > 0; w /= 2 {
+		hw := history.History{Steps: h.Steps[:w]}
+		err := linearize.CheckNRLBudget(models, hw, budget)
+		if errors.Is(err, linearize.ErrSearchBudget) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("windowed (first %d of %d steps): %w", w, len(h.Steps), err), true
+		}
+		return nil, true
+	}
+	return nil, true
+}
+
+// Replay re-executes a (seed, sites) reproducer and returns its history
+// plus the NRL verdict (nil = the placement no longer violates). A run
+// that ends stuck reports the watchdog error instead.
+func Replay(w harness.Workload, procs, ops int, seed int64, sites []CrashSite, awaitBudget int, checkBudget int) (history.History, error) {
+	return ReplayTraced(w, procs, ops, seed, sites, awaitBudget, checkBudget, nil)
+}
+
+// ReplayTraced is Replay with a trace sink installed into the replayed
+// system, so a shrunk reproducer can be exported as a full event stream
+// (cmd/nrlchaos -trace).
+func ReplayTraced(w harness.Workload, procs, ops int, seed int64, sites []CrashSite, awaitBudget, checkBudget int, tr trace.Tracer) (history.History, error) {
+	if awaitBudget <= 0 {
+		awaitBudget = DefaultAwaitBudget
+	}
+	if checkBudget <= 0 {
+		checkBudget = DefaultCheckBudget
+	}
+	procs = w.Procs(procs)
+	h, failures := executeTraced(w, procs, ops, seed, SitesInjector(sites), awaitBudget, tr)
+	if stuck, err := classifyFailures(failures); err != nil {
+		return h, err
+	} else if stuck != nil {
+		return h, &proc.StuckError{Report: *stuck}
+	}
+	violation, _ := checkWindowed(w.Models, h, checkBudget)
+	return h, violation
+}
+
+// shrink greedily minimises a failing crash placement: it repeatedly
+// tries dropping each site and keeps any drop after which the replay
+// still violates NRL, until a fixed point (1-minimal: no single site can
+// be removed) or the replay budget runs out. Replays are deterministic,
+// so the result is too.
+func shrink(w harness.Workload, procs, ops int, seed int64, sites []CrashSite, awaitBudget, checkBudget, budget int) ([]CrashSite, int) {
+	cur := make([]CrashSite, len(sites))
+	copy(cur, sites)
+	runs := 0
+	for improved := true; improved && len(cur) > 1; {
+		improved = false
+		for i := 0; i < len(cur); i++ {
+			if runs >= budget {
+				return cur, runs
+			}
+			cand := make([]CrashSite, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			runs++
+			_, verdict := Replay(w, procs, ops, seed, cand, awaitBudget, checkBudget)
+			var se *proc.StuckError
+			if verdict == nil || errors.As(verdict, &se) {
+				continue // removal loses the violation (or livelocks)
+			}
+			cur = cand
+			improved = true
+			i--
+		}
+	}
+	return cur, runs
+}

@@ -1,0 +1,301 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nrl/internal/harness"
+	"nrl/internal/proc"
+)
+
+func workload(t *testing.T, name string) harness.Workload {
+	t.Helper()
+	w, ok := harness.WorkloadByName(name)
+	if !ok {
+		t.Fatalf("workload %q missing", name)
+	}
+	return w
+}
+
+// TestCampaignFindsAndShrinksBroken is the negative-control acceptance
+// test: a seeded campaign on the broken strawman must find an NRL
+// violation, shrink it to a reproducer of at most 3 crash sites, and the
+// printed (seed, sites) pair must replay to the same violating history
+// twice — i.e. the reproducer really is deterministic.
+func TestCampaignFindsAndShrinksBroken(t *testing.T) {
+	res, err := Run(Config{
+		Workload: workload(t, "broken"),
+		Procs:    1, Ops: 2,
+		Runs: 30, Seed: 42,
+		Shrink: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Failure
+	if f == nil {
+		t.Fatal("campaign found no violation in the broken counter")
+	}
+	if len(f.Shrunk) == 0 || len(f.Shrunk) > 3 {
+		t.Fatalf("shrunk reproducer has %d sites (%s), want 1..3", len(f.Shrunk), FormatSites(f.Shrunk))
+	}
+	if len(f.Shrunk) > len(f.Sites) {
+		t.Errorf("shrink grew the site list: %d -> %d", len(f.Sites), len(f.Shrunk))
+	}
+	// Round-trip through the printed flag syntax, then replay twice.
+	sites, err := ParseSites(FormatSites(f.Shrunk))
+	if err != nil {
+		t.Fatalf("printed sites do not re-parse: %v", err)
+	}
+	w := workload(t, "broken")
+	h1, v1 := Replay(w, 1, 2, f.RunSeed, sites, 0, 0)
+	h2, v2 := Replay(w, 1, 2, f.RunSeed, sites, 0, 0)
+	if v1 == nil || v2 == nil {
+		t.Fatalf("shrunk reproducer does not reproduce: %v / %v", v1, v2)
+	}
+	if h1.String() != h2.String() {
+		t.Error("replay is not deterministic: histories differ")
+	}
+	t.Logf("violation at run %d seed %d, %d sites -> %d shrunk (%s) in %d replays:\n  %v",
+		f.Run, f.RunSeed, len(f.Sites), len(f.Shrunk), FormatSites(f.Shrunk), f.ShrinkRuns, f.Err)
+}
+
+// TestCampaignCleanOnRealObjects runs the campaign over the paper's
+// Algorithms 1–4 (register, CAS, TAS, counter): no violation may be
+// found, no run may end stuck, and the guided injector must have crashed
+// at least 90% of the crash coordinates it discovered.
+func TestCampaignCleanOnRealObjects(t *testing.T) {
+	for _, name := range []string{"register", "cas", "tas", "counter"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(Config{
+				Workload: workload(t, name),
+				Procs:    2, Ops: 2,
+				Runs: 60, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failure != nil {
+				t.Fatalf("campaign reported a violation on a correct object: %v\nsites: %s",
+					res.Failure.Err, FormatSites(res.Failure.Sites))
+			}
+			if res.Stuck != 0 {
+				t.Errorf("%d runs stuck; first:\n%s", res.Stuck, res.FirstStuck.String())
+			}
+			d, c := res.Coverage.Stats()
+			if frac := res.Coverage.Fraction(); frac < 0.9 {
+				t.Errorf("coverage %.0f%% (%d/%d coords crashed), want >= 90%%", frac*100, c, d)
+			}
+			t.Logf("%s: %d runs, %d crashes, %d/%d coords (%.0f%%)",
+				name, res.Runs, res.Crashes, c, d, res.Coverage.Fraction()*100)
+		})
+	}
+}
+
+// TestCampaignStuckEndsInReport: the stuck strawman livelocks after any
+// crash; the campaign must never panic — every stuck run ends in a
+// structured StuckReport with a verdict.
+func TestCampaignStuckEndsInReport(t *testing.T) {
+	res, err := Run(Config{
+		Workload: workload(t, "stuck"),
+		Procs:    2, Ops: 1,
+		Runs: 5, Seed: 3,
+		AwaitBudget: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stuck == 0 {
+		t.Fatal("no run of the stuck strawman got stuck")
+	}
+	if res.FirstStuck == nil {
+		t.Fatal("stuck runs recorded but no report retained")
+	}
+	if !strings.Contains(res.FirstStuck.String(), "verdict:") {
+		t.Errorf("report has no verdict:\n%s", res.FirstStuck.String())
+	}
+}
+
+// TestCampaignTargetRestrictsCrashes: with -target recovery, every crash
+// the campaign fires must land on a recovery-path line. The placement is
+// verified by replaying the recorded sites against a point logger.
+func TestCampaignTargetRestrictsCrashes(t *testing.T) {
+	cov := NewCoverage()
+	target, err := ParseTarget("recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload(t, "counter")
+	// Seed a first crash so recovery code is reachable, then the guided
+	// injector (restricted to recovery lines) does the rest.
+	seedCrash := &proc.AtLine{Obj: "ctr", Op: "INC", Line: 4}
+	g := NewGuided(cov, 99, 0.5, 2, 4, target)
+	var recPoints, crashPoints int
+	logger := proc.Func(func(pt proc.CrashPoint) bool {
+		if pt.Recovery {
+			recPoints++
+		}
+		return false
+	})
+	_, failures := execute(w, 2, 2, 5, proc.Multi{logger, seedCrash, g}, 0)
+	for _, f := range failures {
+		t.Fatalf("unexpected failure: %v", f)
+	}
+	crashPoints = g.Crashes()
+	if recPoints == 0 {
+		t.Fatal("no recovery points reached; seed crash misplaced")
+	}
+	if crashPoints == 0 {
+		t.Fatal("guided injector fired nothing inside the target")
+	}
+}
+
+// TestParseTarget covers the predicate grammar.
+func TestParseTarget(t *testing.T) {
+	pt := proc.CrashPoint{
+		Proc: 1, Obj: "ctr", Op: "INC", Line: 4,
+		Depth: 2, Attempt: 1, Crashes: 2, Recovery: true, Awaiting: false,
+	}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"", true},
+		{"any", true},
+		{"recovery", true},
+		{"await", false},
+		{"depth>=2", true},
+		{"depth>=3", false},
+		{"depth=2", true},
+		{"attempt>=1", true},
+		{"crashes>=3", false},
+		{"line=4", true},
+		{"obj=ctr", true},
+		{"op=READ", false},
+		{"recovery&depth>=2", true},
+		{"recovery&await", false},
+	}
+	for _, tc := range cases {
+		p, err := ParseTarget(tc.expr)
+		if err != nil {
+			t.Errorf("ParseTarget(%q): %v", tc.expr, err)
+			continue
+		}
+		got := p == nil || p(pt)
+		if got != tc.want {
+			t.Errorf("target %q on %+v = %v, want %v", tc.expr, pt, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"bogus", "depth>=x", "line>=3", "&", "obj>=x"} {
+		if _, err := ParseTarget(bad); err == nil {
+			t.Errorf("ParseTarget(%q) accepted", bad)
+		}
+	}
+}
+
+// TestStagedAdversary fires on the k-th matching point only.
+func TestStagedAdversary(t *testing.T) {
+	target, _ := ParseTarget("recovery")
+	s := &Staged{Target: target, Occurrence: 2}
+	rec := proc.CrashPoint{Recovery: true}
+	body := proc.CrashPoint{}
+	if s.ShouldCrash(body) {
+		t.Error("fired outside target")
+	}
+	if s.ShouldCrash(rec) {
+		t.Error("fired on first occurrence, want second")
+	}
+	if !s.ShouldCrash(rec) {
+		t.Error("did not fire on second occurrence")
+	}
+	if s.ShouldCrash(rec) {
+		t.Error("fired twice")
+	}
+	if !s.Fired() {
+		t.Error("Fired() false after firing")
+	}
+}
+
+// TestSitesRoundTrip: parse/format are inverses; bad syntax is rejected.
+func TestSitesRoundTrip(t *testing.T) {
+	in := "p1@12,p2@40,p1@99"
+	sites, err := ParseSites(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatSites(sites) != in {
+		t.Errorf("round trip: %q -> %q", in, FormatSites(sites))
+	}
+	if got, _ := ParseSites(""); got != nil {
+		t.Errorf("empty parse = %v, want nil", got)
+	}
+	for _, bad := range []string{"x1@2", "p0@2", "p1@0", "p1", "p1@x"} {
+		if _, err := ParseSites(bad); err == nil {
+			t.Errorf("ParseSites(%q) accepted", bad)
+		}
+	}
+}
+
+// TestGuidedBias: a fresh coordinate is crashed (boost makes p=1), and a
+// repeatedly crashed coordinate's probability decays.
+func TestGuidedBias(t *testing.T) {
+	cov := NewCoverage()
+	g := NewGuided(cov, 1, DefaultRate, DefaultBoost, 0, nil)
+	pt := proc.CrashPoint{Proc: 1, Obj: "o", Op: "OP", Line: 1, Depth: 1, ProcStep: 1}
+	if !g.ShouldCrash(pt) {
+		t.Fatal("fresh coordinate not crashed despite boost 0.02*50=1.0")
+	}
+	// Same coordinate again: probability drops to rate/2 = 0.01; over 100
+	// tries expect ~1 crash, certainly far fewer than 100.
+	crashes := 0
+	for i := 0; i < 100; i++ {
+		pt.ProcStep++
+		if g.ShouldCrash(pt) {
+			crashes++
+		}
+	}
+	if crashes > 20 {
+		t.Errorf("covered coordinate crashed %d/100 times; bias not decaying", crashes)
+	}
+	if len(g.Sites()) != 1+crashes {
+		t.Errorf("Sites() has %d entries, want %d", len(g.Sites()), 1+crashes)
+	}
+	if d, c := cov.Stats(); d != 1 || c != 1 {
+		t.Errorf("coverage stats = (%d,%d), want (1,1)", d, c)
+	}
+}
+
+// TestCheckWindowedPartial: an over-budget check degrades to a prefix
+// verdict instead of an error.
+func TestCheckWindowedPartial(t *testing.T) {
+	w := workload(t, "counter")
+	h, failures := execute(w, 2, 3, 11, proc.Never{}, 0)
+	if len(failures) != 0 {
+		t.Fatal(failures)
+	}
+	violation, partial := checkWindowed(w.Models, h, 1)
+	if violation != nil {
+		t.Fatalf("windowed check reported violation: %v", violation)
+	}
+	if !partial {
+		t.Error("1-node budget did not force a partial verdict")
+	}
+	violation, partial = checkWindowed(w.Models, h, 0)
+	if violation != nil || partial {
+		t.Errorf("default budget: violation=%v partial=%v", violation, partial)
+	}
+}
+
+// TestReplayStuckSurfacesWatchdog: replaying a placement that livelocks
+// returns the StuckError rather than hanging.
+func TestReplayStuckSurfacesWatchdog(t *testing.T) {
+	w := workload(t, "stuck")
+	// Crash p1 at its first step: recovery then awaits forever.
+	_, err := Replay(w, 1, 1, 13, []CrashSite{{Proc: 1, Step: 1}}, 300, 0)
+	var se *proc.StuckError
+	if !errors.As(err, &se) {
+		t.Fatalf("replay returned %v, want *StuckError", err)
+	}
+}

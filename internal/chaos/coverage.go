@@ -1,0 +1,154 @@
+// Package chaos is the adversarial fault-injection engine: coverage-guided
+// crash campaigns over the harness workloads, with deterministic shrinking
+// of failures to minimal reproducers and a livelock watchdog.
+//
+// Where package sweep places one crash at every reachable line under one
+// fixed schedule, chaos runs MANY seeded schedules and biases its crashes
+// toward coordinates (object, operation, line, nesting depth,
+// crashes-so-far) that have never or rarely been crashed — steering the
+// campaign into the adversarial corners the paper's machinery exists for:
+// deep nesting, recovery re-entry, the Algorithm 3 waiting loops. Every
+// history is NRL-checked (with a node budget degrading to a windowed
+// partial verdict); livelocked runs end in a structured proc.StuckReport
+// rather than a panic; failures shrink to a replayable (seed, crash-site)
+// pair of flags.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nrl/internal/proc"
+)
+
+// Coord is a coverage coordinate: the abstraction of a crash point the
+// campaign tracks. ProcStep and the process id are deliberately dropped —
+// they identify a moment of one schedule, not a code region — while Depth
+// and the crashes-so-far bucket distinguish the adversarial contexts
+// (nested frames, recovery re-entry) that plain line coverage conflates.
+type Coord struct {
+	Obj  string
+	Op   string
+	Line int
+	// Depth is the frame nesting depth (1 = top-level operation).
+	Depth int
+	// Bucket classifies the process's crashes-so-far: 0, 1, or 2 (≥2).
+	Bucket int
+}
+
+// maxBucket caps the crashes-so-far dimension so the coordinate space
+// stays finite and coverable.
+const maxBucket = 2
+
+// CoordOf abstracts a crash point into its coverage coordinate.
+func CoordOf(pt proc.CrashPoint) Coord {
+	b := pt.Crashes
+	if b > maxBucket {
+		b = maxBucket
+	}
+	return Coord{Obj: pt.Obj, Op: pt.Op, Line: pt.Line, Depth: pt.Depth, Bucket: b}
+}
+
+func (c Coord) String() string {
+	return fmt.Sprintf("%s.%s@%d d%d c%d", c.Obj, c.Op, c.Line, c.Depth, c.Bucket)
+}
+
+// coordStats counts how often a coordinate was offered and crashed.
+type coordStats struct {
+	offered uint64
+	crashes uint64
+}
+
+// Coverage aggregates crash-point coordinates across a whole campaign. It
+// is shared by every run's injector (safe for concurrent use) and is what
+// makes the campaign guided: the injector consults it to bias crashes
+// toward uncovered coordinates.
+type Coverage struct {
+	mu   sync.Mutex
+	seen map[Coord]*coordStats
+}
+
+// NewCoverage creates an empty coverage map.
+func NewCoverage() *Coverage {
+	return &Coverage{seen: make(map[Coord]*coordStats)}
+}
+
+// observe records that the coordinate was offered and returns its crash
+// count so far (for the injector's bias decision).
+func (cv *Coverage) observe(co Coord) uint64 {
+	cv.mu.Lock()
+	st := cv.seen[co]
+	if st == nil {
+		st = &coordStats{}
+		cv.seen[co] = st
+	}
+	st.offered++
+	n := st.crashes
+	cv.mu.Unlock()
+	return n
+}
+
+// recordCrash records that a crash fired at the coordinate.
+func (cv *Coverage) recordCrash(co Coord) {
+	cv.mu.Lock()
+	cv.seen[co].crashes++
+	cv.mu.Unlock()
+}
+
+// Row is one coordinate's campaign totals.
+type Row struct {
+	Coord   Coord
+	Offered uint64
+	Crashes uint64
+}
+
+// Rows returns the coverage table sorted by coordinate.
+func (cv *Coverage) Rows() []Row {
+	cv.mu.Lock()
+	out := make([]Row, 0, len(cv.seen))
+	for co, st := range cv.seen {
+		out = append(out, Row{Coord: co, Offered: st.offered, Crashes: st.crashes})
+	}
+	cv.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Coord, out[j].Coord
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Depth != b.Depth {
+			return a.Depth < b.Depth
+		}
+		return a.Bucket < b.Bucket
+	})
+	return out
+}
+
+// Stats returns the number of discovered coordinates and how many of them
+// have been crashed at least once.
+func (cv *Coverage) Stats() (discovered, crashed int) {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	for _, st := range cv.seen {
+		discovered++
+		if st.crashes > 0 {
+			crashed++
+		}
+	}
+	return discovered, crashed
+}
+
+// Fraction is crashed/discovered (1.0 for an empty map).
+func (cv *Coverage) Fraction() float64 {
+	d, c := cv.Stats()
+	if d == 0 {
+		return 1
+	}
+	return float64(c) / float64(d)
+}

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+
+	"nrl/internal/proc"
+)
+
+// Default bias parameters for the guided injector.
+const (
+	// DefaultRate is the base per-step crash probability for coordinates
+	// that have already been crashed.
+	DefaultRate = 0.02
+	// DefaultBoost multiplies the rate for never-crashed coordinates:
+	// 0.02 × 50 = 1.0, i.e. the frontier is crashed on sight.
+	DefaultBoost = 50
+)
+
+// Guided is the coverage-guided injector: every offered crash point is
+// recorded into the shared campaign Coverage, and the crash probability of
+// a point is biased by its coordinate's history — never-crashed
+// coordinates get Rate×Boost (clamped to 1), already-crashed coordinates
+// decay as Rate/(1+crashes), so the campaign keeps pushing into whatever
+// it has not broken yet.
+//
+// A Target predicate, when set, restricts where crashes may fire (points
+// failing the predicate are still observed for coverage). MaxCrashes
+// bounds the crashes of one run. Every fired crash is recorded as a
+// deterministic CrashSite (process, per-process step) so the run can be
+// replayed exactly without the injector's randomness.
+type Guided struct {
+	cov        *Coverage
+	rate       float64
+	boost      float64
+	maxCrashes int
+	target     Predicate
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	crashes int
+	sites   []CrashSite
+}
+
+// NewGuided creates a guided injector for one run of a campaign. cov is
+// shared across runs; seed derives this run's decision stream. rate and
+// boost <= 0 apply the defaults; maxCrashes <= 0 means unlimited; target
+// nil means anywhere.
+func NewGuided(cov *Coverage, seed int64, rate, boost float64, maxCrashes int, target Predicate) *Guided {
+	if rate <= 0 {
+		rate = DefaultRate
+	}
+	if boost <= 0 {
+		boost = DefaultBoost
+	}
+	return &Guided{
+		cov:        cov,
+		rate:       rate,
+		boost:      boost,
+		maxCrashes: maxCrashes,
+		target:     target,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ShouldCrash implements proc.Injector.
+func (g *Guided) ShouldCrash(pt proc.CrashPoint) bool {
+	co := CoordOf(pt)
+	crashed := g.cov.observe(co)
+	if g.target != nil && !g.target(pt) {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.maxCrashes > 0 && g.crashes >= g.maxCrashes {
+		return false
+	}
+	p := g.rate / float64(1+crashed)
+	if crashed == 0 {
+		p = g.rate * g.boost
+		if p > 1 {
+			p = 1
+		}
+	}
+	if g.rng.Float64() >= p {
+		return false
+	}
+	g.crashes++
+	g.sites = append(g.sites, CrashSite{Proc: pt.Proc, Step: pt.ProcStep})
+	g.cov.recordCrash(co)
+	return true
+}
+
+// Sites returns the crash placements fired so far, in firing order.
+func (g *Guided) Sites() []CrashSite {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]CrashSite, len(g.sites))
+	copy(out, g.sites)
+	return out
+}
+
+// Crashes reports how many crashes the injector has fired.
+func (g *Guided) Crashes() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.crashes
+}

@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nrl/internal/proc"
+)
+
+// CrashSite is one deterministic crash placement: process Proc crashes
+// when its per-process step counter reaches Step. A (schedule seed, site
+// list) pair replays an execution exactly under the controlled scheduler,
+// which is what makes shrunk reproducers printable as flags.
+type CrashSite struct {
+	Proc int
+	Step uint64
+}
+
+func (s CrashSite) String() string {
+	return fmt.Sprintf("p%d@%d", s.Proc, s.Step)
+}
+
+// FormatSites renders sites as the comma-separated flag syntax parsed by
+// ParseSites, e.g. "p1@12,p2@40".
+func FormatSites(sites []CrashSite) string {
+	parts := make([]string, len(sites))
+	for i, s := range sites {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSites parses the "p1@12,p2@40" syntax.
+func ParseSites(s string) ([]CrashSite, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []CrashSite
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		rest, ok := strings.CutPrefix(part, "p")
+		if !ok {
+			return nil, fmt.Errorf("chaos: site %q: want pN@STEP", part)
+		}
+		ps, ss, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("chaos: site %q: want pN@STEP", part)
+		}
+		p, err := strconv.Atoi(ps)
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("chaos: site %q: bad process %q", part, ps)
+		}
+		st, err := strconv.ParseUint(ss, 10, 64)
+		if err != nil || st == 0 {
+			return nil, fmt.Errorf("chaos: site %q: bad step %q", part, ss)
+		}
+		out = append(out, CrashSite{Proc: p, Step: st})
+	}
+	return out, nil
+}
+
+// SitesInjector replays an exact crash placement: each site crashes its
+// process at its per-process step, once.
+func SitesInjector(sites []CrashSite) proc.Injector {
+	m := make(proc.Multi, len(sites))
+	for i, s := range sites {
+		m[i] = &proc.AtStep{Proc: s.Proc, Step: s.Step}
+	}
+	return m
+}
+
+// sortSites orders sites by process then step (the canonical printed
+// order; firing order is determined by the schedule, not the list).
+func sortSites(sites []CrashSite) {
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Proc != sites[j].Proc {
+			return sites[i].Proc < sites[j].Proc
+		}
+		return sites[i].Step < sites[j].Step
+	})
+}

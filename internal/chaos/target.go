@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nrl/internal/proc"
+)
+
+// Predicate decides whether a crash point is inside the targeted region.
+// Predicates must be pure (they are consulted on every step of every run).
+type Predicate func(pt proc.CrashPoint) bool
+
+// And conjoins predicates (nil members are ignored; all-nil returns nil,
+// meaning "anywhere").
+func And(ps ...Predicate) Predicate {
+	var live []Predicate
+	for _, p := range ps {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return func(pt proc.CrashPoint) bool {
+		for _, p := range live {
+			if !p(pt) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// ParseTarget compiles a target expression into a Predicate. The grammar
+// is a '&'-conjunction of atoms:
+//
+//	recovery        — the line belongs to recovery code
+//	await           — the process is inside an Await loop
+//	depth>=N        — frame nesting depth at least N (also depth=N)
+//	attempt>=N      — the current frame's recovery attempts at least N
+//	                  (attempt>=1 targets a second crash of the same frame)
+//	crashes>=N      — the process has already crashed at least N times
+//	line=N          — a specific pseudo-code line
+//	obj=NAME op=NAME — a specific object / operation
+//	any             — everywhere (the empty expression means the same)
+//
+// Examples: "recovery&depth>=2" (crash during nested recovery), "await"
+// (inside an Algorithm 3 waiting loop), "attempt>=1" (re-crash a frame
+// already in recovery).
+func ParseTarget(expr string) (Predicate, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" || expr == "any" {
+		return nil, nil
+	}
+	var preds []Predicate
+	for _, atom := range strings.Split(expr, "&") {
+		atom = strings.TrimSpace(atom)
+		p, err := parseAtom(atom)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: target %q: %w", expr, err)
+		}
+		preds = append(preds, p)
+	}
+	return And(preds...), nil
+}
+
+func parseAtom(atom string) (Predicate, error) {
+	switch atom {
+	case "":
+		return nil, fmt.Errorf("empty atom")
+	case "any":
+		return nil, nil
+	case "recovery":
+		return func(pt proc.CrashPoint) bool { return pt.Recovery }, nil
+	case "await":
+		return func(pt proc.CrashPoint) bool { return pt.Awaiting }, nil
+	}
+	for _, sep := range []string{">=", "="} {
+		i := strings.Index(atom, sep)
+		if i < 0 {
+			continue
+		}
+		key, val := atom[:i], atom[i+len(sep):]
+		switch key {
+		case "obj":
+			if sep != "=" {
+				return nil, fmt.Errorf("obj takes =")
+			}
+			return func(pt proc.CrashPoint) bool { return pt.Obj == val }, nil
+		case "op":
+			if sep != "=" {
+				return nil, fmt.Errorf("op takes =")
+			}
+			return func(pt proc.CrashPoint) bool { return pt.Op == val }, nil
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("atom %q: bad number %q", atom, val)
+		}
+		ge := sep == ">="
+		switch key {
+		case "depth":
+			return numPred(ge, n, func(pt proc.CrashPoint) int { return pt.Depth }), nil
+		case "attempt":
+			return numPred(ge, n, func(pt proc.CrashPoint) int { return pt.Attempt }), nil
+		case "crashes":
+			return numPred(ge, n, func(pt proc.CrashPoint) int { return pt.Crashes }), nil
+		case "line":
+			if ge {
+				return nil, fmt.Errorf("line takes =")
+			}
+			return func(pt proc.CrashPoint) bool { return pt.Line == n }, nil
+		}
+		return nil, fmt.Errorf("unknown key %q", key)
+	}
+	return nil, fmt.Errorf("unknown atom %q (want recovery, await, depth>=N, attempt>=N, crashes>=N, line=N, obj=, op=)", atom)
+}
+
+func numPred(ge bool, n int, field func(proc.CrashPoint) int) Predicate {
+	if ge {
+		return func(pt proc.CrashPoint) bool { return field(pt) >= n }
+	}
+	return func(pt proc.CrashPoint) bool { return field(pt) == n }
+}
+
+// Staged is the deterministic staged adversary: it waits until its target
+// predicate has matched Occurrence times (1-based; 0 means 1) and fires
+// exactly there, once. Use it to reproduce "the predicate held and we
+// crashed" scenarios without randomness, e.g.
+//
+//	&Staged{Target: mustTarget("recovery&depth>=2"), Occurrence: 3}
+type Staged struct {
+	Target     Predicate
+	Occurrence int
+
+	hits  int
+	fired bool
+}
+
+// ShouldCrash implements proc.Injector.
+func (s *Staged) ShouldCrash(pt proc.CrashPoint) bool {
+	if s.fired || (s.Target != nil && !s.Target(pt)) {
+		return false
+	}
+	occ := s.Occurrence
+	if occ == 0 {
+		occ = 1
+	}
+	s.hits++
+	if s.hits != occ {
+		return false
+	}
+	s.fired = true
+	return true
+}
+
+// Fired reports whether the adversary has crashed its target.
+func (s *Staged) Fired() bool { return s.fired }

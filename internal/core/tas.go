@@ -234,14 +234,14 @@ func (o *tasOp) Exec(c *proc.Ctx, line int) uint64 {
 			c.TAS(o.obj.t)
 			for i := 1; i < p; i++ { // line 25
 				r := o.obj.r[i]
-				c.Await(26, func() bool {
+				c.AwaitFor(26, i, func() bool {
 					v := c.Read(r)
 					return v == 0 || v == 3
 				})
 			}
 			for i := p + 1; i <= n; i++ { // line 27
 				r := o.obj.r[i]
-				c.Await(28, func() bool {
+				c.AwaitFor(28, i, func() bool {
 					v := c.Read(r)
 					return v == 0 || v > 2
 				})

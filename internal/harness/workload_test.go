@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"testing"
+
+	"nrl/internal/history"
+	"nrl/internal/linearize"
+	"nrl/internal/proc"
+)
+
+// TestWorkloadRegistry runs every real workload crash-free under the
+// controlled scheduler and NRL-checks the history, proving the registry's
+// Build/Models wiring is consistent for every entry.
+func TestWorkloadRegistry(t *testing.T) {
+	for _, w := range RealWorkloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			procs := w.Procs(2)
+			rec := history.NewRecorder()
+			sys := proc.NewSystem(proc.Config{
+				Procs:     procs,
+				Recorder:  rec,
+				Scheduler: proc.NewControlled(proc.RandomPicker(1)),
+			})
+			if err := sys.Run(w.Build(sys, procs, 2)); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := linearize.CheckNRL(w.Models, rec.History()); err != nil {
+				t.Fatalf("NRL: %v", err)
+			}
+		})
+	}
+}
+
+// TestWorkloadBrokenFindable: the broken workload violates NRL under a
+// crash at the known bad line, via the registry plumbing alone.
+func TestWorkloadBrokenFindable(t *testing.T) {
+	w, ok := WorkloadByName("broken")
+	if !ok {
+		t.Fatal("broken workload missing")
+	}
+	if w.Procs(4) != 1 {
+		t.Errorf("broken workload Procs(4) = %d, want pinned 1", w.Procs(4))
+	}
+	rec := history.NewRecorder()
+	sys := proc.NewSystem(proc.Config{
+		Procs:     1,
+		Recorder:  rec,
+		Injector:  &proc.AtLine{Obj: "bctr", Op: "INC", Line: 5},
+		Scheduler: proc.NewControlled(proc.RandomPicker(1)),
+	})
+	if err := sys.Run(w.Build(sys, 1, 1)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := linearize.CheckNRL(w.Models, rec.History()); err == nil {
+		t.Fatal("checker accepted the broken counter's double-count")
+	}
+}
+
+// TestWorkloadNames: broken strawmen sort after real workloads and are
+// excluded from RealWorkloads.
+func TestWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != len(workloads) {
+		t.Fatalf("%d names for %d workloads", len(names), len(workloads))
+	}
+	if names[len(names)-2] != "broken" || names[len(names)-1] != "stuck" {
+		t.Errorf("strawmen not last: %v", names)
+	}
+	for _, w := range RealWorkloads() {
+		if w.Broken {
+			t.Errorf("RealWorkloads includes broken %q", w.Name)
+		}
+	}
+}

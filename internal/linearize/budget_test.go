@@ -1,0 +1,62 @@
+package linearize
+
+import (
+	"errors"
+	"testing"
+
+	"nrl/internal/spec"
+)
+
+// TestSearchBudgetExceeded: a one-node budget cannot order two required
+// operations, and the failure is distinguishable from a genuine
+// non-linearizable verdict via ErrSearchBudget.
+func TestSearchBudgetExceeded(t *testing.T) {
+	ops := []opRec{
+		{id: 1, name: "WRITE", args: []uint64{7}, inv: 1, res: 2, mustMatch: true, required: true},
+		{id: 2, name: "READ", inv: 3, res: 4, ret: 7, mustMatch: true, required: true},
+	}
+	if _, err := checkOps(spec.Register{}, ops, 1); !errors.Is(err, ErrSearchBudget) {
+		t.Fatalf("err = %v, want ErrSearchBudget", err)
+	}
+	// The same input succeeds under the default budget, proving the budget
+	// (not the history) caused the failure.
+	order, err := checkOps(spec.Register{}, ops, 0)
+	if err != nil {
+		t.Fatalf("default budget: %v", err)
+	}
+	if len(order) != 2 || order[0] != 1 {
+		t.Errorf("order = %v, want [1 2]", order)
+	}
+}
+
+// TestConventionModels resolves nested base objects by naming convention
+// and prefers explicit entries.
+func TestConventionModels(t *testing.T) {
+	mf := ConventionModels(map[string]spec.Model{"ctr": spec.Counter{}})
+	cases := []struct {
+		obj  string
+		want string
+	}{
+		{"ctr", "counter"},
+		{"ctr.R[3]", "register"},
+		{"faa.cas", "cas"},
+		{"stk.top", "cas"},
+		{"q.head", "cas"},
+		{"q.tail", "cas"},
+		{"stk.alloc", "faa"},
+		{"lock.next", "faa"},
+	}
+	for _, tc := range cases {
+		m := mf(tc.obj)
+		if m == nil {
+			t.Errorf("no model for %q", tc.obj)
+			continue
+		}
+		if m.Name() != tc.want {
+			t.Errorf("model for %q = %s, want %s", tc.obj, m.Name(), tc.want)
+		}
+	}
+	if mf("unknown") != nil {
+		t.Error("unknown object resolved to a model")
+	}
+}

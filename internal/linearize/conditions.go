@@ -89,7 +89,7 @@ func checkCondition(modelFor ModelFor, h history.History, deadline abortDeadline
 			}
 			ops = append(ops, r)
 		}
-		if _, err := checkOps(m, ops); err != nil {
+		if _, err := checkOps(m, ops, 0); err != nil {
 			return fmt.Errorf("object %q: %w", obj, err)
 		}
 	}

@@ -1,0 +1,37 @@
+package linearize
+
+import (
+	"strings"
+
+	"nrl/internal/spec"
+)
+
+// ConventionModels builds a ModelFor that resolves both the objects the
+// caller names explicitly and, by naming convention, the recoverable base
+// objects nested inside this module's composite objects:
+//
+//	<name>.R[i]                      — registers inside a Counter
+//	<name>.cas, .top, .head, .tail   — CAS objects inside FAA,
+//	                                   MaxRegister, Stack and Queue
+//	<name>.alloc, <name>.next        — FAA objects inside Stack, Queue
+//	                                   and Lock
+//
+// The facade's nrl.Models delegates here; internal packages (harness,
+// chaos, the CLIs) use it directly to avoid importing the facade.
+func ConventionModels(explicit map[string]spec.Model) ModelFor {
+	return func(obj string) spec.Model {
+		if m, ok := explicit[obj]; ok {
+			return m
+		}
+		switch {
+		case strings.Contains(obj, ".R["):
+			return spec.Register{}
+		case strings.HasSuffix(obj, ".cas"), strings.HasSuffix(obj, ".top"),
+			strings.HasSuffix(obj, ".head"), strings.HasSuffix(obj, ".tail"):
+			return spec.CAS{}
+		case strings.HasSuffix(obj, ".alloc"), strings.HasSuffix(obj, ".next"):
+			return spec.FAA{}
+		}
+		return nil
+	}
+}

@@ -133,7 +133,7 @@ func TestWGLAgreesWithBruteForce(t *testing.T) {
 	for trial := 0; trial < 3000; trial++ {
 		n := rng.Intn(6) + 1
 		ops := genOps(rng, n)
-		_, err := checkOps(m, ops)
+		_, err := checkOps(m, ops, 0)
 		got := err == nil
 		want := bruteForce(m, ops)
 		if got != want {
@@ -167,7 +167,7 @@ func TestWGLAgreesWithBruteForceDeadlines(t *testing.T) {
 				ops[i].res = ops[i].inv + int64(rng.Intn(4))
 			}
 		}
-		_, err := checkOps(m, ops)
+		_, err := checkOps(m, ops, 0)
 		got := err == nil
 		want := bruteForce(m, ops)
 		if got != want {

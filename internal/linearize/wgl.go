@@ -41,18 +41,29 @@ const seqInf = math.MaxInt64
 // returned by the checkers wrap context around this text.
 var errNotLinearizable = fmt.Errorf("no valid linearization exists")
 
-// searchLimit bounds the number of search nodes expanded before the
-// checker gives up, to keep adversarial inputs from hanging tests.
-const searchLimit = 20_000_000
+// DefaultSearchLimit bounds the number of search nodes expanded before
+// the checker gives up, to keep adversarial inputs from hanging tests.
+const DefaultSearchLimit = 20_000_000
+
+// ErrSearchBudget is wrapped by errors returned when the search gave up
+// before reaching a verdict: the history is neither proved linearizable
+// nor proved broken. Campaign runners detect it with errors.Is and degrade
+// to a windowed check over a history prefix instead of failing the run.
+var ErrSearchBudget = fmt.Errorf("linearize: search budget exceeded")
 
 type memoKey struct {
 	bits  string
 	state any
 }
 
-// checkOps searches for a linearization of ops under m. It returns the
-// witness order (operation ids) on success.
-func checkOps(m spec.Model, ops []opRec) ([]int64, error) {
+// checkOps searches for a linearization of ops under m, expanding at most
+// limit search nodes (<= 0 applies DefaultSearchLimit). It returns the
+// witness order (operation ids) on success; when the budget runs out the
+// error wraps ErrSearchBudget.
+func checkOps(m spec.Model, ops []opRec, limit int) ([]int64, error) {
+	if limit <= 0 {
+		limit = DefaultSearchLimit
+	}
 	n := len(ops)
 	required := 0
 	for i := range ops {
@@ -74,8 +85,8 @@ func checkOps(m spec.Model, ops []opRec) ([]int64, error) {
 			return true
 		}
 		nodes++
-		if nodes > searchLimit {
-			applyErr = fmt.Errorf("linearize: search limit exceeded (%d nodes)", searchLimit)
+		if nodes > limit {
+			applyErr = fmt.Errorf("%w (%d nodes)", ErrSearchBudget, limit)
 			return false
 		}
 		key := memoKey{bits: string(bits), state: state}
@@ -174,10 +185,17 @@ func Models(m map[string]spec.Model) ModelFor {
 // CheckObject verifies that the crash-free history of a single object is
 // linearizable with respect to m, returning the witness order on success.
 func CheckObject(m spec.Model, h history.History) ([]int64, error) {
+	return CheckObjectBudget(m, h, 0)
+}
+
+// CheckObjectBudget is CheckObject with an explicit node budget (<= 0
+// applies DefaultSearchLimit). An exhausted budget yields an error
+// wrapping ErrSearchBudget.
+func CheckObjectBudget(m spec.Model, h history.History, limit int) ([]int64, error) {
 	if !h.CrashFree() {
 		return nil, fmt.Errorf("linearize: history contains crash steps; project with NoCrash first")
 	}
-	order, err := checkOps(m, opsFromHistory(h))
+	order, err := checkOps(m, opsFromHistory(h), limit)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", m.Name(), err)
 	}
@@ -187,6 +205,11 @@ func CheckObject(m spec.Model, h history.History) ([]int64, error) {
 // Check verifies Definition 2 for a crash-free history: every object's
 // subhistory must be linearizable against its model.
 func Check(modelFor ModelFor, h history.History) error {
+	return CheckBudget(modelFor, h, 0)
+}
+
+// CheckBudget is Check with an explicit per-object node budget.
+func CheckBudget(modelFor ModelFor, h history.History, limit int) error {
 	if err := h.CheckWellFormed(); err != nil {
 		return err
 	}
@@ -195,7 +218,7 @@ func Check(modelFor ModelFor, h history.History) error {
 		if m == nil {
 			return fmt.Errorf("linearize: no model for object %q", obj)
 		}
-		if _, err := CheckObject(m, h.ByObject(obj)); err != nil {
+		if _, err := CheckObjectBudget(m, h.ByObject(obj), limit); err != nil {
 			return fmt.Errorf("object %q: %w", obj, err)
 		}
 	}
@@ -206,10 +229,21 @@ func Check(modelFor ModelFor, h history.History) error {
 // linearizability): the history must be recoverable well-formed, and N(H)
 // must be linearizable.
 func CheckNRL(modelFor ModelFor, h history.History) error {
+	return CheckNRLBudget(modelFor, h, 0)
+}
+
+// CheckNRLBudget is CheckNRL with an explicit per-object node budget for
+// the linearization search (<= 0 applies DefaultSearchLimit). Campaign
+// runners pass a small budget and fall back to a windowed check over a
+// history prefix when the returned error wraps ErrSearchBudget — any
+// prefix of a recoverable-well-formed history is itself recoverable
+// well-formed (a crash may be a process's last step), so the windowed
+// verdict is sound, just partial.
+func CheckNRLBudget(modelFor ModelFor, h history.History, limit int) error {
 	if err := h.CheckRecoverableWellFormed(); err != nil {
 		return fmt.Errorf("not recoverable well-formed: %w", err)
 	}
-	if err := Check(modelFor, h.NoCrash()); err != nil {
+	if err := CheckBudget(modelFor, h.NoCrash(), limit); err != nil {
 		return fmt.Errorf("N(H) not linearizable: %w", err)
 	}
 	return nil

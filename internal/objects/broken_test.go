@@ -4,81 +4,15 @@ import (
 	"strings"
 	"testing"
 
-	"nrl/internal/core"
 	"nrl/internal/linearize"
+	"nrl/internal/objects"
 	"nrl/internal/proc"
 	"nrl/internal/spec"
 )
 
 // brokenModels resolves the broken counter and its nested register.
 func brokenModels() linearize.ModelFor {
-	return func(obj string) spec.Model {
-		if obj == "bctr" {
-			return spec.Counter{}
-		}
-		return spec.Register{}
-	}
-}
-
-// brokenInc is the paper's motivating bug made flesh: an INC whose
-// recovery ALWAYS re-executes the body, ignoring LI_p. If the crash
-// happened after the nested WRITE took effect, the re-execution
-// increments twice. The NRL checker must catch this.
-type brokenInc struct {
-	reg *core.Register
-}
-
-func (o *brokenInc) Info() proc.OpInfo {
-	return proc.OpInfo{Obj: "bctr", Op: "INC", Entry: 2, RecoverEntry: 7}
-}
-
-func (o *brokenInc) Exec(c *proc.Ctx, line int) uint64 {
-	var temp uint64
-	for {
-		switch line {
-		case 2:
-			c.Step(2)
-			temp = c.Invoke(o.reg.ReadOp())
-			line = 3
-		case 3:
-			c.Step(3)
-			temp = temp + 1
-			line = 4
-		case 4:
-			c.Step(4)
-			c.Invoke(o.reg.WriteOp(), temp)
-			line = 5
-		case 5:
-			c.Step(5)
-			return 0
-		case 7:
-			// BROKEN: no LI test — unconditional re-execution.
-			c.RecStep(7)
-			line = 2
-		}
-	}
-}
-
-// brokenRead sums the single register (1-process broken counter).
-type brokenRead struct {
-	reg *core.Register
-}
-
-func (o *brokenRead) Info() proc.OpInfo {
-	return proc.OpInfo{Obj: "bctr", Op: "READ", Entry: 12, RecoverEntry: 18}
-}
-
-func (o *brokenRead) Exec(c *proc.Ctx, line int) uint64 {
-	for {
-		switch line {
-		case 12:
-			c.Step(12)
-			return c.Invoke(o.reg.ReadOp())
-		case 18:
-			c.RecStep(18)
-			line = 12
-		}
-	}
+	return linearize.ConventionModels(map[string]spec.Model{"bctr": spec.Counter{}})
 }
 
 // TestBrokenCounterCaughtByChecker crashes the broken INC right after its
@@ -90,12 +24,10 @@ func (o *brokenRead) Exec(c *proc.Ctx, line int) uint64 {
 func TestBrokenCounterCaughtByChecker(t *testing.T) {
 	inj := &proc.AtLine{Obj: "bctr", Op: "INC", Line: 5} // LI=4: WRITE done
 	sys, rec := newSys(inj, 1, nil)
-	reg := core.NewRegister(sys, "bctr.R[1]", 0)
-	inc := &brokenInc{reg: reg}
-	read := &brokenRead{reg: reg}
+	ctr := objects.NewBrokenCounter(sys, "bctr")
 	c := sys.Proc(1).Ctx()
-	c.Invoke(inc)
-	got := c.Invoke(read)
+	ctr.Inc(c)
+	got := ctr.Read(c)
 	if got != 2 {
 		t.Fatalf("broken counter read %d; expected the double-count 2", got)
 	}
@@ -122,12 +54,10 @@ func TestBrokenCounterFoundBySweep(t *testing.T) {
 	for line := 2; line <= 7; line++ {
 		inj := &proc.AtLine{Obj: "bctr", Op: "INC", Line: line}
 		sys, rec := newSys(inj, 1, nil)
-		reg := core.NewRegister(sys, "bctr.R[1]", 0)
-		inc := &brokenInc{reg: reg}
-		read := &brokenRead{reg: reg}
+		ctr := objects.NewBrokenCounter(sys, "bctr")
 		c := sys.Proc(1).Ctx()
-		c.Invoke(inc)
-		c.Invoke(read)
+		ctr.Inc(c)
+		ctr.Read(c)
 		if linearize.CheckNRL(brokenModels(), rec.History()) != nil {
 			found = true
 			break
@@ -135,5 +65,25 @@ func TestBrokenCounterFoundBySweep(t *testing.T) {
 	}
 	if !found {
 		t.Error("no crash placement exposed the broken recovery")
+	}
+}
+
+// TestStuckObjectLivelocks: any crash of the Stuck object's GET parks its
+// recovery forever; the watchdog must convert that into a *StuckError
+// under RecoverPanics instead of hanging or panicking the binary.
+func TestStuckObjectLivelocks(t *testing.T) {
+	inj := &proc.AtLine{Obj: "stk0", Op: "GET", Line: 1}
+	sys := proc.NewSystem(proc.Config{
+		Procs: 1, Injector: inj, AwaitBudget: 200, RecoverPanics: true,
+	})
+	stuck := objects.NewStuck(sys, "stk0")
+	err := sys.Run(map[int]func(*proc.Ctx){
+		1: func(c *proc.Ctx) { stuck.Get(c) },
+	})
+	if err == nil {
+		t.Fatal("stuck object completed; expected a watchdog error")
+	}
+	if !strings.Contains(err.Error(), "await budget") {
+		t.Errorf("error is not a stuck report: %v", err)
 	}
 }

@@ -1,0 +1,175 @@
+package objects
+
+import (
+	"fmt"
+
+	"nrl/internal/core"
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// This file holds deliberately WRONG objects: negative controls for the
+// checker, the sweep tool and the chaos campaigns. They are exported (not
+// test-only) so that cmd/nrlchaos and cmd/nrlsweep can offer "broken" and
+// "stuck" workloads whose failures exercise the reporting paths
+// end-to-end. Do not use them for anything else.
+
+// BrokenCounter is the paper's motivating bug made flesh: a single-process
+// counter whose INC recovery ALWAYS re-executes the body, ignoring LI_p —
+// exactly the naive recovery Algorithm 4's "if LI_p < 4" test exists to
+// prevent. A crash after the nested WRITE took effect makes the
+// re-execution increment twice, and the NRL checker rejects the history.
+//
+// The object is only sequentially sound: its single register would lose
+// updates under concurrent INCs even without crashes, so workloads must
+// run it with exactly one process.
+type BrokenCounter struct {
+	name string
+	reg  *core.Register
+
+	inc  *brokenIncOp
+	read *brokenReadOp
+}
+
+// NewBrokenCounter allocates the broken counter (register <name>.R[1]).
+func NewBrokenCounter(sys *proc.System, name string) *BrokenCounter {
+	o := &BrokenCounter{
+		name: name,
+		reg:  core.NewRegister(sys, fmt.Sprintf("%s.R[1]", name), 0),
+	}
+	o.inc = &brokenIncOp{ctr: o}
+	o.read = &brokenReadOp{ctr: o}
+	return o
+}
+
+// Name returns the object's name.
+func (o *BrokenCounter) Name() string { return o.name }
+
+// Inc increments the counter — incorrectly, if it crashes after line 4.
+func (o *BrokenCounter) Inc(c *proc.Ctx) { c.Invoke(o.inc) }
+
+// Read returns the counter's value.
+func (o *BrokenCounter) Read(c *proc.Ctx) uint64 { return c.Invoke(o.read) }
+
+// IncOp exposes INC for direct nesting.
+func (o *BrokenCounter) IncOp() proc.Operation { return o.inc }
+
+// ReadOp exposes READ for direct nesting.
+func (o *BrokenCounter) ReadOp() proc.Operation { return o.read }
+
+// brokenIncOp mirrors counterInc's body but its recovery re-executes from
+// line 2 unconditionally.
+type brokenIncOp struct {
+	ctr *BrokenCounter
+}
+
+func (o *brokenIncOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.ctr.name, Op: "INC", Entry: 2, RecoverEntry: 7}
+}
+
+func (o *brokenIncOp) Exec(c *proc.Ctx, line int) uint64 {
+	var temp uint64
+	for {
+		switch line {
+		case 2:
+			c.Step(2)
+			temp = c.Invoke(o.ctr.reg.ReadOp())
+			line = 3
+		case 3:
+			c.Step(3)
+			temp = temp + 1
+			line = 4
+		case 4:
+			c.Step(4)
+			c.Invoke(o.ctr.reg.WriteOp(), temp)
+			line = 5
+		case 5:
+			c.Step(5)
+			return Ack
+		case 7:
+			// BROKEN: no LI test — unconditional re-execution.
+			c.RecStep(7)
+			line = 2
+		default:
+			panic(fmt.Sprintf("objects: brokenIncOp bad line %d", line))
+		}
+	}
+}
+
+// brokenReadOp reads the single register (correct; the observer that makes
+// the duplicated increment visible to the checker).
+type brokenReadOp struct {
+	ctr *BrokenCounter
+}
+
+func (o *brokenReadOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.ctr.name, Op: "READ", Entry: 12, RecoverEntry: 18}
+}
+
+func (o *brokenReadOp) Exec(c *proc.Ctx, line int) uint64 {
+	for {
+		switch line {
+		case 12:
+			c.Step(12)
+			return c.Invoke(o.ctr.reg.ReadOp())
+		case 18:
+			c.RecStep(18)
+			line = 12
+		default:
+			panic(fmt.Sprintf("objects: brokenReadOp bad line %d", line))
+		}
+	}
+}
+
+// Stuck is an object whose GET recovery awaits a flag that no process ever
+// sets once a crash has occurred: a guaranteed livelock, the negative
+// control for the watchdog. Crash-free it returns immediately; after any
+// crash its recovery parks in an Await that can never be satisfied.
+type Stuck struct {
+	name string
+	flag nvm.Addr
+
+	get *stuckGetOp
+}
+
+// NewStuck allocates the stuck object (flag word <name>.flag, initially 0;
+// the await waits for 1, which nothing writes).
+func NewStuck(sys *proc.System, name string) *Stuck {
+	o := &Stuck{name: name, flag: sys.Mem().Alloc(name+".flag", 0)}
+	o.get = &stuckGetOp{obj: o}
+	return o
+}
+
+// Name returns the object's name.
+func (o *Stuck) Name() string { return o.name }
+
+// Get runs the operation; if it crashes, its recovery livelocks.
+func (o *Stuck) Get(c *proc.Ctx) uint64 { return c.Invoke(o.get) }
+
+// GetOp exposes GET for direct nesting.
+func (o *Stuck) GetOp() proc.Operation { return o.get }
+
+type stuckGetOp struct {
+	obj *Stuck
+}
+
+func (o *stuckGetOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.obj.name, Op: "GET", Entry: 1, RecoverEntry: 5}
+}
+
+func (o *stuckGetOp) Exec(c *proc.Ctx, line int) uint64 {
+	for {
+		switch line {
+		case 1:
+			c.Step(1)
+			return c.Read(o.obj.flag)
+		case 5:
+			// BROKEN: awaits a flag nobody sets. The await declares no
+			// dependency (On = 0): nobody is responsible for the flag.
+			c.Await(5, func() bool { return c.Read(o.obj.flag) == 1 })
+			line = 1
+		default:
+			panic(fmt.Sprintf("objects: stuckGetOp bad line %d", line))
+		}
+	}
+}

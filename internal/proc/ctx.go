@@ -45,7 +45,7 @@ func (c *Ctx) RecStep(line int) {
 
 func (c *Ctx) step(line int, updateLI bool) {
 	p := c.p
-	p.steps++
+	ps := p.steps.Add(1)
 	gs := p.sys.globalSteps.Add(1)
 	p.sys.sched.Yield(p.id)
 	fr := p.top()
@@ -55,10 +55,13 @@ func (c *Ctx) step(line int, updateLI bool) {
 		Obj:        info.Obj,
 		Op:         info.Op,
 		Line:       line,
-		ProcStep:   p.steps,
+		ProcStep:   ps,
 		GlobalStep: gs,
-		Crashes:    p.crashes,
+		Crashes:    int(p.crashes.Load()),
 		Depth:      len(p.stack),
+		Attempt:    fr.attempts,
+		Recovery:   !updateLI,
+		Awaiting:   p.awaiting,
 	}
 	if p.sys.inj.ShouldCrash(pt) {
 		panic(crashSignal{proc: p.id})
@@ -120,17 +123,38 @@ func (c *Ctx) Invoke(op Operation, args ...uint64) uint64 {
 // holds, yielding the processor between iterations. It implements the
 // paper's await(...) busy-wait construct (which appears only in recovery
 // code, hence the LI-preserving step). If the system's await budget is
-// exceeded, Await panics: a blocked recovery that nobody can unblock is a
-// livelock, and tests should fail loudly rather than hang.
+// exceeded, Await panics with a *StuckError carrying a full StuckReport:
+// a blocked recovery that nobody can unblock is a livelock, and tests
+// should fail loudly rather than hang. Under Config.RecoverPanics the
+// panic is converted into an error (errors.As recovers the report).
 func (c *Ctx) Await(line int, cond func() bool) {
-	budget := c.p.sys.awaitBudget
+	c.awaitFor(line, 0, cond)
+}
+
+// AwaitFor is Await with a declared dependency: on names the process whose
+// step the condition is waiting on, so that a StuckReport can tell a
+// genuine livelock ("everyone I wait on is parked or done") from a run
+// that is merely slow. Pass 0 when the dependency is unknown.
+func (c *Ctx) AwaitFor(line, on int, cond func() bool) {
+	c.awaitFor(line, on, cond)
+}
+
+func (c *Ctx) awaitFor(line, on int, cond func() bool) {
+	p := c.p
+	budget := p.sys.awaitBudget
+	st, prev := p.sys.park(p, line, on, p.top().attempts)
+	defer p.sys.unpark(p, prev)
+	wasAwaiting := p.awaiting
+	p.awaiting = true
+	defer func() { p.awaiting = wasAwaiting }()
 	for i := 0; ; i++ {
 		c.RecStep(line)
 		if cond() {
 			return
 		}
+		st.iters.Store(uint64(i + 1))
 		if budget > 0 && i >= budget {
-			panic(awaitExceeded(c.p.id, line, budget))
+			panic(&StuckError{Report: p.sys.stuckReport(p.id, line, budget)})
 		}
 		runtime.Gosched()
 	}

@@ -17,6 +17,9 @@ type CrashPoint struct {
 	GlobalStep uint64 // number of steps taken system-wide
 	Crashes    int    // crashes p has suffered so far
 	Depth      int    // nesting depth (1 = top-level operation)
+	Attempt    int    // recovery attempts of the current frame so far
+	Recovery   bool   // the line belongs to recovery code (entered via RecStep)
+	Awaiting   bool   // the process is inside an Await/AwaitFor loop
 }
 
 // Injector decides whether a process crashes at a given point. Injectors
@@ -104,10 +107,23 @@ func (a *AtStep) ShouldCrash(pt CrashPoint) bool {
 // Random crashes each step independently with probability Rate, driven by
 // a seeded generator, stopping after MaxCrashes total crashes (0 means
 // unlimited — use with care: unbounded crashes can livelock recovery).
+//
+// Reproducibility contract: the generator is consulted under a mutex, one
+// draw per offered crash point, so the decision sequence is a pure
+// function of the order in which crash points arrive. Under the
+// controlled scheduler that order is deterministic and so is the
+// injector. Under the free scheduler the arrival order races, so a single
+// shared Random is NOT reproducible across runs; for reproducible
+// campaigns derive one injector per process from a single seed (set Proc,
+// seed each via NewRandom with SplitSeed) so every decision stream
+// depends only on its own process's step sequence.
 type Random struct {
 	Rate       float64
 	Seed       int64
 	MaxCrashes int
+	// Proc, when non-zero, restricts the injector to that process: points
+	// of other processes are ignored without consuming a random draw.
+	Proc int
 
 	once    sync.Once
 	mu      sync.Mutex
@@ -115,8 +131,31 @@ type Random struct {
 	crashes int
 }
 
+// NewRandom returns a Random injector drawing from src instead of the
+// default Seed-derived generator, so campaigns can derive independent
+// per-process streams from one master seed (see SplitSeed). maxCrashes
+// bounds the total crashes (0 = unlimited).
+func NewRandom(rate float64, maxCrashes int, src rand.Source) *Random {
+	r := &Random{Rate: rate, MaxCrashes: maxCrashes}
+	r.once.Do(func() { r.rng = rand.New(src) })
+	return r
+}
+
+// SplitSeed derives a stream seed from one master seed and a stream index
+// (e.g. a process id), using a splitmix64 finalization so that nearby
+// inputs yield uncorrelated outputs.
+func SplitSeed(seed int64, stream int) int64 {
+	z := uint64(seed) + uint64(stream)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // ShouldCrash implements Injector.
-func (r *Random) ShouldCrash(CrashPoint) bool {
+func (r *Random) ShouldCrash(pt CrashPoint) bool {
+	if r.Proc != 0 && pt.Proc != r.Proc {
+		return false
+	}
 	r.once.Do(func() { r.rng = rand.New(rand.NewSource(r.Seed)) })
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -552,8 +552,15 @@ func TestAwaitBudgetPanics(t *testing.T) {
 		if r == nil {
 			t.Fatal("Await did not panic on exceeded budget")
 		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, "await budget") {
-			t.Errorf("unexpected panic value: %v", r)
+		se, ok := r.(*StuckError)
+		if !ok || !strings.Contains(se.Error(), "await budget") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+		if se.Report.Proc != 1 || se.Report.Line != 1 || se.Report.Budget != 100 {
+			t.Errorf("report = %+v, want proc 1 line 1 budget 100", se.Report)
+		}
+		if len(se.Report.Parked) != 1 || se.Report.Parked[0].Obj != "aw" {
+			t.Errorf("parked = %v, want the aw.WAIT await", se.Report.Parked)
 		}
 	}()
 	sys.Proc(1).Ctx().Invoke(op)

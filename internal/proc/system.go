@@ -64,6 +64,9 @@ type System struct {
 
 	failMu   sync.Mutex
 	failures []error
+
+	parkMu sync.Mutex
+	parked map[int]*awaitState // processes inside an Await loop, by id
 }
 
 // NewSystem creates a system with cfg.Procs processes.
@@ -99,6 +102,7 @@ func NewSystem(cfg Config) *System {
 		sched:         sched,
 		awaitBudget:   budget,
 		recoverPanics: cfg.RecoverPanics,
+		parked:        make(map[int]*awaitState),
 	}
 	s.procs = make([]*Proc, cfg.Procs+1)
 	for p := 1; p <= cfg.Procs; p++ {
@@ -140,13 +144,22 @@ func (s *System) Go(p int, body func(*Ctx)) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		defer pr.done.Store(true)
 		s.sched.Start(p)
 		defer s.sched.Done(p)
 		if s.recoverPanics {
 			defer func() {
 				if r := recover(); r != nil {
+					var err error
+					if se, ok := r.(*StuckError); ok {
+						// Keep the structured report reachable via
+						// errors.As on Err/Failures.
+						err = fmt.Errorf("process %d stuck: %w", p, se)
+					} else {
+						err = fmt.Errorf("process %d panicked: %v", p, r)
+					}
 					s.failMu.Lock()
-					s.failures = append(s.failures, fmt.Errorf("process %d panicked: %v", p, r))
+					s.failures = append(s.failures, err)
 					s.failMu.Unlock()
 				}
 			}()
@@ -167,6 +180,18 @@ func (s *System) Err() error {
 		return nil
 	}
 	return s.failures[0]
+}
+
+// Failures returns every process-program failure captured under
+// Config.RecoverPanics, in the order they occurred. Campaign runners use
+// this to distinguish an all-stuck run (every failure is a *StuckError)
+// from a genuine algorithm panic.
+func (s *System) Failures() []error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	out := make([]error, len(s.failures))
+	copy(out, s.failures)
+	return out
 }
 
 // Run executes the given process programs (keyed by process id) to
@@ -216,19 +241,26 @@ type Proc struct {
 	sys *System
 	ctx *Ctx
 
-	stack   []*frame
-	steps   uint64
-	crashes int
+	stack []*frame
+	// steps and crashes are atomics only so that StuckReport builders can
+	// snapshot them from other goroutines; all writes happen on the
+	// process's own goroutine.
+	steps   atomic.Uint64
+	crashes atomic.Int32
+	done    atomic.Bool
+	// awaiting is only touched by the process's own goroutine; it flags
+	// steps taken inside an Await loop for CrashPoint.Awaiting.
+	awaiting bool
 }
 
 // ID returns the process id (1-based).
 func (p *Proc) ID() int { return p.id }
 
 // Steps reports how many steps the process has taken.
-func (p *Proc) Steps() uint64 { return p.steps }
+func (p *Proc) Steps() uint64 { return p.steps.Load() }
 
 // Crashes reports how many crashes the process has suffered.
-func (p *Proc) Crashes() int { return p.crashes }
+func (p *Proc) Crashes() int { return int(p.crashes.Load()) }
 
 // Ctx returns the process's context (useful for single-threaded tests that
 // do not go through Go/Run).
@@ -273,7 +305,7 @@ func (p *Proc) emitOp(k trace.Kind, fr *frame, args []uint64, ret uint64) {
 	t.Emit(trace.Event{
 		Kind: k, P: p.id, Obj: info.Obj, Op: info.Op,
 		Depth: len(p.stack), Line: fr.li, Attempt: fr.attempts,
-		PStep: p.steps, GStep: p.sys.globalSteps.Load(),
+		PStep: p.steps.Load(), GStep: p.sys.globalSteps.Load(),
 		Addr: int32(nvm.InvalidAddr), Args: args, Ret: ret,
 	})
 }
@@ -314,7 +346,7 @@ func (p *Proc) attempt(f func() uint64) (ret uint64, ok bool) {
 // onCrash records the crash step and discards volatile state. The crashed
 // operation is the inner-most pending one (the top frame).
 func (p *Proc) onCrash() {
-	p.crashes++
+	p.crashes.Add(1)
 	p.record(history.Crash, p.top(), nil, 0)
 	p.emitOp(trace.Crash, p.top(), nil, 0)
 	for _, fr := range p.stack {
@@ -353,9 +385,4 @@ func cloneArgs(args []uint64) []uint64 {
 	out := make([]uint64, len(args))
 	copy(out, args)
 	return out
-}
-
-// awaitExceeded builds the panic message for a blown await budget.
-func awaitExceeded(p int, line, budget int) string {
-	return fmt.Sprintf("proc: process %d exceeded await budget (%d iterations) at line %d; likely livelock", p, budget, line)
 }

@@ -1,0 +1,162 @@
+package sweep_test
+
+import (
+	"testing"
+
+	"nrl/internal/core"
+	"nrl/internal/history"
+	"nrl/internal/linearize"
+	"nrl/internal/objects"
+	"nrl/internal/proc"
+	"nrl/internal/spec"
+	"nrl/internal/sweep"
+)
+
+// These tests are the exhaustive crash-during-recovery depth sweep for the
+// paper's composite algorithms: for every reachable crash point, a second
+// crash is placed at EVERY line the recovery path visits (sweep.Config
+// DeepRecovery), and every resulting history must still satisfy NRL. This
+// is exactly the adversarial region the paper's LI_p machinery exists
+// for: recovery functions must tolerate being themselves interrupted at
+// any instruction, arbitrarily often.
+
+// TestDeepRecoveryCAS: Algorithm 2 (recoverable CAS) under second crashes
+// at every recovery line.
+func TestDeepRecoveryCAS(t *testing.T) {
+	const nProc = 2
+	stats, err := sweep.Run(sweep.Config{
+		Procs: nProc,
+		Build: func(sys *proc.System) map[int]func(*proc.Ctx) {
+			o := core.NewCASObject(sys, "cas")
+			bodies := make(map[int]func(*proc.Ctx))
+			for p := 1; p <= nProc; p++ {
+				bodies[p] = func(c *proc.Ctx) {
+					for i := 0; i < 2; i++ {
+						cur := o.Read(c)
+						o.CAS(c, cur, core.DistinctCAS(c.P(), uint32(i+1), uint32(i)))
+					}
+				}
+			}
+			return bodies
+		},
+		Models:       linearize.ConventionModels(map[string]spec.Model{"cas": spec.CAS{}}),
+		Seed:         1,
+		DeepRecovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoverySites == 0 {
+		t.Fatal("DeepRecovery exercised no recovery sites")
+	}
+	t.Logf("cas: %d points, %d recovery sites, %d runs, %d crashes",
+		stats.Points, stats.RecoverySites, stats.Runs, stats.Crashes)
+}
+
+// TestDeepRecoveryTAS: Algorithm 3 (recoverable TAS) — its recovery is the
+// richest in the paper (doorway shutdown, the two await loops of lines
+// 25–28, the winner protocol), so this is the sweep most likely to catch
+// an LI bookkeeping bug.
+func TestDeepRecoveryTAS(t *testing.T) {
+	const nProc = 2
+	stats, err := sweep.Run(sweep.Config{
+		Procs: nProc,
+		Build: func(sys *proc.System) map[int]func(*proc.Ctx) {
+			o := core.NewTAS(sys, "t")
+			bodies := make(map[int]func(*proc.Ctx))
+			for p := 1; p <= nProc; p++ {
+				bodies[p] = func(c *proc.Ctx) { o.TestAndSet(c) }
+			}
+			return bodies
+		},
+		Models:       linearize.ConventionModels(map[string]spec.Model{"t": spec.TAS{}}),
+		Seed:         1,
+		DeepRecovery: true,
+		// A second crash inside the await loops re-enters recovery from
+		// scratch; keep the budget tight so a livelock would surface as a
+		// StuckError instead of a five-million-iteration spin.
+		AwaitBudget:   100_000,
+		RecoverPanics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoverySites == 0 {
+		t.Fatal("DeepRecovery exercised no recovery sites")
+	}
+	t.Logf("tas: %d points, %d recovery sites, %d runs, %d crashes",
+		stats.Points, stats.RecoverySites, stats.Runs, stats.Crashes)
+}
+
+// TestDeepRecoveryCounter: Algorithm 4 (recoverable counter), whose READ
+// nests register reads N deep; second crashes land inside nested
+// recovery frames.
+func TestDeepRecoveryCounter(t *testing.T) {
+	const nProc = 2
+	stats, err := sweep.Run(sweep.Config{
+		Procs: nProc,
+		Build: func(sys *proc.System) map[int]func(*proc.Ctx) {
+			ctr := objects.NewCounter(sys, "ctr")
+			bodies := make(map[int]func(*proc.Ctx))
+			for p := 1; p <= nProc; p++ {
+				bodies[p] = func(c *proc.Ctx) {
+					ctr.Inc(c)
+					ctr.Read(c)
+				}
+			}
+			return bodies
+		},
+		Models:       linearize.ConventionModels(map[string]spec.Model{"ctr": spec.Counter{}}),
+		Seed:         1,
+		DeepRecovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RecoverySites == 0 {
+		t.Fatal("DeepRecovery exercised no recovery sites")
+	}
+	t.Logf("counter: %d points, %d recovery sites, %d runs, %d crashes",
+		stats.Points, stats.RecoverySites, stats.Runs, stats.Crashes)
+}
+
+// TestTASAwaitLoopReentry is the named Algorithm 3 regression case: p1
+// crashes right after the base TAS (line 9, before announcing a winner),
+// enters recovery, and is crashed a SECOND time at the await loop of line
+// 28 — forcing a fresh recovery attempt that must re-shut the doorway and
+// re-await without corrupting R[p] states. Theorem 4 proves the awaits
+// terminate once every crashed process recovers; the history must be NRL
+// and both operations must complete with one winner.
+func TestTASAwaitLoopReentry(t *testing.T) {
+	first := &proc.AtLine{Proc: 1, Obj: "t", Op: "T&S", Line: 9}
+	second := &proc.AtLine{Proc: 1, Obj: "t", Op: "T&S", Line: 28}
+	rec := history.NewRecorder()
+	sys := proc.NewSystem(proc.Config{
+		Procs:     2,
+		Recorder:  rec,
+		Injector:  proc.Multi{first, second},
+		Scheduler: proc.NewControlled(proc.RoundRobinPicker()),
+	})
+	o := core.NewTAS(sys, "t")
+	rets := make([]uint64, 3)
+	err := sys.Run(map[int]func(*proc.Ctx){
+		1: func(c *proc.Ctx) { rets[1] = o.TestAndSet(c) },
+		2: func(c *proc.Ctx) { rets[2] = o.TestAndSet(c) },
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !first.Fired() {
+		t.Fatal("first crash (line 9) did not fire")
+	}
+	if !second.Fired() {
+		t.Fatal("second crash (await line 28) did not fire — regression setup broken")
+	}
+	if rets[1]+rets[2] != 1 {
+		t.Errorf("T&S returns = %d,%d; want exactly one winner (0) and one loser (1)", rets[1], rets[2])
+	}
+	mf := linearize.ConventionModels(map[string]spec.Model{"t": spec.TAS{}})
+	if err := linearize.CheckNRL(mf, rec.History()); err != nil {
+		t.Fatalf("NRL violated after await-loop re-entry: %v\nhistory:\n%s", err, rec.History())
+	}
+}

@@ -39,6 +39,18 @@ type Config struct {
 	// DoubleCrash additionally re-runs every point with a second crash at
 	// the recovery's first step, exercising crash-during-recovery paths.
 	DoubleCrash bool
+	// DeepRecovery goes further than DoubleCrash: for every discovered
+	// point it first observes which (obj, op, line) sites the recovery
+	// path visits after the crash, then re-runs once per recovery site
+	// with the second crash placed exactly there — an exhaustive
+	// crash-at-every-line-of-every-Recover-body sweep.
+	DeepRecovery bool
+	// AwaitBudget and RecoverPanics forward to proc.Config: campaign-style
+	// sweeps set a small budget and RecoverPanics so a crash placement
+	// that livelocks recovery ends in a structured proc.StuckError
+	// (wrapped in the returned error) instead of hanging or panicking.
+	AwaitBudget   int
+	RecoverPanics bool
 }
 
 // Point identifies one crash site visited by the workload.
@@ -61,6 +73,9 @@ type Stats struct {
 	Runs int
 	// Crashes is the total number of crashes injected.
 	Crashes int
+	// RecoverySites is the total number of (first-crash point, recovery
+	// line) second-crash placements exercised under DeepRecovery.
+	RecoverySites int
 }
 
 // recorderInjector records every crash point offered without crashing.
@@ -84,15 +99,20 @@ func Run(cfg Config) (Stats, error) {
 	runOnce := func(inj proc.Injector) (*proc.System, history.History, error) {
 		rec := history.NewRecorder()
 		sys := proc.NewSystem(proc.Config{
-			Procs:     cfg.Procs,
-			Recorder:  rec,
-			Injector:  inj,
-			Scheduler: proc.NewControlled(proc.RandomPicker(cfg.Seed)),
+			Procs:         cfg.Procs,
+			Recorder:      rec,
+			Injector:      inj,
+			Scheduler:     proc.NewControlled(proc.RandomPicker(cfg.Seed)),
+			AwaitBudget:   cfg.AwaitBudget,
+			RecoverPanics: cfg.RecoverPanics,
 		})
 		bodies := cfg.Build(sys)
-		sys.Run(bodies)
+		runErr := sys.Run(bodies)
 		stats.Runs++
 		h := rec.History()
+		if runErr != nil {
+			return sys, h, fmt.Errorf("run failed: %w", runErr)
+		}
 		if err := linearize.CheckNRL(cfg.Models, h); err != nil {
 			return sys, h, fmt.Errorf("NRL violated: %w", err)
 		}
@@ -113,25 +133,21 @@ func Run(cfg Config) (Stats, error) {
 	for p := range disc.seen {
 		points = append(points, p)
 	}
-	sort.Slice(points, func(i, j int) bool {
-		a, b := points[i], points[j]
-		if a.Obj != b.Obj {
-			return a.Obj < b.Obj
-		}
-		if a.Op != b.Op {
-			return a.Op < b.Op
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Proc < b.Proc
-	})
+	sortPoints(points)
 	stats.Points = len(points)
 
-	// Injection passes: one crash at each discovered point.
+	// Injection passes: one crash at each discovered point. Under
+	// DeepRecovery the same run also observes which sites the crashed
+	// process's recovery path visits, for the second-crash placements.
 	for _, pt := range points {
 		inj := &proc.AtLine{Proc: pt.Proc, Obj: pt.Obj, Op: pt.Op, Line: pt.Line}
-		sys, h, err := runOnce(inj)
+		var obs *recObserver
+		single := proc.Injector(inj)
+		if cfg.DeepRecovery {
+			obs = &recObserver{after: inj, proc: pt.Proc, seen: make(map[Point]bool)}
+			single = proc.Multi{inj, obs}
+		}
+		sys, h, err := runOnce(single)
 		if err != nil {
 			return stats, fmt.Errorf("sweep: crash at %s: %w\nhistory:\n%s", pt, err, h)
 		}
@@ -139,23 +155,44 @@ func Run(cfg Config) (Stats, error) {
 			stats.Crashes++
 		}
 		_ = sys
-		if !cfg.DoubleCrash {
+		if cfg.DoubleCrash {
+			// Second crash at the first recovery step after the first
+			// crash: per-process step counting makes this deterministic
+			// enough — we crash the same process once more on its next
+			// step after the line crash.
+			first := &proc.AtLine{Proc: pt.Proc, Obj: pt.Obj, Op: pt.Op, Line: pt.Line}
+			second := &followUp{target: first}
+			_, h, err = runOnce(proc.Multi{first, second})
+			if err != nil {
+				return stats, fmt.Errorf("sweep: double crash at %s: %w\nhistory:\n%s", pt, err, h)
+			}
+			if second.fired {
+				stats.Crashes += 2
+			} else if first.Fired() {
+				stats.Crashes++
+			}
+		}
+		if !cfg.DeepRecovery {
 			continue
 		}
-		// Second crash at the first recovery step after the first crash:
-		// per-process step counting makes this deterministic enough — we
-		// crash the same process once more on its next step after the
-		// line crash.
-		first := &proc.AtLine{Proc: pt.Proc, Obj: pt.Obj, Op: pt.Op, Line: pt.Line}
-		second := &followUp{target: first}
-		_, h, err = runOnce(proc.Multi{first, second})
-		if err != nil {
-			return stats, fmt.Errorf("sweep: double crash at %s: %w\nhistory:\n%s", pt, err, h)
+		recSites := make([]Point, 0, len(obs.seen))
+		for rp := range obs.seen {
+			recSites = append(recSites, rp)
 		}
-		if second.fired {
-			stats.Crashes += 2
-		} else if first.Fired() {
-			stats.Crashes++
+		sortPoints(recSites)
+		stats.RecoverySites += len(recSites)
+		for _, rp := range recSites {
+			first := &proc.AtLine{Proc: pt.Proc, Obj: pt.Obj, Op: pt.Op, Line: pt.Line}
+			second := &afterLine{after: first, site: rp}
+			_, h, err := runOnce(proc.Multi{first, second})
+			if err != nil {
+				return stats, fmt.Errorf("sweep: crash at %s then recovery crash at %s: %w\nhistory:\n%s", pt, rp, err, h)
+			}
+			if second.fired {
+				stats.Crashes += 2
+			} else if first.Fired() {
+				stats.Crashes++
+			}
 		}
 	}
 	return stats, nil
@@ -177,4 +214,57 @@ func (f *followUp) ShouldCrash(pt proc.CrashPoint) bool {
 	}
 	f.fired = true
 	return true
+}
+
+// recObserver records, without crashing, every recovery-path site the
+// crashed process visits after the first injector fired. The sites drive
+// DeepRecovery's second-crash placements.
+type recObserver struct {
+	after *proc.AtLine
+	proc  int
+	seen  map[Point]bool
+}
+
+func (o *recObserver) ShouldCrash(pt proc.CrashPoint) bool {
+	if !o.after.Fired() || pt.Proc != o.proc || !pt.Recovery {
+		return false
+	}
+	o.seen[Point{Proc: pt.Proc, Obj: pt.Obj, Op: pt.Op, Line: pt.Line}] = true
+	return false
+}
+
+// afterLine crashes at the first visit of site after the first injector
+// fired — i.e., at an exact line of the recovery path. Deterministic
+// under the controlled scheduler.
+type afterLine struct {
+	after *proc.AtLine
+	site  Point
+	fired bool
+}
+
+func (f *afterLine) ShouldCrash(pt proc.CrashPoint) bool {
+	if f.fired || !f.after.Fired() {
+		return false
+	}
+	if pt.Proc != f.site.Proc || pt.Obj != f.site.Obj || pt.Op != f.site.Op || pt.Line != f.site.Line {
+		return false
+	}
+	f.fired = true
+	return true
+}
+
+func sortPoints(points []Point) {
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Proc < b.Proc
+	})
 }

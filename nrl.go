@@ -18,9 +18,9 @@
 package nrl
 
 import (
-	"strings"
-
+	"nrl/internal/chaos"
 	"nrl/internal/core"
+	"nrl/internal/harness"
 	"nrl/internal/history"
 	"nrl/internal/linearize"
 	"nrl/internal/nvm"
@@ -202,6 +202,72 @@ type (
 	MultiInjector = proc.Multi
 )
 
+// Chaos campaigns and the livelock watchdog (see internal/chaos and
+// DESIGN.md §Adversarial campaigns).
+type (
+	// ChaosConfig describes a coverage-guided crash campaign.
+	ChaosConfig = chaos.Config
+	// ChaosResult summarises a campaign.
+	ChaosResult = chaos.Result
+	// ChaosFailure is one shrunk, replayable NRL violation.
+	ChaosFailure = chaos.Failure
+	// ChaosCoverage is the campaign-wide crash-coordinate table.
+	ChaosCoverage = chaos.Coverage
+	// GuidedInjector biases crashes toward never-crashed coordinates.
+	GuidedInjector = chaos.Guided
+	// StagedInjector fires on the k-th point matching a target predicate.
+	StagedInjector = chaos.Staged
+	// TargetPredicate selects the crash region of a targeted campaign.
+	TargetPredicate = chaos.Predicate
+	// CrashSite is one replayable (process, per-process step) placement.
+	CrashSite = chaos.CrashSite
+	// Workload is a named registry entry shared by the check, sweep and
+	// chaos CLIs.
+	Workload = harness.Workload
+	// StuckReport is the livelock watchdog's structured diagnosis: who is
+	// parked in which Await, who they wait on, and whether progress is
+	// still possible.
+	StuckReport = proc.StuckReport
+	// StuckError wraps a StuckReport as the panic/failure value replacing
+	// the old raw await-budget panic; recover it with errors.As.
+	StuckError = proc.StuckError
+	// AwaitInfo is one parked process inside a StuckReport.
+	AwaitInfo = proc.AwaitInfo
+)
+
+// Chaos constructors and helpers, re-exported.
+var (
+	// RunChaos executes a coverage-guided crash campaign.
+	RunChaos = chaos.Run
+	// ReplayChaos re-executes a (seed, sites) reproducer.
+	ReplayChaos = chaos.Replay
+	// NewGuidedInjector creates the coverage-guided injector.
+	NewGuidedInjector = chaos.NewGuided
+	// NewChaosCoverage creates an empty coverage table.
+	NewChaosCoverage = chaos.NewCoverage
+	// ParseTarget compiles a target expression ("recovery&depth>=2").
+	ParseTarget = chaos.ParseTarget
+	// ParseCrashSites parses the "p1@12,p2@40" reproducer syntax.
+	ParseCrashSites = chaos.ParseSites
+	// FormatCrashSites renders sites in the reproducer syntax.
+	FormatCrashSites = chaos.FormatSites
+	// WorkloadByName resolves a registry workload.
+	WorkloadByName = harness.WorkloadByName
+	// SplitSeed derives an independent seed stream (splitmix64).
+	SplitSeed = proc.SplitSeed
+	// NewRandomCrash creates a Random injector with an injected source,
+	// for reproducible multi-stream campaigns.
+	NewRandomCrash = proc.NewRandom
+
+	// CheckNRLBudget is CheckNRL with a bounded WGL search; it returns an
+	// error wrapping ErrSearchBudget when the bound is hit.
+	CheckNRLBudget = linearize.CheckNRLBudget
+)
+
+// ErrSearchBudget is returned (wrapped) by the budgeted checkers when the
+// WGL search exceeds its node budget.
+var ErrSearchBudget = linearize.ErrSearchBudget
+
 // Empty is the response of Stack.Pop on an empty stack.
 const Empty = objects.Empty
 
@@ -215,21 +281,7 @@ const Empty = objects.Empty
 //	<name>.alloc, <name>.next        — FAA objects inside Stack, Queue
 //	                                   and Lock
 func Models(explicit map[string]Model) ModelFor {
-	return func(obj string) spec.Model {
-		if m, ok := explicit[obj]; ok {
-			return m
-		}
-		switch {
-		case strings.Contains(obj, ".R["):
-			return spec.Register{}
-		case strings.HasSuffix(obj, ".cas"), strings.HasSuffix(obj, ".top"),
-			strings.HasSuffix(obj, ".head"), strings.HasSuffix(obj, ".tail"):
-			return spec.CAS{}
-		case strings.HasSuffix(obj, ".alloc"), strings.HasSuffix(obj, ".next"):
-			return spec.FAA{}
-		}
-		return nil
-	}
+	return linearize.ConventionModels(explicit)
 }
 
 // Spec models, re-exported for use with Models.
