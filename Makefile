@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench golden chaos
+.PHONY: all build test race vet bench golden chaos crash
 
 all: vet build test
 
@@ -28,3 +28,11 @@ golden:
 # smoke; raise -runs for a deeper hunt).
 chaos:
 	$(GO) run ./cmd/nrlchaos -runs 25 -seed 1
+
+# Seeded real-crash campaign: worker processes over the file-backed
+# store, SIGKILLed at random points, every restart verified (the CI
+# smoke; the 200-round acceptance run is TestKillCampaign200Rounds).
+# The store directory survives in crash-artifacts/ for inspection —
+# CI uploads it when the campaign fails.
+crash:
+	$(GO) run ./cmd/nrlchaos -real -rounds 25 -seed 1 -dir crash-artifacts/store

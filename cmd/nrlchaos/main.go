@@ -12,6 +12,15 @@
 //	         [-shrink] [-coverage]
 //	nrlchaos -workload NAME -replay SITES -seed RUNSEED [-procs N] [-ops N]
 //	         [-trace out.jsonl]
+//	nrlchaos -real [-rounds N] [-seed S] [-appends N] [-dir DIR] [-keep]
+//	         [-maxdelay D]
+//
+// -real switches from simulated crashes to real ones: worker processes
+// (this binary re-executed with -realworker) run a durable counter/log
+// workload over the file-backed persist store and are SIGKILLed at
+// seeded random points; every restart must recover to an NRL-consistent
+// state, and the summary reports which persistence phases the kills
+// landed in.
 //
 // In campaign mode -seed is the master seed (each run derives its own);
 // in replay mode -seed is the failing run's seed as printed in the
@@ -49,6 +58,16 @@ func main() {
 }
 
 func run(args []string, out, errOut io.Writer) int {
+	// The real-crash modes have their own flag sets: dispatch before
+	// parsing the campaign flags.
+	if len(args) > 0 {
+		switch args[0] {
+		case "-real", "--real":
+			return runReal(args[1:], out, errOut)
+		case "-realworker", "--realworker":
+			return runRealWorker(args[1:], out, errOut)
+		}
+	}
 	fs := flag.NewFlagSet("nrlchaos", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	workload := fs.String("workload", "all", "workload: "+harness.WorkloadUsage())

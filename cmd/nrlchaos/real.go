@@ -1,0 +1,130 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"nrl/internal/chaos"
+)
+
+// runReal is the -real campaign: instead of simulated crashes inside
+// one process, it SIGKILLs real worker processes (this binary re-run
+// with -realworker) running a counter/log workload over the file-backed
+// persist store in -dir, and checks every incarnation recovers to an
+// NRL-consistent state. Exit codes follow the campaign convention:
+// 0 clean, 1 consistency violation.
+func runReal(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("nrlchaos -real", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	rounds := fs.Int("rounds", 25, "worker incarnations to run (kills included)")
+	seed := fs.Int64("seed", 1, "kill-delay schedule seed")
+	appends := fs.Int("appends", 40, "log appends per incarnation")
+	capacity := fs.Int("capacity", 1<<16, "log capacity in records")
+	dir := fs.String("dir", "", "persist store directory (default: a temp dir, removed on success)")
+	keep := fs.Bool("keep", false, "keep the store directory even on success")
+	// The default kill window is sized so kills sample the whole commit
+	// pipeline: long enough to get past process startup and the
+	// open-time checkpoint, short enough that most rounds still die.
+	maxDelay := fs.Duration("maxdelay", 120*time.Millisecond, "upper bound on the random kill delay")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	storeDir := *dir
+	if storeDir == "" {
+		d, err := os.MkdirTemp("", "nrlchaos-real-")
+		if err != nil {
+			fmt.Fprintln(errOut, "nrlchaos:", err)
+			return exitUsage
+		}
+		storeDir = d
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlchaos:", err)
+		return exitUsage
+	}
+	worker := func(verify bool) *exec.Cmd {
+		wargs := []string{"-realworker",
+			"-dir", storeDir,
+			"-appends", strconv.Itoa(*appends),
+			"-capacity", strconv.Itoa(*capacity),
+		}
+		if verify {
+			wargs = append(wargs, "-verify")
+		}
+		return exec.Command(exe, wargs...)
+	}
+
+	res, err := chaos.RunKillCampaign(chaos.KillConfig{
+		Rounds:       *rounds,
+		Seed:         *seed,
+		MaxKillDelay: *maxDelay,
+		Worker:       worker,
+	})
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlchaos:", err)
+		return exitUsage
+	}
+
+	fmt.Fprintf(out, "real-crash    %d rounds, %d kills, %d clean exits, final log length %d",
+		*rounds, res.Kills, res.CleanExits, res.FinalLen)
+	if res.TornWrites > 0 {
+		fmt.Fprintf(out, ", %d torn pages (%d repaired)", res.TornWrites, res.RepairedWrites)
+	}
+	if len(res.Failures) == 0 {
+		fmt.Fprintf(out, ": ok\n")
+	} else {
+		fmt.Fprintf(out, ": VIOLATION\n")
+	}
+	fmt.Fprintf(out, "kill phase coverage (%d distinct):\n", res.Phases.Distinct())
+	printIndented(out, res.Phases.String(), "  ")
+	if len(res.Failures) > 0 {
+		for _, f := range res.Failures {
+			fmt.Fprintf(out, "  %s\n", f)
+		}
+		for _, tr := range res.Transcripts {
+			printIndented(out, tr, "  ")
+		}
+		fmt.Fprintf(out, "store kept for inspection: %s\n", storeDir)
+		return exitViolation
+	}
+	if *keep || *dir != "" {
+		fmt.Fprintf(out, "store: %s\n", storeDir)
+	} else {
+		os.RemoveAll(storeDir)
+	}
+	return exitClean
+}
+
+// runRealWorker is the -realworker mode: one incarnation of the
+// kill-harness workload, spawned by runReal (or by hand for debugging).
+// Its stdout is the worker line protocol; its exit code is one of the
+// chaos.KillWorker codes.
+func runRealWorker(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("nrlchaos -realworker", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	dir := fs.String("dir", "", "persist store directory")
+	appends := fs.Int("appends", 40, "log appends to perform")
+	capacity := fs.Int("capacity", 1<<16, "log capacity in records")
+	verify := fs.Bool("verify", false, "recover and verify only, no appends")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *dir == "" {
+		fmt.Fprintln(errOut, "nrlchaos: -realworker needs -dir")
+		return exitUsage
+	}
+	return chaos.RunKillWorker(chaos.KillWorkerConfig{
+		Dir:      *dir,
+		Appends:  *appends,
+		Capacity: *capacity,
+		Verify:   *verify,
+	}, out)
+}

@@ -1,0 +1,368 @@
+// kill.go is the real-crash harness: where the chaos engine simulates
+// crashes inside one process, this file SIGKILLs actual worker
+// processes running a durable counter/log workload over the file-backed
+// persist backend, restarts them, and checks that every incarnation
+// recovers to an NRL-consistent state — the committed log prefix is
+// exactly the acknowledged appends, the counter never runs ahead of the
+// log, and no acknowledged append is ever lost.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"nrl/internal/durable"
+	"nrl/internal/nvm"
+	"nrl/internal/persist"
+)
+
+// Kill-worker exit codes, above the nrlchaos CLI's own 0..3 range.
+const (
+	// KillWorkerOK: the incarnation recovered consistently and finished
+	// its appends (or its verify pass).
+	KillWorkerOK = 0
+	// KillWorkerCorrupt: persist.Open rejected the store (ErrCorrupt).
+	KillWorkerCorrupt = 4
+	// KillWorkerDegraded: the memory degraded to read-only mid-workload.
+	KillWorkerDegraded = 5
+	// KillWorkerBad: recovery surfaced an NRL-inconsistent state.
+	KillWorkerBad = 6
+)
+
+// KillWorkerConfig configures one worker incarnation.
+type KillWorkerConfig struct {
+	// Dir is the persist store directory, shared across incarnations.
+	Dir string
+	// Appends is how many log appends this incarnation performs after
+	// recovery before exiting cleanly.
+	Appends int
+	// Capacity is the log capacity in records. It must be identical in
+	// every incarnation: the backend identifies words by allocation
+	// order.
+	Capacity int
+	// Verify makes the incarnation recover, verify and exit without
+	// appending (the campaign's final no-kill check).
+	Verify bool
+}
+
+// RunKillWorker runs one incarnation of the kill-harness workload,
+// writing its line protocol to out:
+//
+//	phase <name>                        every persistence-phase transition
+//	recovered len=L ctr=C torn=T repaired=R   once, after recovery
+//	len <v>                             after append v is durable (the ack)
+//	done                                before a clean exit
+//	corrupt|degraded|bad <detail>       before a failure exit
+//
+// The returned code is one of the KillWorker constants. The function
+// never panics on storage failure; that is the point.
+func RunKillWorker(cfg KillWorkerConfig, out io.Writer) int {
+	hook := func(p nvm.Phase) { fmt.Fprintf(out, "phase %s\n", p) }
+	f, err := persist.Open(cfg.Dir, persist.Options{PhaseHook: hook})
+	if err != nil {
+		if errors.Is(err, persist.ErrCorrupt) {
+			fmt.Fprintf(out, "corrupt %v\n", err)
+			return KillWorkerCorrupt
+		}
+		fmt.Fprintf(out, "bad open: %v\n", err)
+		return KillWorkerBad
+	}
+	defer f.Close()
+
+	mem := nvm.New(nvm.WithMode(nvm.Buffered), nvm.WithBackend(f), nvm.WithPhaseHook(hook))
+	log := durable.NewLog(mem, "log", cfg.Capacity)
+	ctr := durable.NewCounter(mem, "ctr", 1)
+
+	// Recovery check: the durable state must be NRL-consistent — the
+	// log is exactly the contiguous acknowledged prefix 1..L, and the
+	// counter (incremented after each append) is never ahead of it.
+	n := log.Len()
+	sum := ctr.Read()
+	for i := uint64(0); i < n; i++ {
+		if got := log.Get(i); got != i+1 {
+			fmt.Fprintf(out, "bad log[%d]=%d want %d (len %d)\n", i, got, i+1, n)
+			return KillWorkerBad
+		}
+	}
+	if sum > n {
+		fmt.Fprintf(out, "bad counter %d ahead of log %d\n", sum, n)
+		return KillWorkerBad
+	}
+	rep := f.Report()
+	fmt.Fprintf(out, "recovered len=%d ctr=%d torn=%d repaired=%d\n", n, sum, rep.Torn, rep.Repaired)
+	if cfg.Verify {
+		fmt.Fprintln(out, "done")
+		return KillWorkerOK
+	}
+
+	// Reconciliation: complete the in-flight increment a kill between
+	// append and inc left behind (recovery finishing the pending
+	// operation, in NRL terms).
+	for ctr.Read() < log.Len() {
+		ctr.Inc(1)
+		if err := mem.Err(); err != nil {
+			fmt.Fprintf(out, "degraded %v\n", err)
+			return KillWorkerDegraded
+		}
+	}
+
+	for i := 0; i < cfg.Appends; i++ {
+		v := log.Len() + 1
+		if _, err := log.TryAppend(v); err != nil {
+			if errors.Is(err, nvm.ErrDegraded) {
+				fmt.Fprintf(out, "degraded %v\n", err)
+				return KillWorkerDegraded
+			}
+			fmt.Fprintf(out, "bad append: %v\n", err)
+			return KillWorkerBad
+		}
+		ctr.Inc(1)
+		if err := mem.Err(); err != nil {
+			fmt.Fprintf(out, "degraded %v\n", err)
+			return KillWorkerDegraded
+		}
+		fmt.Fprintf(out, "len %d\n", v)
+	}
+	fmt.Fprintln(out, "done")
+	return KillWorkerOK
+}
+
+// KillConfig configures a kill campaign.
+type KillConfig struct {
+	// Rounds is how many worker incarnations to run (kills included).
+	Rounds int
+	// Seed drives the kill-delay schedule.
+	Seed int64
+	// MaxKillDelay bounds the random delay before the SIGKILL (default
+	// 30ms). A worker finishing earlier exits cleanly.
+	MaxKillDelay time.Duration
+	// Worker builds the command for one incarnation: a process that
+	// runs RunKillWorker against the shared store directory, with
+	// Verify set for the campaign's final check. Its stdout must be the
+	// worker's line protocol.
+	Worker func(verify bool) *exec.Cmd
+}
+
+// KillRound records one incarnation.
+type KillRound struct {
+	Round    int
+	Killed   bool
+	Phase    string // last phase entered before the kill ("" if none seen)
+	ExitCode int
+	// RecoveredLen/RecoveredCtr are what the incarnation reported after
+	// recovery; AckedLen the last append it acknowledged.
+	RecoveredLen uint64
+	RecoveredCtr uint64
+	AckedLen     uint64
+	Torn         int
+	Repaired     int
+}
+
+// KillResult is a campaign's outcome. Failures is empty iff every
+// incarnation recovered to an NRL-consistent state.
+type KillResult struct {
+	Rounds     []KillRound
+	Kills      int
+	CleanExits int
+	// TornWrites/RepairedWrites total the torn pages recoveries found
+	// and repaired across all incarnations.
+	TornWrites     int
+	RepairedWrites int
+	// Phases records which persistence phase each kill landed in.
+	Phases *PhaseCoverage
+	// FinalLen is the log length of the final verify pass.
+	FinalLen uint64
+	// Failures describes every consistency violation found.
+	Failures []string
+	// Transcripts holds the failing rounds' worker output for
+	// artifacts.
+	Transcripts []string
+}
+
+// workerState parses a worker's line protocol as it streams in. It is
+// installed as the command's stdout writer, so no output is lost when
+// the process is killed mid-line.
+type workerState struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+
+	lines         []string
+	lastPhase     string
+	recoveredSeen bool
+	recoveredLen  uint64
+	recoveredCtr  uint64
+	torn          int
+	repaired      int
+	ackedLen      uint64
+	done          bool
+	failMsg       string
+}
+
+func (s *workerState) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf.Write(p)
+	for {
+		line, err := s.buf.ReadString('\n')
+		if err != nil {
+			// Partial line: keep it buffered for the next Write.
+			s.buf.WriteString(line)
+			break
+		}
+		s.line(strings.TrimSuffix(line, "\n"))
+	}
+	return len(p), nil
+}
+
+func (s *workerState) line(l string) {
+	s.lines = append(s.lines, l)
+	switch {
+	case strings.HasPrefix(l, "phase "):
+		s.lastPhase = strings.TrimPrefix(l, "phase ")
+	case strings.HasPrefix(l, "recovered "):
+		s.recoveredSeen = true
+		fmt.Sscanf(l, "recovered len=%d ctr=%d torn=%d repaired=%d",
+			&s.recoveredLen, &s.recoveredCtr, &s.torn, &s.repaired)
+	case strings.HasPrefix(l, "len "):
+		fmt.Sscanf(l, "len %d", &s.ackedLen)
+	case l == "done":
+		s.done = true
+	default:
+		if s.failMsg == "" {
+			s.failMsg = l
+		}
+	}
+}
+
+// RunKillCampaign runs the seeded SIGKILL campaign: Rounds worker
+// incarnations over one shared store, each killed after a random delay
+// (or exiting cleanly first), followed by a final verify incarnation
+// that is never killed. It returns an error only for harness-level
+// problems (worker won't start); consistency violations land in
+// KillResult.Failures.
+func RunKillCampaign(cfg KillConfig) (*KillResult, error) {
+	if cfg.Worker == nil {
+		return nil, errors.New("harness: KillConfig.Worker is required")
+	}
+	if cfg.MaxKillDelay <= 0 {
+		cfg.MaxKillDelay = 30 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &KillResult{Phases: NewPhaseCoverage()}
+	var acked uint64 // high-water mark of acknowledged state
+
+	fail := func(round int, st *workerState, format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf("round %d: %s", round, fmt.Sprintf(format, args...)))
+		res.Transcripts = append(res.Transcripts,
+			fmt.Sprintf("round %d:\n  %s", round, strings.Join(st.lines, "\n  ")))
+	}
+
+	for round := 0; round < cfg.Rounds && len(res.Failures) == 0; round++ {
+		st := &workerState{}
+		var stderr bytes.Buffer
+		cmd := cfg.Worker(false)
+		cmd.Stdout = st
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			return res, fmt.Errorf("harness: start worker: %w", err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+
+		delay := time.Duration(rng.Int63n(int64(cfg.MaxKillDelay))) + time.Millisecond
+		killed := false
+		var waitErr error
+		select {
+		case waitErr = <-done:
+		case <-time.After(delay):
+			killed = true
+			_ = cmd.Process.Kill()
+			waitErr = <-done
+		}
+
+		st.mu.Lock()
+		kr := KillRound{
+			Round: round, Killed: killed, Phase: st.lastPhase,
+			RecoveredLen: st.recoveredLen, RecoveredCtr: st.recoveredCtr,
+			AckedLen: st.ackedLen, Torn: st.torn, Repaired: st.repaired,
+		}
+		recoveredSeen, doneSeen, failMsg := st.recoveredSeen, st.done, st.failMsg
+		st.mu.Unlock()
+		if waitErr != nil {
+			var ee *exec.ExitError
+			if errors.As(waitErr, &ee) {
+				kr.ExitCode = ee.ExitCode()
+			} else {
+				return res, fmt.Errorf("harness: wait worker: %w", waitErr)
+			}
+		}
+		res.Rounds = append(res.Rounds, kr)
+		res.TornWrites += kr.Torn
+		res.RepairedWrites += kr.Repaired
+
+		if killed {
+			res.Kills++
+			phase := kr.Phase
+			if phase == "" {
+				phase = "idle" // killed before any transition (startup/recovery)
+			}
+			res.Phases.Record(phase)
+		} else {
+			res.CleanExits++
+			if kr.ExitCode != KillWorkerOK || !doneSeen {
+				fail(round, st, "worker failed (exit %d): %s%s", kr.ExitCode, failMsg, strings.TrimRight("\n"+stderr.String(), "\n"))
+				continue
+			}
+		}
+		if recoveredSeen {
+			if kr.RecoveredLen < acked {
+				fail(round, st, "acknowledged append lost: recovered len %d < acked %d", kr.RecoveredLen, acked)
+				continue
+			}
+			if kr.RecoveredCtr > kr.RecoveredLen {
+				fail(round, st, "counter %d ahead of log %d", kr.RecoveredCtr, kr.RecoveredLen)
+				continue
+			}
+			if kr.RecoveredLen > acked {
+				acked = kr.RecoveredLen
+			}
+		} else if !killed {
+			fail(round, st, "clean exit without recovery report")
+			continue
+		}
+		if kr.AckedLen > acked {
+			acked = kr.AckedLen
+		}
+	}
+
+	// Final verify incarnation, never killed.
+	if len(res.Failures) == 0 {
+		st := &workerState{}
+		var stderr bytes.Buffer
+		cmd := cfg.Worker(true)
+		cmd.Stdout = st
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		st.mu.Lock()
+		res.FinalLen = st.recoveredLen
+		finalSeen, failMsg := st.recoveredSeen, st.failMsg
+		finalLen := st.recoveredLen
+		st.mu.Unlock()
+		switch {
+		case err != nil:
+			fail(cfg.Rounds, st, "final verify failed: %v: %s%s", err, failMsg, strings.TrimRight("\n"+stderr.String(), "\n"))
+		case !finalSeen:
+			fail(cfg.Rounds, st, "final verify printed no recovery report")
+		case finalLen < acked:
+			fail(cfg.Rounds, st, "final state lost acknowledged appends: len %d < acked %d", finalLen, acked)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,14 @@
+//go:build !race
+
+package chaos_test
+
+import "time"
+
+// Campaign tuning for uninstrumented binaries: the worker is inside the
+// commit pipeline within a few milliseconds of exec, so a short kill
+// window samples every phase, and phase diversity is asserted.
+const (
+	killAcceptanceRounds = 200
+	killMaxDelay         = 30 * time.Millisecond
+	killAssertPhases     = true
+)

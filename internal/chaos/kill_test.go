@@ -1,0 +1,113 @@
+package chaos_test
+
+import (
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+
+	"nrl/internal/chaos"
+)
+
+// TestKillWorkerProcess is not a test: it is the kill-harness worker
+// body, re-executed as a subprocess by the campaign tests below. It
+// does nothing unless the NRL_KILL_WORKER environment guard is set.
+func TestKillWorkerProcess(t *testing.T) {
+	if os.Getenv("NRL_KILL_WORKER") == "" {
+		t.Skip("not a worker invocation")
+	}
+	atoi := func(k string, def int) int {
+		if v := os.Getenv(k); v != "" {
+			n, err := strconv.Atoi(v)
+			if err == nil {
+				return n
+			}
+		}
+		return def
+	}
+	cfg := chaos.KillWorkerConfig{
+		Dir:      os.Getenv("NRL_KILL_DIR"),
+		Appends:  atoi("NRL_KILL_APPENDS", 3),
+		Capacity: atoi("NRL_KILL_CAPACITY", 4096),
+		Verify:   os.Getenv("NRL_KILL_VERIFY") != "",
+	}
+	os.Exit(chaos.RunKillWorker(cfg, os.Stdout))
+}
+
+// selfWorker builds a Worker function that re-executes this test binary
+// as the kill worker.
+func selfWorker(t *testing.T, dir string, appends, capacity int) func(bool) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	return func(verify bool) *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run=TestKillWorkerProcess")
+		cmd.Env = append(os.Environ(),
+			"NRL_KILL_WORKER=1",
+			"NRL_KILL_DIR="+dir,
+			"NRL_KILL_APPENDS="+strconv.Itoa(appends),
+			"NRL_KILL_CAPACITY="+strconv.Itoa(capacity),
+		)
+		if verify {
+			cmd.Env = append(cmd.Env, "NRL_KILL_VERIFY=1")
+		}
+		return cmd
+	}
+}
+
+func runCampaign(t *testing.T, rounds, appends int, seed int64) *chaos.KillResult {
+	t.Helper()
+	dir := t.TempDir()
+	res, err := chaos.RunKillCampaign(chaos.KillConfig{
+		Rounds:       rounds,
+		Seed:         seed,
+		MaxKillDelay: killMaxDelay,
+		Worker:       selfWorker(t, dir, appends, 16384),
+	})
+	if err != nil {
+		t.Fatalf("RunKillCampaign: %v", err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("consistency failure: %s", f)
+	}
+	if t.Failed() {
+		for _, tr := range res.Transcripts {
+			t.Logf("transcript:\n%s", tr)
+		}
+	}
+	return res
+}
+
+// TestKillCampaignSmoke is the always-on quick version of the issue's
+// 200-round acceptance run.
+func TestKillCampaignSmoke(t *testing.T) {
+	res := runCampaign(t, 12, 8, 7)
+	if res.Kills+res.CleanExits != 12 {
+		t.Fatalf("rounds accounted = %d+%d, want 12", res.Kills, res.CleanExits)
+	}
+	t.Logf("smoke: kills=%d clean=%d finalLen=%d repaired=%d\n%s",
+		res.Kills, res.CleanExits, res.FinalLen, res.RepairedWrites, res.Phases)
+}
+
+// TestKillCampaign200Rounds is the acceptance criterion: 200 seeded
+// SIGKILL rounds over one store, every incarnation recovering to an
+// NRL-consistent state, with kills landing across multiple persistence
+// phases.
+func TestKillCampaign200Rounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-round kill campaign skipped in -short mode")
+	}
+	// 40 appends (~80 fences) keeps each incarnation inside the commit
+	// pipeline long enough that most kill delays land mid-workload.
+	res := runCampaign(t, killAcceptanceRounds, 40, 1)
+	if res.Kills == 0 {
+		t.Fatalf("%d rounds produced no kills; campaign exercised nothing", killAcceptanceRounds)
+	}
+	if d := res.Phases.Distinct(); killAssertPhases && d < 2 {
+		t.Errorf("kills covered only %d distinct phase(s); want >= 2\n%s", d, res.Phases)
+	}
+	t.Logf("%d rounds: kills=%d clean=%d finalLen=%d torn=%d repaired=%d\n%s",
+		killAcceptanceRounds, res.Kills, res.CleanExits, res.FinalLen, res.TornWrites, res.RepairedWrites, res.Phases)
+}

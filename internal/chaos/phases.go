@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PhaseCoverage records which persistence phase each real-mode kill
+// landed in. It is the kill-harness analogue of Coverage: Coverage
+// tracks simulated crash coordinates (object, op, line, depth), while
+// PhaseCoverage tracks where in the storage commit pipeline — dirty,
+// flushing, fenced, mid-commit, idle — a SIGKILL actually struck, so a
+// campaign can show it exercised every station of the state machine
+// rather than always dying at the same point.
+type PhaseCoverage struct {
+	mu    sync.Mutex
+	kills map[string]uint64
+}
+
+// phaseOrder is the canonical display order: the stations of the
+// persistence state machine, in pipeline order. Unknown phases sort
+// after these, alphabetically.
+var phaseOrder = []string{"idle", "dirty", "flushing", "fenced", "mid-commit"}
+
+// NewPhaseCoverage returns an empty coverage table.
+func NewPhaseCoverage() *PhaseCoverage {
+	return &PhaseCoverage{kills: map[string]uint64{}}
+}
+
+// Record counts one kill that landed in the named phase.
+func (pc *PhaseCoverage) Record(phase string) {
+	pc.mu.Lock()
+	pc.kills[phase]++
+	pc.mu.Unlock()
+}
+
+// PhaseRow is one row of the coverage table.
+type PhaseRow struct {
+	Phase string
+	Kills uint64
+}
+
+// Rows returns the recorded phases in pipeline order.
+func (pc *PhaseCoverage) Rows() []PhaseRow {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	rank := func(p string) int {
+		for i, name := range phaseOrder {
+			if p == name {
+				return i
+			}
+		}
+		return len(phaseOrder)
+	}
+	out := make([]PhaseRow, 0, len(pc.kills))
+	for p, n := range pc.kills {
+		out = append(out, PhaseRow{Phase: p, Kills: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := rank(out[i].Phase), rank(out[j].Phase)
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// Distinct reports how many distinct phases have recorded kills.
+func (pc *PhaseCoverage) Distinct() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.kills)
+}
+
+// Total reports the total recorded kills.
+func (pc *PhaseCoverage) Total() uint64 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	var n uint64
+	for _, k := range pc.kills {
+		n += k
+	}
+	return n
+}
+
+// String renders the coverage table.
+func (pc *PhaseCoverage) String() string {
+	rows := pc.Rows()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s\n", "phase", "kills")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6d\n", r.Phase, r.Kills)
+	}
+	return b.String()
+}

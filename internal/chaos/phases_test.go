@@ -1,0 +1,36 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPhaseCoverage(t *testing.T) {
+	pc := NewPhaseCoverage()
+	for _, p := range []string{"mid-commit", "dirty", "dirty", "idle", "weird"} {
+		pc.Record(p)
+	}
+	if got := pc.Distinct(); got != 4 {
+		t.Fatalf("Distinct = %d, want 4", got)
+	}
+	if got := pc.Total(); got != 5 {
+		t.Fatalf("Total = %d, want 5", got)
+	}
+	rows := pc.Rows()
+	wantOrder := []string{"idle", "dirty", "mid-commit", "weird"}
+	if len(rows) != len(wantOrder) {
+		t.Fatalf("Rows = %v, want %v", rows, wantOrder)
+	}
+	for i, r := range rows {
+		if r.Phase != wantOrder[i] {
+			t.Fatalf("Rows[%d].Phase = %q, want %q (got %v)", i, r.Phase, wantOrder[i], rows)
+		}
+	}
+	if rows[1].Kills != 2 {
+		t.Fatalf("dirty kills = %d, want 2", rows[1].Kills)
+	}
+	s := pc.String()
+	if !strings.Contains(s, "dirty") || !strings.Contains(s, "phase") {
+		t.Fatalf("String missing content:\n%s", s)
+	}
+}

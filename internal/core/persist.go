@@ -1,0 +1,24 @@
+package core
+
+import (
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// persistBuffered flushes the given words and issues one fence, on
+// buffered (write-back) memory only. In the paper's model (per-process
+// crashes, surviving shared memory) no persistence instructions are
+// needed; on the buffered full-system-crash extension, the base objects
+// persist their linearization witnesses — the CAS word after a
+// successful installation, the strict response area — so operations
+// that completed survive a power failure. On ADR memory it emits
+// nothing, keeping traces and goldens identical.
+func persistBuffered(c *proc.Ctx, addrs ...nvm.Addr) {
+	if c.Mem().Mode() != nvm.Buffered {
+		return
+	}
+	for _, a := range addrs {
+		c.Flush(a)
+	}
+	c.Fence()
+}

@@ -16,10 +16,14 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 
 	"nrl/internal/nvm"
 )
+
+// ErrLogFull reports a TryAppend against a log at capacity.
+var ErrLogFull = errors.New("durable: log capacity exhausted")
 
 // Log is a durably linearizable append-only log: Append persists the
 // record before advancing the persistent length, so a power failure
@@ -45,15 +49,34 @@ func NewLog(mem *nvm.Memory, name string, capacity int) *Log {
 
 // Append durably appends v and returns its index.
 func (l *Log) Append(v uint64) uint64 {
+	n, err := l.TryAppend(v)
+	if err != nil {
+		panic(err.Error())
+	}
+	return n
+}
+
+// TryAppend is Append for callers running over real storage: capacity
+// exhaustion (ErrLogFull) and memory degradation (nvm.ErrDegraded) are
+// reported as errors instead of panics or silent drops. On a degraded
+// error the append is not durable — the memory rejected some or all of
+// its writes.
+func (l *Log) TryAppend(v uint64) (uint64, error) {
+	if err := l.mem.Err(); err != nil {
+		return 0, err
+	}
 	n := l.mem.Read(l.length)
 	if int(n) >= len(l.records) {
-		panic("durable: Log capacity exhausted")
+		return 0, ErrLogFull
 	}
 	l.mem.Write(l.records[n], v)
 	l.mem.Persist(l.records[n]) // record first...
 	l.mem.Write(l.length, n+1)
 	l.mem.Persist(l.length) // ...then the commit point
-	return n
+	if err := l.mem.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
 }
 
 // Len returns the number of (durably) appended records.

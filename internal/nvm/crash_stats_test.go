@@ -1,0 +1,111 @@
+package nvm_test
+
+import (
+	"sync"
+	"testing"
+
+	"nrl/internal/nvm"
+)
+
+// TestCrashAllStatsAccounting is the regression test for CrashAll's
+// stats contract: a full-system crash is counted exactly once, only
+// after its effects are applied, and the revert of every word to its
+// persisted value must not be accounted as writes (or any other
+// primitive). Before the fix, a sweep that sampled Stats around crashes
+// could see crash effects attributed to the wrong interval.
+func TestCrashAllStatsAccounting(t *testing.T) {
+	mem := nvm.New(nvm.WithMode(nvm.Buffered))
+	addrs := mem.AllocArray("w", 16, 0)
+
+	for i, a := range addrs {
+		mem.Write(a, uint64(i+1))
+		mem.Flush(a)
+	}
+	mem.Fence()
+	for _, a := range addrs {
+		mem.Write(a, 99) // dirty, never persisted
+	}
+	before := mem.Stats()
+
+	mem.CrashAll()
+
+	after := mem.Stats()
+	if after.SystemCrashes != before.SystemCrashes+1 {
+		t.Fatalf("SystemCrashes = %d, want %d", after.SystemCrashes, before.SystemCrashes+1)
+	}
+	// The 16 reverts must not show up as primitives.
+	if after.Writes != before.Writes {
+		t.Fatalf("CrashAll inflated Writes: %d -> %d", before.Writes, after.Writes)
+	}
+	if after.Total() != before.Total() {
+		t.Fatalf("CrashAll inflated Total: %d -> %d", before.Total(), after.Total())
+	}
+	for _, a := range addrs[:4] {
+		if got := mem.Read(a); got == 99 {
+			t.Fatal("CrashAll did not revert dirty words")
+		}
+	}
+
+	// ADR: the crash is a state no-op but still counted as an event.
+	adr := nvm.New()
+	adr.CrashAll()
+	if got := adr.Stats().SystemCrashes; got != 1 {
+		t.Fatalf("ADR SystemCrashes = %d, want 1", got)
+	}
+}
+
+// TestCrashAllStatsMonotonic hammers CrashAll from one goroutine while
+// others mutate the memory and a sampler takes Stats snapshots: every
+// counter must be monotonically non-decreasing across samples, crash or
+// no crash. Run with -race this also pins the locking of the revert.
+func TestCrashAllStatsMonotonic(t *testing.T) {
+	mem := nvm.New(nvm.WithMode(nvm.Buffered))
+	addrs := mem.AllocArray("w", 8, 0)
+
+	const iters = 2000
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			a := addrs[i%len(addrs)]
+			mem.Write(a, uint64(i))
+			mem.Flush(a)
+			if i%8 == 0 {
+				mem.Fence()
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/10; i++ {
+			mem.CrashAll()
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var prev nvm.StatsSnapshot
+	check := func(s nvm.StatsSnapshot) {
+		t.Helper()
+		if s.Reads < prev.Reads || s.Writes < prev.Writes || s.CASes < prev.CASes ||
+			s.TASes < prev.TASes || s.FAAs < prev.FAAs || s.Flushes < prev.Flushes ||
+			s.Fences < prev.Fences || s.SystemCrashes < prev.SystemCrashes {
+			t.Fatalf("non-monotonic stats across crash: %+v -> %+v", prev, s)
+		}
+		prev = s
+	}
+sample:
+	for {
+		select {
+		case <-done:
+			break sample
+		default:
+			check(mem.Stats())
+		}
+	}
+	check(mem.Stats())
+}

@@ -74,6 +74,20 @@ type Memory struct {
 
 	pmu sync.Mutex // Buffered mode: guards persistence metadata
 
+	// backend, when non-nil, holds the durable side of every word in
+	// real storage; fences commit through it (see Backend). phase, when
+	// non-nil, observes persistence-phase transitions (see
+	// WithPhaseHook). Both are set at construction only.
+	backend Backend
+	phase   func(Phase)
+
+	// degraded flips to true (sticky) when the backend exhausts its
+	// retry budget; degErr, under degMu, carries the *DegradedError.
+	// A degraded memory is read-only: see Err.
+	degraded atomic.Bool
+	degMu    sync.Mutex
+	degErr   error
+
 	stats Stats
 
 	// trc, when non-nil, receives one trace event per primitive. It is
@@ -140,15 +154,30 @@ func (m *Memory) emit(k trace.Kind, a Addr, ret uint64, at trace.Attr) {
 
 // Alloc allocates one word initialized to init and returns its address.
 // The name is retained for tracing and error messages only.
+//
+// With a backend installed, Alloc first consults the backend's
+// recovered state: if storage from a previous incarnation holds a
+// durable value for this address, that value — not init — is the word's
+// initial (and initial durable) value. Word identity is the address, so
+// programs must allocate the same words in the same order across
+// restarts.
 func (m *Memory) Alloc(name string, init uint64) Addr {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	a := Addr(len(m.words))
+	if m.backend != nil {
+		if v, ok := m.backend.Recovered(a); ok {
+			init = v
+		} else {
+			m.backend.Grow(a, init)
+		}
+	}
 	w := &word{}
 	w.val.Store(init)
 	w.persisted = init
 	m.words = append(m.words, w)
 	m.names = append(m.names, name)
-	return Addr(len(m.words) - 1)
+	return a
 }
 
 // AllocArray allocates n words, all initialized to init, with names
@@ -199,22 +228,34 @@ func (m *Memory) ReadAt(a Addr, at trace.Attr) uint64 {
 // Write atomically stores v into the word at a.
 func (m *Memory) Write(a Addr, v uint64) { m.WriteAt(a, v, trace.Attr{}) }
 
-// WriteAt is Write carrying trace attribution.
+// WriteAt is Write carrying trace attribution. On a degraded memory the
+// store is dropped (see Err).
 func (m *Memory) WriteAt(a Addr, v uint64, at trace.Attr) {
+	if m.degraded.Load() {
+		return
+	}
 	m.stats.writes.Add(1)
 	w := m.word(a)
+	var dirtied bool
 	if m.mode == Buffered {
 		m.pmu.Lock()
 		w.val.Store(v)
 		if w.state == wordClean {
 			w.state = wordDirty
+			dirtied = true
 		}
 		m.pmu.Unlock()
 	} else {
 		w.val.Store(v)
 	}
+	if dirtied && m.phase != nil {
+		m.phase(PhaseDirty)
+	}
 	if m.trc != nil {
 		m.emit(trace.MemWrite, a, v, at)
+	}
+	if m.mode != Buffered && m.backend != nil {
+		m.commitOne(a, v)
 	}
 }
 
@@ -225,23 +266,34 @@ func (m *Memory) CAS(a Addr, old, new uint64) bool {
 }
 
 // CASAt is CAS carrying trace attribution. The emitted event's Ret is 1
-// for a successful swap and 0 for a failed one.
+// for a successful swap and 0 for a failed one. On a degraded memory
+// the swap is rejected (returns false; see Err).
 func (m *Memory) CASAt(a Addr, old, new uint64, at trace.Attr) bool {
+	if m.degraded.Load() {
+		return false
+	}
 	m.stats.cases.Add(1)
 	w := m.word(a)
-	var ok bool
+	var ok, dirtied bool
 	if m.mode == Buffered {
 		m.pmu.Lock()
 		if w.val.Load() == old {
 			w.val.Store(new)
 			if w.state == wordClean {
 				w.state = wordDirty
+				dirtied = true
 			}
 			ok = true
 		}
 		m.pmu.Unlock()
 	} else {
 		ok = w.val.CompareAndSwap(old, new)
+	}
+	if dirtied && m.phase != nil {
+		m.phase(PhaseDirty)
+	}
+	if ok && m.mode != Buffered && m.backend != nil {
+		m.commitOne(a, new)
 	}
 	if m.trc != nil {
 		var ret uint64
@@ -258,21 +310,33 @@ func (m *Memory) CASAt(a Addr, old, new uint64, at trace.Attr) bool {
 // expected to be used only with values 0 and 1.
 func (m *Memory) TAS(a Addr) uint64 { return m.TASAt(a, trace.Attr{}) }
 
-// TASAt is TAS carrying trace attribution.
+// TASAt is TAS carrying trace attribution. On a degraded memory the set
+// is rejected and the current value returned unchanged (see Err).
 func (m *Memory) TASAt(a Addr, at trace.Attr) uint64 {
+	if m.degraded.Load() {
+		return m.word(a).val.Load()
+	}
 	m.stats.tases.Add(1)
 	w := m.word(a)
 	var prev uint64
+	var dirtied bool
 	if m.mode == Buffered {
 		m.pmu.Lock()
 		prev = w.val.Load()
 		w.val.Store(1)
 		if w.state == wordClean {
 			w.state = wordDirty
+			dirtied = true
 		}
 		m.pmu.Unlock()
 	} else {
 		prev = w.val.Swap(1)
+	}
+	if dirtied && m.phase != nil {
+		m.phase(PhaseDirty)
+	}
+	if m.mode != Buffered && m.backend != nil {
+		m.commitOne(a, 1)
 	}
 	if m.trc != nil {
 		m.emit(trace.MemTAS, a, prev, at)
@@ -285,21 +349,33 @@ func (m *Memory) FAA(a Addr, delta uint64) uint64 {
 	return m.FAAAt(a, delta, trace.Attr{})
 }
 
-// FAAAt is FAA carrying trace attribution.
+// FAAAt is FAA carrying trace attribution. On a degraded memory the add
+// is rejected and the current value returned unchanged (see Err).
 func (m *Memory) FAAAt(a Addr, delta uint64, at trace.Attr) uint64 {
+	if m.degraded.Load() {
+		return m.word(a).val.Load()
+	}
 	m.stats.faas.Add(1)
 	w := m.word(a)
 	var prev uint64
+	var dirtied bool
 	if m.mode == Buffered {
 		m.pmu.Lock()
 		prev = w.val.Load()
 		w.val.Store(prev + delta)
 		if w.state == wordClean {
 			w.state = wordDirty
+			dirtied = true
 		}
 		m.pmu.Unlock()
 	} else {
 		prev = w.val.Add(delta) - delta
+	}
+	if dirtied && m.phase != nil {
+		m.phase(PhaseDirty)
+	}
+	if m.mode != Buffered && m.backend != nil {
+		m.commitOne(a, prev+delta)
 	}
 	if m.trc != nil {
 		m.emit(trace.MemFAA, a, prev, at)
@@ -316,6 +392,9 @@ func (m *Memory) Flush(a Addr) { m.FlushAt(a, trace.Attr{}) }
 // records the flushed word's allocation name, so profiles can attribute
 // unowned flushes to the word's root object.
 func (m *Memory) FlushAt(a Addr, at trace.Attr) {
+	if m.degraded.Load() {
+		return
+	}
 	m.stats.flushes.Add(1)
 	if m.mode == Buffered {
 		w := m.word(a)
@@ -323,6 +402,9 @@ func (m *Memory) FlushAt(a Addr, at trace.Attr) {
 		w.flushed = w.val.Load()
 		w.state = wordFlushing
 		m.pmu.Unlock()
+		if m.phase != nil {
+			m.phase(PhaseFlushing)
+		}
 	}
 	if m.trc != nil {
 		m.emit(trace.MemFlush, a, 0, at)
@@ -335,13 +417,38 @@ func (m *Memory) Fence() { m.FenceAt(trace.Attr{}) }
 
 // FenceAt is Fence carrying trace attribution. The emitted event has no
 // address: a fence orders every outstanding flush at once.
+//
+// With a backend installed, the fence first commits the flushed values
+// through Backend.Commit — the real pwrite+fsync — and only advances the
+// simulated persisted values once the backend reports the batch durable.
+// A failed commit (the backend's retry budget is exhausted) degrades the
+// memory to read-only instead of advancing anything: the simulated state
+// never claims durability that storage does not have.
 func (m *Memory) FenceAt(at trace.Attr) {
+	if m.degraded.Load() {
+		return
+	}
 	m.stats.fences.Add(1)
 	if m.mode == Buffered {
 		m.mu.Lock()
 		words := m.words
 		m.mu.Unlock()
 		m.pmu.Lock()
+		if m.backend != nil {
+			var batch []WordUpdate
+			for i, w := range words {
+				if w.state == wordFlushing {
+					batch = append(batch, WordUpdate{Addr: Addr(i), Val: w.flushed})
+				}
+			}
+			if len(batch) > 0 {
+				if err := m.backend.Commit(batch); err != nil {
+					m.pmu.Unlock()
+					m.degrade(err)
+					return
+				}
+			}
+		}
 		for _, w := range words {
 			if w.state == wordFlushing {
 				w.persisted = w.flushed
@@ -353,6 +460,13 @@ func (m *Memory) FenceAt(at trace.Attr) {
 			}
 		}
 		m.pmu.Unlock()
+		if m.phase != nil {
+			if m.backend != nil {
+				m.phase(PhaseIdle)
+			} else {
+				m.phase(PhaseFenced)
+			}
+		}
 	}
 	if m.trc != nil {
 		m.emit(trace.MemFence, InvalidAddr, 0, at)
@@ -373,9 +487,16 @@ func (m *Memory) PersistAt(a Addr, at trace.Attr) {
 // most recently persisted value and all pending flushes are discarded. It
 // is meaningful only in Buffered mode; in ADR mode it is a no-op because
 // every store is already durable.
+//
+// Stats accounting: the crash is counted only after its effects (the
+// reverts) are applied, and the reverts bypass Write entirely — so a
+// concurrent sampler never observes a SystemCrashes count ahead of the
+// crash's effects, and a crash never inflates the Writes counter. Both
+// properties keep Stats/DrainStats snapshots taken across a crash
+// monotonic per counter (see TestCrashAllStatsAccounting).
 func (m *Memory) CrashAll() {
-	m.stats.systemCrashes.Add(1)
 	if m.mode != Buffered {
+		m.stats.systemCrashes.Add(1)
 		return
 	}
 	m.mu.Lock()
@@ -388,6 +509,7 @@ func (m *Memory) CrashAll() {
 		w.state = wordClean
 	}
 	m.pmu.Unlock()
+	m.stats.systemCrashes.Add(1)
 }
 
 // Durable reports the durable (persisted) value of the word at a. In ADR

@@ -1,0 +1,23 @@
+package objects
+
+import (
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// persistBuffered flushes the given words and issues one fence, on
+// buffered (write-back) memory only. The recoverable objects' crash
+// model is the paper's — per-process crashes with surviving shared
+// memory — where persistence instructions are unnecessary; this hook is
+// what makes the same programs durably linearizable under full-system
+// power failures on the buffered extension (see the powerfail tests).
+// On ADR memory it emits nothing, keeping traces and goldens identical.
+func persistBuffered(c *proc.Ctx, addrs ...nvm.Addr) {
+	if c.Mem().Mode() != nvm.Buffered {
+		return
+	}
+	for _, a := range addrs {
+		c.Flush(a)
+	}
+	c.Fence()
+}

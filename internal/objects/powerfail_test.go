@@ -1,0 +1,246 @@
+package objects_test
+
+import (
+	"testing"
+
+	"nrl/internal/nvm"
+	"nrl/internal/objects"
+	"nrl/internal/proc"
+	"nrl/internal/trace"
+)
+
+// These are the buffered-mode power-failure sweeps for the composite
+// objects, the queue/stack extension of the durable package's
+// exhaustive tests: the same workload is re-run with a full-system
+// power failure (nvm.Memory.CrashAll — every unflushed write lost)
+// injected at every single memory event the workload emits, and after
+// each crash a fresh verifier system drains the structure through the
+// same recoverable programs. The oracle is durable linearizability:
+// every completed operation's effect survives, only the in-flight
+// operation may be lost, and the structure is never torn (the drain
+// yields exactly a batch prefix — never a stale value, a zero cell, or
+// a broken chain).
+
+// powerFail is the sentinel unwinding an execution at the injected
+// power-failure point.
+type powerFail struct{}
+
+// crashAtEvent simulates a power failure at the k-th memory event: it
+// discards all non-durable state and unwinds. The memory emits events
+// after its internal locks are released, so calling CrashAll from
+// inside Emit is safe.
+type crashAtEvent struct {
+	mem *nvm.Memory
+	k   int
+	n   int
+	hit bool
+}
+
+func (c *crashAtEvent) Emit(trace.Event) {
+	c.n++
+	if c.n == c.k {
+		c.hit = true
+		c.mem.CrashAll()
+		panic(powerFail{})
+	}
+}
+
+func (c *crashAtEvent) disarm() { c.k = -1 }
+
+// sweep runs body (the workload over a buffered memory) with a power
+// failure at event k for k = 1, 2, ... until a run completes without
+// hitting the failure, calling check after every crashed run. build
+// constructs the objects on a fresh system and returns the workload
+// body plus the check; both close over the per-run state.
+func sweep(t *testing.T, run func(t *testing.T, k int, crash *crashAtEvent)) {
+	t.Helper()
+	for k := 1; ; k++ {
+		mem := nvm.New(nvm.WithMode(nvm.Buffered))
+		crash := &crashAtEvent{mem: mem, k: k}
+		run(t, k, crash)
+		if !crash.hit {
+			t.Logf("swept power failure at each of %d memory events", k-1)
+			return
+		}
+	}
+}
+
+// workload invokes body as process 1 on sys, unwinding at a power
+// failure, and reports whether the body ran to completion.
+func workload(sys *proc.System, body func(*proc.Ctx)) (finished bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(powerFail); !ok {
+				panic(r)
+			}
+		}
+	}()
+	body(sys.Proc(1).Ctx())
+	return true
+}
+
+// TestQueuePowerFailureSweep enqueues 1..4 with a power failure at
+// every memory event. After the crash, a verifier system sharing the
+// same memory (the objects address words, not systems) drains the
+// queue; it must yield exactly 1..j for some j with completed <= j <=
+// started — FIFO order, no torn cells, no lost completed enqueue.
+func TestQueuePowerFailureSweep(t *testing.T) {
+	const enqueues = 4
+	sweep(t, func(t *testing.T, k int, crash *crashAtEvent) {
+		mem := crash.mem
+		sys := proc.NewSystem(proc.Config{Procs: 1, Mem: mem})
+		mem.SetTracer(crash)
+		q := objects.NewQueue(sys, "q", 16)
+
+		started, completed := 0, 0
+		workload(sys, func(c *proc.Ctx) {
+			for v := 1; v <= enqueues; v++ {
+				started = v
+				q.Enqueue(c, uint64(v))
+				completed = v
+			}
+		})
+		crash.disarm()
+
+		// Drain through a fresh system over the same (post-crash) memory.
+		ver := proc.NewSystem(proc.Config{Procs: 1, Mem: mem})
+		var got []uint64
+		workload(ver, func(c *proc.Ctx) {
+			for {
+				v := q.Dequeue(c)
+				if v == objects.Empty {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+
+		if len(got) < completed || len(got) > started {
+			t.Fatalf("event %d: drained %d values (%v), completed %d started %d",
+				k, len(got), got, completed, started)
+		}
+		for i, v := range got {
+			if v != uint64(i+1) {
+				t.Fatalf("event %d: drain out of order or torn: %v (position %d)", k, got, i)
+			}
+		}
+	})
+}
+
+// TestStackPowerFailureSweep is the stack counterpart: pushes 1..4 with
+// a power failure at every memory event, then drains. The drain must
+// yield exactly j..1 (LIFO) for some j with completed <= j <= started.
+func TestStackPowerFailureSweep(t *testing.T) {
+	const pushes = 4
+	sweep(t, func(t *testing.T, k int, crash *crashAtEvent) {
+		mem := crash.mem
+		sys := proc.NewSystem(proc.Config{Procs: 1, Mem: mem})
+		mem.SetTracer(crash)
+		s := objects.NewStack(sys, "s", 16)
+
+		started, completed := 0, 0
+		workload(sys, func(c *proc.Ctx) {
+			for v := 1; v <= pushes; v++ {
+				started = v
+				s.Push(c, uint64(v))
+				completed = v
+			}
+		})
+		crash.disarm()
+
+		ver := proc.NewSystem(proc.Config{Procs: 1, Mem: mem})
+		var got []uint64
+		workload(ver, func(c *proc.Ctx) {
+			for {
+				v := s.Pop(c)
+				if v == objects.Empty {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+
+		if len(got) < completed || len(got) > started {
+			t.Fatalf("event %d: drained %d values (%v), completed %d started %d",
+				k, len(got), got, completed, started)
+		}
+		for i, v := range got {
+			if v != uint64(len(got)-i) {
+				t.Fatalf("event %d: drain out of order or torn: %v (position %d)", k, got, i)
+			}
+		}
+	})
+}
+
+// TestQueuePowerFailureMidDequeue sweeps power failures over a
+// mixed workload — two enqueues, one dequeue, one enqueue — checking
+// the drain is always a contiguous FIFO window v..j of 1..3 with the
+// dequeue's effect preserved once it completed.
+func TestQueuePowerFailureMidDequeue(t *testing.T) {
+	sweep(t, func(t *testing.T, k int, crash *crashAtEvent) {
+		mem := crash.mem
+		sys := proc.NewSystem(proc.Config{Procs: 1, Mem: mem})
+		mem.SetTracer(crash)
+		q := objects.NewQueue(sys, "q", 16)
+
+		var deqDone bool
+		started, completed := 0, 0
+		workload(sys, func(c *proc.Ctx) {
+			started = 1
+			q.Enqueue(c, 1)
+			completed = 1
+			started = 2
+			q.Enqueue(c, 2)
+			completed = 2
+			if got := q.Dequeue(c); got != 1 {
+				t.Errorf("event %d: Dequeue = %d, want 1", k, got)
+			}
+			deqDone = true
+			started = 3
+			q.Enqueue(c, 3)
+			completed = 3
+		})
+		crash.disarm()
+
+		ver := proc.NewSystem(proc.Config{Procs: 1, Mem: mem})
+		var got []uint64
+		workload(ver, func(c *proc.Ctx) {
+			for {
+				v := q.Dequeue(c)
+				if v == objects.Empty {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+
+		// The surviving content must be a contiguous FIFO window lo..hi
+		// of 1..3: lo is 2 once the dequeue completed (1 or 2 while it
+		// was in flight — its persisted CAS may have taken effect), and
+		// hi covers every completed enqueue, at most every started one.
+		if len(got) == 0 {
+			if completed >= 2 || (completed >= 1 && !deqDone) {
+				t.Fatalf("event %d: drained nothing, %d enqueues completed (dequeue done: %v)",
+					k, completed, deqDone)
+			}
+			return
+		}
+		lo := got[0]
+		if deqDone && lo == 1 {
+			t.Fatalf("event %d: completed dequeue resurrected: drained %v", k, got)
+		}
+		if lo != 1 && lo != 2 {
+			t.Fatalf("event %d: drain starts at %d: %v", k, lo, got)
+		}
+		for i, v := range got {
+			if v != lo+uint64(i) {
+				t.Fatalf("event %d: drain not contiguous: %v (position %d)", k, got, i)
+			}
+		}
+		hi := got[len(got)-1]
+		if hi < uint64(completed) || hi > uint64(started) {
+			t.Fatalf("event %d: drain %v misses completed enqueues (completed %d, started %d)",
+				k, got, completed, started)
+		}
+	})
+}

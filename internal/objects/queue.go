@@ -160,12 +160,17 @@ func (o *queueEnq) Exec(c *proc.Ctx, line int) uint64 {
 		case 2:
 			c.Step(2)
 			c.Write(o.obj.mine[p], idx)
+			persistBuffered(c, o.obj.mine[p])
 			line = 3
 		case 3:
 			c.Step(3)
 			idx = c.Read(o.obj.mine[p])
 			c.Write(o.obj.val[idx], v)
 			c.Write(o.obj.next[idx], nilIdx)
+			// The cell's contents must be durable before the link at
+			// line 8 can make it reachable: a power failure must never
+			// expose a linked cell with unpersisted value.
+			persistBuffered(c, o.obj.val[idx], o.obj.next[idx])
 			line = 4
 		case 4:
 			c.Step(4)
@@ -185,6 +190,7 @@ func (o *queueEnq) Exec(c *proc.Ctx, line int) uint64 {
 		case 7:
 			c.Step(7)
 			c.Write(o.obj.vict[p], queueIdx(t)) // LinkTarget_p
+			persistBuffered(c, o.obj.vict[p])
 			c.Step(8)
 			ok := c.Mem().CAS(o.obj.next[queueIdx(t)], nilIdx, idx)
 			c.Step(9)
@@ -192,6 +198,10 @@ func (o *queueEnq) Exec(c *proc.Ctx, line int) uint64 {
 				line = 4
 				continue
 			}
+			// The link is the linearization point: persist it before
+			// acknowledging, or a power failure would unlinearize a
+			// completed enqueue.
+			persistBuffered(c, o.obj.next[queueIdx(t)])
 			c.Step(10)
 			c.Invoke(o.obj.tail.CASOp(), t, o.obj.nextTag(c, p, idx))
 			c.Step(11)
@@ -234,6 +244,10 @@ func (o *Queue) nextTag(c *proc.Ctx, p int, idx uint64) uint64 {
 		panic(fmt.Sprintf("objects: Queue %q exhausted tags for process %d", o.name, p))
 	}
 	c.Write(o.seq[p], s)
+	// Persist the counter before the tag can be installed, so a power
+	// failure cannot roll it back and let a later incarnation reuse a
+	// tag (Algorithm 2 requires installed values to be distinct).
+	persistBuffered(c, o.seq[p])
 	return faaPack(p, s, idx)
 }
 
@@ -286,6 +300,7 @@ func (o *queueDeq) Exec(c *proc.Ctx, line int) uint64 {
 		case 4:
 			c.Step(4)
 			c.Write(o.obj.vict[p], nxt)
+			persistBuffered(c, o.obj.vict[p])
 			c.Step(5)
 			ok := c.Invoke(o.obj.head.StrictCASOp(), h, o.obj.nextTag(c, p, nxt))
 			c.Step(6)

@@ -114,6 +114,10 @@ func (o *Stack) nextTag(c *proc.Ctx, p int, idx uint64) uint64 {
 		panic(fmt.Sprintf("objects: Stack %q exhausted tags for process %d", o.name, p))
 	}
 	c.Write(o.seq[p], s)
+	// Persist the counter before the tag can be installed, so a power
+	// failure cannot roll it back and let a later incarnation reuse a
+	// tag (Algorithm 2 requires installed values to be distinct).
+	persistBuffered(c, o.seq[p])
 	return faaPack(p, s, idx)
 }
 
@@ -161,11 +165,15 @@ func (o *stackPush) Exec(c *proc.Ctx, line int) uint64 {
 		case 3:
 			c.Step(3)
 			c.Write(o.obj.mine[p], idx)
+			persistBuffered(c, o.obj.mine[p])
 			line = 4
 		case 4:
 			c.Step(4)
 			idx = c.Read(o.obj.mine[p])
 			c.Write(o.obj.val[idx], v)
+			// The cell's value must be durable before TOP can make it
+			// reachable at line 8.
+			persistBuffered(c, o.obj.val[idx])
 			line = 5
 		case 5:
 			c.Step(5)
@@ -175,6 +183,9 @@ func (o *stackPush) Exec(c *proc.Ctx, line int) uint64 {
 		case 6:
 			c.Step(6)
 			c.Write(o.obj.next[idx], topIdx(top))
+			// Likewise the next-link: a power failure between the TOP
+			// install and a lagging link persist would tear the list.
+			persistBuffered(c, o.obj.next[idx])
 			line = 7
 		case 7:
 			c.Step(7)
@@ -259,6 +270,7 @@ func (o *stackPop) Exec(c *proc.Ctx, line int) uint64 {
 		case 4:
 			c.Step(4)
 			c.Write(o.obj.vict[p], top)
+			persistBuffered(c, o.obj.vict[p])
 			line = 5
 		case 5:
 			c.Step(5)

@@ -1,0 +1,55 @@
+// Package persist is the file-backed durable backend for nvm.Memory:
+// the layer that makes Flush/Fence real pwrite+fsync instead of
+// simulation metadata, so the repository's recoverable objects survive
+// actual process deaths.
+//
+// # Layout
+//
+// A backend lives in a directory holding two files:
+//
+//	data — a 64-byte header followed by checksummed, cache-line-sized
+//	       pages. Page i holds words [i*6, i*6+6) of the memory's word
+//	       array: 48 bytes of payload, the committing record's sequence
+//	       number, the page's own index, and a CRC-32C over the rest.
+//	wal  — a redo log of commit records. Each record carries the full
+//	       images of every page a fence touched, and a trailing CRC
+//	       over the whole record.
+//
+// # Commit protocol
+//
+// nvm.Memory hands the backend one Commit per fence, carrying the words
+// captured by flushes since the previous fence. The commit appends one
+// record to the WAL and fsyncs it — that single fsync is the atomic
+// commit point — then rewrites the touched data pages in place without
+// fsyncing them. When the WAL grows past a threshold the commit
+// checkpoints: fsync the data file, truncate the WAL. One fence
+// therefore costs one fsync, plus an amortized one per checkpoint.
+//
+// # Recovery
+//
+// Open scans the data file, validating every page's CRC and index
+// (all-zero pages are unwritten and valid), then replays the WAL's
+// valid record prefix over the scanned image — the redo pass. A torn
+// data page (a pwrite cut short by a kill) is repaired if the WAL
+// covers it, which it always is for crashes of this process: pages are
+// only rewritten after their record's fsync. A torn page the WAL does
+// not cover is external corruption and Open rejects the store with a
+// *CorruptError (matching ErrCorrupt); it never panics and never
+// silently drops committed state. A torn WAL tail is an uncommitted
+// record and is discarded.
+//
+// # Degradation
+//
+// Every physical I/O is retried with capped exponential backoff; when
+// the budget is exhausted the backend sticks a *nvm.DegradedError
+// (matching nvm.ErrDegraded) and fails every subsequent Commit
+// immediately, which makes the Memory above it read-only. Nothing in
+// this package panics on I/O failure.
+//
+// A commit that fails is an in-flight fence: its record may or may not
+// have reached the disk before the failure, so a later recovery is
+// allowed to observe it committed — exactly like an operation caught
+// mid-flight by a crash. What degradation guarantees is the other
+// direction: no acknowledged commit is ever lost, and the simulated
+// durable state never runs ahead of storage.
+package persist

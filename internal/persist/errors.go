@@ -1,0 +1,34 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the sentinel for a store Open rejects as unrecoverably
+// corrupt: damage that no committed WAL record can repair. Match with
+// errors.Is; the concrete error is a *CorruptError.
+var ErrCorrupt = errors.New("persist: unrecoverable corruption")
+
+// CorruptError describes where recovery found unrepairable damage.
+type CorruptError struct {
+	// Path is the damaged file.
+	Path string
+	// Page is the damaged data-page index, or -1 when the damage is not
+	// page-specific (a bad header, for example).
+	Page int
+	// Reason says what failed to validate.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Page >= 0 {
+		return fmt.Sprintf("%v: %s: page %d: %s", ErrCorrupt, e.Path, e.Page, e.Reason)
+	}
+	return fmt.Sprintf("%v: %s: %s", ErrCorrupt, e.Path, e.Reason)
+}
+
+// Is reports target == ErrCorrupt, so errors.Is(err, ErrCorrupt)
+// matches.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }

@@ -1,0 +1,400 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"nrl/internal/nvm"
+	"nrl/internal/trace"
+)
+
+const (
+	dataName = "data"
+	walName  = "wal"
+
+	headerSize  = PageSize
+	headerMagic = "NRLPERS1"
+
+	walMagic = uint32(0x4E524C57) // "NRLW"
+	// walRecHeaderSize is magic + seq + npages.
+	walRecHeaderSize = 4 + 8 + 4
+	// walEntrySize is one page entry: index + image.
+	walEntrySize = 4 + PageSize
+)
+
+// Options configures a backend. The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// Retries is how many times each physical I/O is retried beyond the
+	// first attempt before the backend degrades (default 5).
+	Retries int
+	// BaseDelay and MaxDelay bound the capped exponential backoff
+	// between retries (defaults 1ms and 50ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep replaces time.Sleep between retries (tests inject a no-op
+	// to exercise the budget without waiting).
+	Sleep func(time.Duration)
+	// Inject, when non-nil, is consulted before every physical I/O
+	// attempt with the operation name — "wal.append", "wal.fsync",
+	// "wal.truncate", "data.pwrite" or "data.fsync" — and a non-nil
+	// return fails that attempt. It is the failpoint hook the
+	// degradation tests drive.
+	Inject func(op string) error
+	// Tracer, when non-nil, receives one MemCommit event per commit
+	// (latency, batch size, retries) and one MemDegraded on
+	// degradation.
+	Tracer trace.Tracer
+	// PhaseHook observes the commit-side persistence phases: Fenced
+	// when a record's fsync lands (the atomic commit point) and
+	// MidCommit while data pages are rewritten in place.
+	PhaseHook func(nvm.Phase)
+	// CheckpointBytes is the WAL size beyond which a commit checkpoints
+	// — fsync the data file, truncate the WAL (default 256 KiB).
+	CheckpointBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Retries <= 0 {
+		o.Retries = 5
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 50 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	if o.CheckpointBytes <= 0 {
+		o.CheckpointBytes = 256 << 10
+	}
+	return o
+}
+
+// RecoveryReport summarizes what Open's recovery scan found and did.
+type RecoveryReport struct {
+	// Pages is the number of data pages scanned; Valid how many carried
+	// a valid image (unwritten all-zero pages count as neither).
+	Pages int
+	Valid int
+	// Torn counts pages failing CRC or index validation; Repaired how
+	// many of those the WAL's committed records repaired. Open fails
+	// with *CorruptError unless Repaired == Torn.
+	Torn     int
+	Repaired int
+	// WALRecords is the number of committed records replayed;
+	// WALDiscarded the trailing bytes discarded as an uncommitted
+	// (torn) tail.
+	WALRecords   int
+	WALDiscarded int64
+	// Reinitialized reports that the store died before its header was
+	// durable and was re-created empty.
+	Reinitialized bool
+}
+
+// File is a file-backed nvm.Backend. Open one per store directory and
+// install it with nvm.WithBackend; see the package documentation for
+// the commit protocol and recovery semantics.
+type File struct {
+	dir  string
+	opts Options
+	trc  trace.Tracer
+
+	mu       sync.Mutex
+	data     *os.File
+	wal      *os.File
+	img      []uint64 // current committed+growing word image
+	covered  []bool   // per page: a durable image exists (data or WAL)
+	seq      uint64   // last committed record sequence
+	walSize  int64
+	degraded error
+	report   RecoveryReport
+
+	// commits/retries/checkpoints are lifetime totals, see Metrics.
+	commits     uint64
+	retries     uint64
+	checkpoints uint64
+}
+
+// Open opens (creating if absent) the store in dir and runs recovery:
+// page scan, WAL redo, torn-write repair, then a checkpoint that folds
+// the replayed WAL back into the data file. It returns a *CorruptError
+// (matching ErrCorrupt) if the store holds damage no committed record
+// can repair. I/O failures during the final checkpoint do not fail
+// Open; they leave the backend degraded (see Err).
+func Open(dir string, opts Options) (*File, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	data, err := os.OpenFile(filepath.Join(dir, dataName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		data.Close()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	f := &File{dir: dir, opts: opts, trc: trace.Active(opts.Tracer), data: data, wal: wal}
+	if err := f.recover(); err != nil {
+		data.Close()
+		wal.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Dir returns the store directory (for artifact collection).
+func (f *File) Dir() string { return f.dir }
+
+// Report returns what Open's recovery found.
+func (f *File) Report() RecoveryReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.report
+}
+
+// Err returns nil while the backend is healthy and the sticky
+// *nvm.DegradedError once its retry budget has been exhausted.
+func (f *File) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.degraded
+}
+
+// Metrics reports lifetime totals: commits completed, I/O retries
+// spent, and checkpoints taken.
+func (f *File) Metrics() (commits, retries, checkpoints uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.commits, f.retries, f.checkpoints
+}
+
+// Recovered implements nvm.Backend: the durable value recovered for a,
+// if a's page carries a committed image.
+func (f *File) Recovered(a nvm.Addr) (uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if a < 0 || int(a) >= len(f.img) {
+		return 0, false
+	}
+	if !f.covered[int(a)/PayloadWords] {
+		return 0, false
+	}
+	return f.img[a], true
+}
+
+// Grow implements nvm.Backend: it tracks a fresh word's initial value
+// in the in-memory image only. The word becomes durable with the first
+// commit touching its page.
+func (f *File) Grow(a nvm.Addr, init uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.growLocked(int(a))
+	f.img[a] = init
+}
+
+func (f *File) growLocked(a int) {
+	for len(f.img) <= a {
+		f.img = append(f.img, 0)
+	}
+	for len(f.covered) <= a/PayloadWords {
+		f.covered = append(f.covered, false)
+	}
+}
+
+// Commit implements nvm.Backend: one WAL record append + fsync (the
+// atomic commit point), then in-place page rewrites, then a checkpoint
+// if the WAL has grown past the threshold.
+func (f *File) Commit(batch []nvm.WordUpdate) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.degraded != nil {
+		return f.degraded
+	}
+	start := time.Now()
+	retriesBefore := f.retries
+
+	f.seq++
+	pages := map[uint32]bool{}
+	for _, u := range batch {
+		f.growLocked(int(u.Addr))
+		f.img[u.Addr] = u.Val
+		pages[uint32(int(u.Addr)/PayloadWords)] = true
+	}
+	idxs := make([]uint32, 0, len(pages))
+	for idx := range pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	rec := f.encodeRecord(idxs)
+	if err := f.retry("wal.append", func() error {
+		_, err := f.wal.WriteAt(rec, f.walSize)
+		return err
+	}); err != nil {
+		return f.degradeLocked(err)
+	}
+	if err := f.retry("wal.fsync", f.wal.Sync); err != nil {
+		return f.degradeLocked(err)
+	}
+	f.walSize += int64(len(rec))
+	f.hook(nvm.PhaseFenced)
+
+	f.hook(nvm.PhaseMidCommit)
+	for _, idx := range idxs {
+		if err := f.writePage(idx); err != nil {
+			return f.degradeLocked(err)
+		}
+		f.covered[idx] = true
+	}
+
+	if f.walSize >= f.opts.CheckpointBytes {
+		if err := f.checkpointLocked(); err != nil {
+			return f.degradeLocked(err)
+		}
+	}
+
+	f.commits++
+	if f.trc != nil {
+		f.trc.Emit(trace.Event{
+			Kind:    trace.MemCommit,
+			Addr:    int32(nvm.InvalidAddr),
+			Ret:     uint64(len(batch)),
+			Attempt: int(f.retries - retriesBefore),
+			DurUS:   uint64(time.Since(start).Microseconds()),
+		})
+	}
+	return nil
+}
+
+// Close releases the file handles. It does not flush: anything
+// committed is already durable, and anything else never was.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	werr := f.wal.Close()
+	derr := f.data.Close()
+	if werr != nil {
+		return werr
+	}
+	return derr
+}
+
+// pageImage encodes the current image of page idx at sequence f.seq.
+func (f *File) pageImage(idx uint32) []byte {
+	buf := make([]byte, PageSize)
+	lo := int(idx) * PayloadWords
+	hi := lo + PayloadWords
+	if hi > len(f.img) {
+		hi = len(f.img)
+	}
+	var words []uint64
+	if lo < len(f.img) {
+		words = f.img[lo:hi]
+	}
+	encodePage(buf, words, f.seq, idx)
+	return buf
+}
+
+func (f *File) writePage(idx uint32) error {
+	pg := f.pageImage(idx)
+	return f.retry("data.pwrite", func() error {
+		_, err := f.data.WriteAt(pg, headerSize+int64(idx)*PageSize)
+		return err
+	})
+}
+
+// encodeRecord builds one WAL record carrying the current images of the
+// given pages at sequence f.seq.
+func (f *File) encodeRecord(idxs []uint32) []byte {
+	rec := make([]byte, walRecHeaderSize+len(idxs)*walEntrySize+4)
+	binary.LittleEndian.PutUint32(rec[0:], walMagic)
+	binary.LittleEndian.PutUint64(rec[4:], f.seq)
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(idxs)))
+	off := walRecHeaderSize
+	for _, idx := range idxs {
+		binary.LittleEndian.PutUint32(rec[off:], idx)
+		copy(rec[off+4:], f.pageImage(idx))
+		off += walEntrySize
+	}
+	binary.LittleEndian.PutUint32(rec[off:], crc32.Checksum(rec[:off], castagnoli))
+	return rec
+}
+
+// checkpointLocked folds the WAL into the data file: data fsync, WAL
+// truncate, WAL fsync. After it, the data file alone carries the
+// committed state.
+func (f *File) checkpointLocked() error {
+	if err := f.retry("data.fsync", f.data.Sync); err != nil {
+		return err
+	}
+	if err := f.retry("wal.truncate", func() error { return f.wal.Truncate(0) }); err != nil {
+		return err
+	}
+	if err := f.retry("wal.fsync", f.wal.Sync); err != nil {
+		return err
+	}
+	f.walSize = 0
+	f.checkpoints++
+	return nil
+}
+
+// retry runs one physical I/O under the capped-exponential-backoff
+// budget, consulting the failpoint hook before each attempt.
+func (f *File) retry(op string, fn func() error) error {
+	delay := f.opts.BaseDelay
+	var err error
+	for attempt := 0; attempt <= f.opts.Retries; attempt++ {
+		if attempt > 0 {
+			f.retries++
+			f.opts.Sleep(delay)
+			delay *= 2
+			if delay > f.opts.MaxDelay {
+				delay = f.opts.MaxDelay
+			}
+		}
+		err = nil
+		if f.opts.Inject != nil {
+			err = f.opts.Inject(op)
+		}
+		if err == nil {
+			err = fn()
+		}
+		if err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s failed after %d attempts: %w", op, f.opts.Retries+1, err)
+}
+
+// degradeLocked sticks the degradation error and emits one MemDegraded
+// event. Every subsequent Commit fails immediately with the same error.
+func (f *File) degradeLocked(err error) error {
+	if f.degraded == nil {
+		f.degraded = &nvm.DegradedError{Cause: fmt.Errorf("persist: %w", err)}
+		if f.trc != nil {
+			f.trc.Emit(trace.Event{
+				Kind: trace.MemDegraded,
+				Addr: int32(nvm.InvalidAddr),
+				Name: f.degraded.Error(),
+			})
+		}
+	}
+	return f.degraded
+}
+
+func (f *File) hook(p nvm.Phase) {
+	if f.opts.PhaseHook != nil {
+		f.opts.PhaseHook(p)
+	}
+}

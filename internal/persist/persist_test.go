@@ -1,0 +1,366 @@
+package persist_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nrl/internal/nvm"
+	"nrl/internal/persist"
+	"nrl/internal/trace"
+)
+
+// fastOpts disables real backoff sleeps.
+func fastOpts() persist.Options {
+	return persist.Options{Sleep: func(time.Duration) {}}
+}
+
+func open(t *testing.T, dir string, opts persist.Options) *persist.File {
+	t.Helper()
+	f, err := persist.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return f
+}
+
+func commit(t *testing.T, f *persist.File, updates ...nvm.WordUpdate) {
+	t.Helper()
+	for _, u := range updates {
+		f.Grow(u.Addr, 0)
+	}
+	if err := f.Commit(updates); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestOpenCommitReopen(t *testing.T) {
+	dir := t.TempDir()
+	f := open(t, dir, fastOpts())
+	commit(t, f,
+		nvm.WordUpdate{Addr: 0, Val: 11},
+		nvm.WordUpdate{Addr: 7, Val: 22}, // second page
+	)
+	commit(t, f, nvm.WordUpdate{Addr: 0, Val: 33}) // overwrite
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	g := open(t, dir, fastOpts())
+	defer g.Close()
+	checks := map[nvm.Addr]uint64{0: 33, 7: 22, 1: 0}
+	for a, want := range checks {
+		got, ok := g.Recovered(a)
+		if !ok || got != want {
+			t.Errorf("Recovered(%d) = %d,%v, want %d,true", a, got, ok, want)
+		}
+	}
+	// An address on a page never committed has no recovered value.
+	if _, ok := g.Recovered(100); ok {
+		t.Error("Recovered(100) = true for uncommitted page")
+	}
+	rep := g.Report()
+	if rep.Torn != 0 || rep.Repaired != 0 {
+		t.Errorf("clean reopen reported torn pages: %+v", rep)
+	}
+}
+
+// TestTornPageRepairedFromWAL injects a torn write — a data page half
+// overwritten with garbage, exactly what a kill mid-pwrite leaves — and
+// asserts recovery detects it and repairs it from the committed WAL
+// record.
+func TestTornPageRepairedFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	f := open(t, dir, fastOpts())
+	commit(t, f, nvm.WordUpdate{Addr: 0, Val: 41}, nvm.WordUpdate{Addr: 6, Val: 42})
+	f.Close()
+
+	// Tear page 1 (addr 6): garbage over its first half.
+	data := filepath.Join(dir, "data")
+	fd, err := os.OpenFile(data, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd.WriteAt([]byte("torn!torn!torn!torn!torn!torn!ha"), 64+1*64); err != nil {
+		t.Fatal(err)
+	}
+	fd.Close()
+
+	g := open(t, dir, fastOpts())
+	defer g.Close()
+	rep := g.Report()
+	if rep.Torn != 1 || rep.Repaired != 1 {
+		t.Fatalf("report = %+v, want Torn=1 Repaired=1", rep)
+	}
+	if got, ok := g.Recovered(6); !ok || got != 42 {
+		t.Fatalf("Recovered(6) = %d,%v after repair, want 42,true", got, ok)
+	}
+	if got, ok := g.Recovered(0); !ok || got != 41 {
+		t.Fatalf("Recovered(0) = %d,%v, want 41,true", got, ok)
+	}
+
+	// The repair was checkpointed: a third open must be clean even with
+	// the WAL gone.
+	g.Close()
+	if err := os.Truncate(filepath.Join(dir, "wal"), 0); err != nil {
+		t.Fatal(err)
+	}
+	h := open(t, dir, fastOpts())
+	defer h.Close()
+	if got, ok := h.Recovered(6); !ok || got != 42 {
+		t.Fatalf("post-checkpoint Recovered(6) = %d,%v, want 42,true", got, ok)
+	}
+	if rep := h.Report(); rep.Torn != 0 {
+		t.Fatalf("post-checkpoint report = %+v", rep)
+	}
+}
+
+// TestTornPageWithoutWALIsCorrupt: damage the WAL cannot repair must be
+// rejected with the typed sentinel, never silently dropped.
+func TestTornPageWithoutWALIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	f := open(t, dir, fastOpts())
+	commit(t, f, nvm.WordUpdate{Addr: 0, Val: 41})
+	f.Close()
+
+	// Reopen checkpoints (folding the WAL away), then tear the page.
+	open(t, dir, fastOpts()).Close()
+	fd, err := os.OpenFile(filepath.Join(dir, "data"), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fd.WriteAt([]byte("external corruption"), 64); err != nil {
+		t.Fatal(err)
+	}
+	fd.Close()
+
+	_, err = persist.Open(dir, fastOpts())
+	if err == nil {
+		t.Fatal("Open accepted unrepairable torn page")
+	}
+	if !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("Open error = %v, not ErrCorrupt", err)
+	}
+	var ce *persist.CorruptError
+	if !errors.As(err, &ce) || ce.Page != 0 {
+		t.Fatalf("Open error = %#v, want *CorruptError for page 0", err)
+	}
+}
+
+// TestWALTornTailDiscarded: a record cut short by a kill before its
+// fsync is uncommitted; recovery keeps the committed prefix.
+func TestWALTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	f := open(t, dir, fastOpts())
+	commit(t, f, nvm.WordUpdate{Addr: 0, Val: 41})
+	commit(t, f, nvm.WordUpdate{Addr: 0, Val: 42})
+	f.Close()
+
+	wal := filepath.Join(dir, "wal")
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the second record in half.
+	if err := os.Truncate(wal, int64(len(b)/2+len(b)/4)); err != nil {
+		t.Fatal(err)
+	}
+
+	g := open(t, dir, fastOpts())
+	defer g.Close()
+	rep := g.Report()
+	if rep.WALRecords != 1 || rep.WALDiscarded == 0 {
+		t.Fatalf("report = %+v, want 1 committed record and a discarded tail", rep)
+	}
+	// Data already carried 42 from the in-place rewrite (the pwrite ran
+	// before the kill in this construction), and its page is valid — so
+	// 42 is legal; what matters is the store opened and holds a
+	// committed value.
+	got, ok := g.Recovered(0)
+	if !ok || (got != 41 && got != 42) {
+		t.Fatalf("Recovered(0) = %d,%v, want a committed value", got, ok)
+	}
+}
+
+// TestFsyncFailureDegradesMemory drives the whole stack: failpoint-
+// injected fsync failures exhaust the retry budget, the backend sticks
+// ErrDegraded, and the Memory above becomes read-only — no panic
+// anywhere.
+func TestFsyncFailureDegradesMemory(t *testing.T) {
+	dir := t.TempDir()
+	var slept int
+	opts := fastOpts()
+	opts.Retries = 3
+	opts.Sleep = func(time.Duration) { slept++ }
+	fail := false
+	opts.Inject = func(op string) error {
+		if fail && op == "wal.fsync" {
+			return errors.New("injected EIO")
+		}
+		return nil
+	}
+	ring := trace.NewRing(256)
+	opts.Tracer = ring
+
+	f := open(t, dir, opts)
+	defer f.Close()
+	mem := nvm.New(nvm.WithMode(nvm.Buffered), nvm.WithBackend(f))
+	mem.SetTracer(ring)
+	x := mem.Alloc("x", 0)
+
+	mem.Write(x, 1)
+	mem.Persist(x)
+	if err := mem.Err(); err != nil {
+		t.Fatalf("healthy Err = %v", err)
+	}
+
+	fail = true
+	mem.Write(x, 2)
+	mem.Persist(x) // exhausts the budget, degrades
+
+	if slept != opts.Retries {
+		t.Errorf("backoff slept %d times, want %d", slept, opts.Retries)
+	}
+	err := mem.Err()
+	if !errors.Is(err, nvm.ErrDegraded) {
+		t.Fatalf("mem.Err() = %v, not ErrDegraded", err)
+	}
+	if !errors.Is(f.Err(), nvm.ErrDegraded) {
+		t.Fatalf("file.Err() = %v, not ErrDegraded", f.Err())
+	}
+	// Durable state did not advance past storage.
+	if got := mem.Durable(x); got != 1 {
+		t.Fatalf("Durable(x) = %d after failed commit, want 1", got)
+	}
+	// Read-only but alive.
+	if got := mem.Read(x); got != 2 {
+		t.Fatalf("degraded Read = %d, want 2", got)
+	}
+	mem.Write(x, 99)
+	if got := mem.Read(x); got != 2 {
+		t.Fatalf("degraded Write applied: %d", got)
+	}
+	// Subsequent commits fail fast with the same sticky error.
+	if err := f.Commit([]nvm.WordUpdate{{Addr: x, Val: 3}}); !errors.Is(err, nvm.ErrDegraded) {
+		t.Fatalf("post-degrade Commit = %v", err)
+	}
+
+	var commits, degraded int
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case trace.MemCommit:
+			commits++
+		case trace.MemDegraded:
+			degraded++
+		}
+	}
+	if commits == 0 {
+		t.Error("no MemCommit events for the successful commit")
+	}
+	if degraded != 1 {
+		t.Errorf("MemDegraded events = %d, want 1", degraded)
+	}
+
+	// A reopen recovers a committed value. The failed fence behaves
+	// like an in-flight operation: its record was appended before the
+	// fsync failed, so recovery may observe either the last
+	// acknowledged value (1) or the in-flight one (2) — never anything
+	// else, and never a lost acknowledged commit.
+	g := open(t, dir, fastOpts())
+	defer g.Close()
+	if got, ok := g.Recovered(x); !ok || (got != 1 && got != 2) {
+		t.Fatalf("Recovered after degraded run = %d,%v, want 1 or 2", got, ok)
+	}
+}
+
+// TestCheckpointFoldsWAL: a low threshold forces mid-run checkpoints;
+// the state must survive with the WAL truncated.
+func TestCheckpointFoldsWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastOpts()
+	opts.CheckpointBytes = 1 // checkpoint after every commit
+	f := open(t, dir, opts)
+	for i := 0; i < 5; i++ {
+		commit(t, f, nvm.WordUpdate{Addr: nvm.Addr(i), Val: uint64(100 + i)})
+	}
+	if _, _, cps := f.Metrics(); cps != 5 {
+		t.Fatalf("checkpoints = %d, want 5", cps)
+	}
+	f.Close()
+
+	if fi, err := os.Stat(filepath.Join(dir, "wal")); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal not truncated by checkpoint: %v %d", err, fi.Size())
+	}
+	g := open(t, dir, fastOpts())
+	defer g.Close()
+	for i := 0; i < 5; i++ {
+		if got, ok := g.Recovered(nvm.Addr(i)); !ok || got != uint64(100+i) {
+			t.Fatalf("Recovered(%d) = %d,%v, want %d,true", i, got, ok, 100+i)
+		}
+	}
+}
+
+// TestDamagedHeader: over committed state it is corruption; on a store
+// that never committed it is re-initialized.
+func TestDamagedHeader(t *testing.T) {
+	dir := t.TempDir()
+	f := open(t, dir, fastOpts())
+	commit(t, f, nvm.WordUpdate{Addr: 0, Val: 7})
+	f.Close()
+
+	data := filepath.Join(dir, "data")
+	fd, _ := os.OpenFile(data, os.O_RDWR, 0)
+	fd.WriteAt([]byte("XXXX"), 0)
+	fd.Close()
+
+	if _, err := persist.Open(dir, fastOpts()); !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("Open over damaged header = %v, want ErrCorrupt", err)
+	}
+
+	// A half-written header with no committed state: re-initialize.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "data"), []byte("NRLP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := open(t, dir2, fastOpts())
+	defer g.Close()
+	if !g.Report().Reinitialized {
+		t.Fatalf("report = %+v, want Reinitialized", g.Report())
+	}
+	commit(t, g, nvm.WordUpdate{Addr: 0, Val: 9})
+}
+
+// TestMemoryRestartRoundTrip is the in-process restart story: build a
+// Memory over the backend, persist state, "die", rebuild the same
+// allocations over a fresh backend instance, and observe the durable
+// values — including the ones a crash-discarded write never fenced.
+func TestMemoryRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	f := open(t, dir, fastOpts())
+	mem := nvm.New(nvm.WithMode(nvm.Buffered), nvm.WithBackend(f))
+	x := mem.Alloc("x", 0)
+	y := mem.Alloc("y", 5)
+	mem.Write(x, 10)
+	mem.Flush(x)
+	mem.Fence()
+	mem.Write(y, 77) // dirty, never fenced: must not survive
+	f.Close()
+
+	g := open(t, dir, fastOpts())
+	defer g.Close()
+	mem2 := nvm.New(nvm.WithMode(nvm.Buffered), nvm.WithBackend(g))
+	x2 := mem2.Alloc("x", 0)
+	y2 := mem2.Alloc("y", 5)
+	if got := mem2.Read(x2); got != 10 {
+		t.Fatalf("x after restart = %d, want 10", got)
+	}
+	// y's page was committed by x's fence batch? No — y was never
+	// flushed, so its durable value is its initial 5 (x and y share
+	// page 0, whose committed image carried y's init).
+	if got := mem2.Read(y2); got != 5 {
+		t.Fatalf("y after restart = %d, want initial 5", got)
+	}
+}

@@ -1,0 +1,259 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// makeHeader builds the 64-byte data-file header: magic, version, the
+// geometry constants, and a CRC-32C like every page.
+func makeHeader() []byte {
+	h := make([]byte, headerSize)
+	copy(h, headerMagic)
+	binary.LittleEndian.PutUint32(h[8:], 1) // format version
+	binary.LittleEndian.PutUint32(h[12:], PageSize)
+	binary.LittleEndian.PutUint32(h[16:], PayloadWords)
+	binary.LittleEndian.PutUint32(h[pageCRCOff:], crc32.Checksum(h[:pageCRCOff], castagnoli))
+	return h
+}
+
+func validHeader(b []byte) bool {
+	if len(b) < headerSize {
+		return false
+	}
+	if string(b[:len(headerMagic)]) != headerMagic {
+		return false
+	}
+	return binary.LittleEndian.Uint32(b[pageCRCOff:]) ==
+		crc32.Checksum(b[:pageCRCOff], castagnoli)
+}
+
+// walRec is one committed WAL record, decoded.
+type walRec struct {
+	seq   uint64
+	pages []walPage
+}
+
+type walPage struct {
+	idx   uint32
+	words [PayloadWords]uint64
+}
+
+// maxRecPages is a sanity cap on the page count of one record; a larger
+// claim marks the record (and everything after it) invalid.
+const maxRecPages = 1 << 16
+
+// parseWAL decodes the valid record prefix of a WAL image. Anything
+// after the first invalid byte — short record, bad magic, bad CRC,
+// non-increasing sequence, invalid embedded page — is an uncommitted or
+// damaged tail and is discarded; its length is returned.
+func parseWAL(b []byte) (recs []walRec, discarded int64) {
+	off := 0
+	for {
+		if len(b)-off < walRecHeaderSize+4 {
+			break
+		}
+		if binary.LittleEndian.Uint32(b[off:]) != walMagic {
+			break
+		}
+		seq := binary.LittleEndian.Uint64(b[off+4:])
+		n := binary.LittleEndian.Uint32(b[off+12:])
+		if n == 0 || n > maxRecPages {
+			break
+		}
+		total := walRecHeaderSize + int(n)*walEntrySize + 4
+		if len(b)-off < total {
+			break
+		}
+		body := b[off : off+total]
+		if binary.LittleEndian.Uint32(body[total-4:]) !=
+			crc32.Checksum(body[:total-4], castagnoli) {
+			break
+		}
+		if len(recs) > 0 && seq <= recs[len(recs)-1].seq {
+			break
+		}
+		rec := walRec{seq: seq}
+		valid := true
+		for i := 0; i < int(n); i++ {
+			e := body[walRecHeaderSize+i*walEntrySize:]
+			idx := binary.LittleEndian.Uint32(e)
+			words, _, zero, ok := parsePage(e[4:4+PageSize], idx)
+			if !ok || zero {
+				valid = false
+				break
+			}
+			rec.pages = append(rec.pages, walPage{idx: idx, words: words})
+		}
+		if !valid {
+			break
+		}
+		recs = append(recs, rec)
+		off += total
+	}
+	return recs, int64(len(b) - off)
+}
+
+// recover runs Open's scan-and-redo pass; see the package
+// documentation. It returns *CorruptError for unrepairable damage and
+// nil otherwise; I/O failures while re-initializing or checkpointing
+// degrade the backend instead of failing Open.
+func (f *File) recover() error {
+	dataPath := filepath.Join(f.dir, dataName)
+	walPath := filepath.Join(f.dir, walName)
+	dataBytes, err := os.ReadFile(dataPath)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	walBytes, err := os.ReadFile(walPath)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+
+	recs, discarded := parseWAL(walBytes)
+	f.walSize = int64(len(walBytes))
+	f.report.WALRecords = len(recs)
+	f.report.WALDiscarded = discarded
+
+	// Header. A fresh store has none; a store that died before its
+	// header fsync (it cannot have committed anything yet) is
+	// re-created; a damaged header over committed state is corruption.
+	switch {
+	case len(dataBytes) == 0 && len(recs) == 0:
+		if err := f.initHeader(); err != nil {
+			f.degradeLocked(err)
+		}
+	case validHeader(dataBytes):
+		// Fine; scan below.
+	default:
+		if len(recs) > 0 || anyValidPage(dataBytes) {
+			return &CorruptError{Path: dataPath, Page: -1, Reason: "damaged header over committed state"}
+		}
+		f.report.Reinitialized = true
+		if err := f.retry("data.pwrite", func() error { return f.data.Truncate(0) }); err != nil {
+			f.degradeLocked(err)
+		} else if err := f.initHeader(); err != nil {
+			f.degradeLocked(err)
+		}
+		dataBytes = nil
+	}
+
+	// Page scan: decode every valid page into the image, collect torn
+	// ones. A partial page at the tail (a grow cut short) is torn too.
+	torn := map[uint32]bool{}
+	pageSeqs := map[uint32]uint64{}
+	if len(dataBytes) > headerSize {
+		body := dataBytes[headerSize:]
+		npages := (len(body) + PageSize - 1) / PageSize
+		f.report.Pages = npages
+		for i := 0; i < npages; i++ {
+			lo := i * PageSize
+			hi := lo + PageSize
+			if hi > len(body) {
+				hi = len(body)
+			}
+			idx := uint32(i)
+			words, seq, zero, ok := parsePage(body[lo:hi], idx)
+			switch {
+			case !ok:
+				torn[idx] = true
+			case zero:
+				// Unwritten page: nothing to recover.
+			default:
+				f.growLocked((i+1)*PayloadWords - 1)
+				copy(f.img[i*PayloadWords:], words[:])
+				f.covered[idx] = true
+				pageSeqs[idx] = seq
+				f.report.Valid++
+				if seq > f.seq {
+					f.seq = seq
+				}
+			}
+		}
+	}
+	f.report.Torn = len(torn)
+
+	// Redo: replay the committed records over the scanned image, in
+	// order. A torn data page covered by a record is thereby repaired —
+	// the record was durable before the page rewrite started. The
+	// sequence guard makes the replay idempotent against a valid data
+	// page that is already newer than a record (the record's rewrite
+	// completed, later commits moved the page on): redo must only roll
+	// forward, never back.
+	walPages := map[uint32]bool{}
+	for _, rec := range recs {
+		for _, pg := range rec.pages {
+			walPages[pg.idx] = true
+			if rec.seq <= pageSeqs[pg.idx] {
+				continue
+			}
+			f.growLocked((int(pg.idx)+1)*PayloadWords - 1)
+			copy(f.img[int(pg.idx)*PayloadWords:], pg.words[:])
+			f.covered[pg.idx] = true
+			pageSeqs[pg.idx] = rec.seq
+		}
+		if rec.seq > f.seq {
+			f.seq = rec.seq
+		}
+	}
+	for idx := range torn {
+		if !walPages[idx] {
+			return &CorruptError{Path: dataPath, Page: int(idx),
+				Reason: "torn page not covered by any committed record"}
+		}
+		f.report.Repaired++
+	}
+
+	// Fold the replay back into the data file and start with an empty
+	// WAL. Failure degrades: the recovered image is intact in memory,
+	// so reads stay correct — there is just nothing durable to add.
+	if f.degraded == nil && (len(recs) > 0 || len(walBytes) > 0) {
+		var err error
+		for idx := range walPages {
+			if err = f.writePage(idx); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = f.checkpointLocked()
+		}
+		if err != nil {
+			f.degradeLocked(err)
+		}
+	}
+	return nil
+}
+
+func (f *File) initHeader() error {
+	h := makeHeader()
+	if err := f.retry("data.pwrite", func() error {
+		_, err := f.data.WriteAt(h, 0)
+		return err
+	}); err != nil {
+		return err
+	}
+	return f.retry("data.fsync", f.data.Sync)
+}
+
+// anyValidPage reports whether the body of a data image holds at least
+// one valid non-zero page — evidence of committed state.
+func anyValidPage(b []byte) bool {
+	if len(b) <= headerSize {
+		return false
+	}
+	body := b[headerSize:]
+	for i := 0; i*PageSize < len(body); i++ {
+		lo := i * PageSize
+		hi := lo + PageSize
+		if hi > len(body) {
+			break
+		}
+		if _, _, zero, ok := parsePage(body[lo:hi], uint32(i)); ok && !zero {
+			return true
+		}
+	}
+	return false
+}

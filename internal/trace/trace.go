@@ -58,6 +58,14 @@ const (
 	MemFAA
 	MemFlush
 	MemFence
+	// MemCommit marks a durable backend making a fence's flushed words
+	// durable for real (pwrite+fsync): Ret is the number of words in the
+	// batch, Attempt the I/O retries the commit needed, DurUS its
+	// wall-clock latency in microseconds.
+	MemCommit
+	// MemDegraded marks the memory degrading to read-only after
+	// exhausting its I/O retry budget; Name carries the cause.
+	MemDegraded
 )
 
 var kindNames = map[Kind]string{
@@ -73,6 +81,8 @@ var kindNames = map[Kind]string{
 	MemFAA:      "mem-faa",
 	MemFlush:    "mem-flush",
 	MemFence:    "mem-fence",
+	MemCommit:   "mem-commit",
+	MemDegraded: "mem-degraded",
 }
 
 // String returns the kind's wire name (e.g. "recover-done").
@@ -103,7 +113,9 @@ func (k *Kind) UnmarshalJSON(b []byte) error {
 	return fmt.Errorf("trace: unknown event kind %q", s)
 }
 
-// Mem reports whether k is a memory-primitive kind.
+// Mem reports whether k is a memory-primitive kind. The backend
+// lifecycle kinds MemCommit and MemDegraded are not primitives: they
+// describe what the storage layer did with already-counted primitives.
 func (k Kind) Mem() bool { return k >= MemRead && k <= MemFence }
 
 // Event is one trace event. Which fields are meaningful depends on Kind;
@@ -138,13 +150,18 @@ type Event struct {
 	// Addr is the NVRAM address of a memory event; -1 for non-memory
 	// events and for Fence (which has no single target).
 	Addr int32 `json:"addr"`
-	// Name is the allocation name of the word a MemFlush targets.
+	// Name is the allocation name of the word a MemFlush targets, or the
+	// cause of a MemDegraded event.
 	Name string `json:"name,omitempty"`
 	// Args are the operation arguments (Invoke only).
 	Args []uint64 `json:"args,omitempty"`
 	// Ret is the operation response (Response/RecoverDone) or the value
-	// read/written/returned by a memory primitive.
+	// read/written/returned by a memory primitive. For MemCommit it is
+	// the number of words the backend committed.
 	Ret uint64 `json:"ret,omitempty"`
+	// DurUS is the wall-clock duration of a backend commit in
+	// microseconds (MemCommit only).
+	DurUS uint64 `json:"dur_us,omitempty"`
 }
 
 // Attr carries the issuing-operation attribution a memory primitive is

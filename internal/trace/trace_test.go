@@ -14,6 +14,7 @@ func TestKindStrings(t *testing.T) {
 	kinds := []Kind{
 		Invoke, Response, Crash, Recover, RecoverDone,
 		MemRead, MemWrite, MemCAS, MemTAS, MemFAA, MemFlush, MemFence,
+		MemCommit, MemDegraded,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {
@@ -32,7 +33,7 @@ func TestKindStrings(t *testing.T) {
 }
 
 func TestKindJSONRoundTrip(t *testing.T) {
-	for k := Invoke; k <= MemFence; k++ {
+	for k := Invoke; k <= MemDegraded; k++ {
 		b, err := json.Marshal(k)
 		if err != nil {
 			t.Fatalf("marshal %v: %v", k, err)
@@ -60,6 +61,12 @@ func TestKindMem(t *testing.T) {
 	for k := MemRead; k <= MemFence; k++ {
 		if !k.Mem() {
 			t.Errorf("%v.Mem() = false", k)
+		}
+	}
+	// Backend lifecycle events are not primitives.
+	for _, k := range []Kind{MemCommit, MemDegraded} {
+		if k.Mem() {
+			t.Errorf("%v.Mem() = true", k)
 		}
 	}
 }

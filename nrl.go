@@ -25,6 +25,7 @@ import (
 	"nrl/internal/linearize"
 	"nrl/internal/nvm"
 	"nrl/internal/objects"
+	"nrl/internal/persist"
 	"nrl/internal/proc"
 	"nrl/internal/rme"
 	"nrl/internal/spec"
@@ -270,6 +271,102 @@ var ErrSearchBudget = linearize.ErrSearchBudget
 
 // Empty is the response of Stack.Pop on an empty stack.
 const Empty = objects.Empty
+
+// Durable storage: the file-backed persistence backend and the memory's
+// degradation contract (see internal/persist and DESIGN.md §5b).
+type (
+	// Backend turns simulated persistence (Flush/Fence) into real
+	// storage operations; install one with WithBackend.
+	Backend = nvm.Backend
+	// WordUpdate is one word of a backend commit batch.
+	WordUpdate = nvm.WordUpdate
+	// PersistPhase identifies a station of the persistence state
+	// machine (dirty, flushing, fenced, mid-commit); observe the
+	// transitions with WithPhaseHook.
+	PersistPhase = nvm.Phase
+	// DegradedError is the sticky typed error a memory or store carries
+	// after exhausting its storage-failure retries; errors.Is matches
+	// ErrDegraded, errors.As recovers the cause.
+	DegradedError = nvm.DegradedError
+	// PersistFile is the file-backed durable backend: checksummed
+	// pages, a write-ahead commit log, torn-write repair on recovery.
+	PersistFile = persist.File
+	// PersistOptions configures opening a PersistFile.
+	PersistOptions = persist.Options
+	// RecoveryReport summarises a PersistFile's open-time recovery
+	// scan.
+	RecoveryReport = persist.RecoveryReport
+	// CorruptError reports unrepairable storage damage; errors.Is
+	// matches ErrCorrupt.
+	CorruptError = persist.CorruptError
+)
+
+// Persistence phases, storage errors and constructors, re-exported.
+var (
+	// ErrDegraded is the sentinel matched by a degraded memory's or
+	// store's errors.
+	ErrDegraded = nvm.ErrDegraded
+	// ErrCorrupt is the sentinel matched by unrepairable-corruption
+	// errors from OpenPersistFile.
+	ErrCorrupt = persist.ErrCorrupt
+
+	// OpenPersistFile opens (creating or recovering) a file-backed
+	// store directory.
+	OpenPersistFile = persist.Open
+	// WithBackend makes a Memory persist through a Backend: Fence
+	// commits the flushed words to storage before the simulated durable
+	// state advances.
+	WithBackend = nvm.WithBackend
+	// WithPhaseHook observes persistence-phase transitions (the kill
+	// harness uses this to report where a crash landed).
+	WithPhaseHook = nvm.WithPhaseHook
+	// WithMode selects the persistence mode of a new Memory.
+	WithMode = nvm.WithMode
+)
+
+// Persistence modes and phases, re-exported as constants.
+const (
+	// ADR models Asynchronous DRAM Refresh: every store is durable (the
+	// paper's model).
+	ADR = nvm.ADR
+	// BufferedMode models write-back persistence: stores need explicit
+	// Flush and Fence to become durable.
+	BufferedMode = nvm.Buffered
+
+	// PhaseIdle through PhaseMidCommit are the stations of the
+	// persistence state machine (DESIGN.md §5b).
+	PhaseIdle      = nvm.PhaseIdle
+	PhaseDirty     = nvm.PhaseDirty
+	PhaseFlushing  = nvm.PhaseFlushing
+	PhaseFenced    = nvm.PhaseFenced
+	PhaseMidCommit = nvm.PhaseMidCommit
+)
+
+// Real-crash kill harness (see internal/chaos and cmd/nrlchaos -real).
+type (
+	// KillConfig configures a real process-kill campaign.
+	KillConfig = chaos.KillConfig
+	// KillResult summarises a kill campaign.
+	KillResult = chaos.KillResult
+	// KillRound records one worker incarnation.
+	KillRound = chaos.KillRound
+	// KillWorkerConfig configures one kill-harness worker incarnation.
+	KillWorkerConfig = chaos.KillWorkerConfig
+	// PhaseCoverage tabulates which persistence phases kills landed in.
+	PhaseCoverage = chaos.PhaseCoverage
+)
+
+// Kill-harness entry points, re-exported.
+var (
+	// RunKillCampaign SIGKILLs worker processes at seeded random points
+	// and verifies every restart recovers an NRL-consistent state.
+	RunKillCampaign = chaos.RunKillCampaign
+	// RunKillWorker runs one worker incarnation (call from a subprocess
+	// entry point; see cmd/nrlchaos -realworker).
+	RunKillWorker = chaos.RunKillWorker
+	// NewPhaseCoverage creates an empty phase-coverage table.
+	NewPhaseCoverage = chaos.NewPhaseCoverage
+)
 
 // Models builds a ModelFor that resolves both the objects the caller
 // names explicitly and, by naming convention, the recoverable base
