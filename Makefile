@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench golden chaos crash
+.PHONY: all build test race vet nrlvet lint bench golden chaos crash
 
-all: vet build test
+all: lint build test
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,23 @@ race:
 vet:
 	$(GO) vet ./...
 
+# The repo's own static-discipline suite (DESIGN.md §8): persist/fence
+# ordering, recovery purity, nrl:persist-before lattices, trace
+# attribution, budgeted-checker conventions.
+nrlvet:
+	$(GO) run ./cmd/nrlvet ./...
+
+# Everything CI's lint job runs: go vet, the nrlvet suite, and the race
+# detector over the internal packages.
+lint: vet nrlvet race
+
 bench:
 	$(GO) test -bench . -benchtime 1000x -run '^$$' .
 
 # Regenerate the golden files of the CLI tests (after an intentional
 # output change).
 golden:
-	$(GO) test ./cmd/nrltrace/ ./cmd/nrlstat/ ./cmd/nrlchaos/ ./cmd/nrlcheck/ ./cmd/nrlsweep/ -update
+	$(GO) test ./cmd/nrltrace/ ./cmd/nrlstat/ ./cmd/nrlchaos/ ./cmd/nrlcheck/ ./cmd/nrlsweep/ ./cmd/nrlvet/ -update
 
 # Seeded coverage-guided crash campaign over every real workload (the CI
 # smoke; raise -runs for a deeper hunt).

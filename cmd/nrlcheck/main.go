@@ -19,9 +19,9 @@ import (
 	"io"
 	"os"
 
+	"nrl/internal/chaos"
 	"nrl/internal/harness"
 	"nrl/internal/history"
-	"nrl/internal/linearize"
 	"nrl/internal/proc"
 )
 
@@ -47,6 +47,7 @@ func run(args []string, out, errOut io.Writer) int {
 	rate := fs.Float64("rate", 0.02, "crash probability per step")
 	verbose := fs.Bool("v", false, "print per-run statistics")
 	awaitBudget := fs.Int("awaitbudget", 0, "await iterations before the watchdog declares a livelock (0 = default)")
+	checkBudget := fs.Int("budget", chaos.DefaultCheckBudget, "WGL search budget per history (degrades to windowed prefixes when exceeded)")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -66,7 +67,7 @@ func run(args []string, out, errOut io.Writer) int {
 		np := w.Procs(*procs)
 		totalCrashes := 0
 		for seed := 0; seed < *seeds; seed++ {
-			h, crashes, err := runOnce(w, np, *ops, *rate, int64(seed), *awaitBudget)
+			h, crashes, err := runOnce(w, np, *ops, *rate, int64(seed), *awaitBudget, *checkBudget)
 			totalCrashes += crashes
 			var se *proc.StuckError
 			if errors.As(err, &se) {
@@ -89,8 +90,11 @@ func run(args []string, out, errOut io.Writer) int {
 }
 
 // runOnce performs one seeded run. It returns a *proc.StuckError (wrapped)
-// when the run livelocked, or the NRL checker's verdict otherwise.
-func runOnce(w harness.Workload, procs, ops int, rate float64, seed int64, awaitBudget int) (history.History, int, error) {
+// when the run livelocked, or the NRL checker's verdict otherwise. The
+// verdict is budgeted: histories the WGL search cannot settle within
+// checkBudget nodes degrade to chaos.CheckWindowed's sound prefix check
+// instead of hanging the CLI.
+func runOnce(w harness.Workload, procs, ops int, rate float64, seed int64, awaitBudget, checkBudget int) (history.History, int, error) {
 	rec := history.NewRecorder()
 	inj := &proc.Random{Rate: rate, Seed: seed, MaxCrashes: procs * 2}
 	sys := proc.NewSystem(proc.Config{
@@ -106,5 +110,6 @@ func runOnce(w harness.Workload, procs, ops int, rate float64, seed int64, await
 	for _, f := range sys.Failures() {
 		return h, inj.Crashes(), f
 	}
-	return h, inj.Crashes(), linearize.CheckNRL(w.Models, h)
+	violation, _ := chaos.CheckWindowed(w.Models, h, checkBudget)
+	return h, inj.Crashes(), violation
 }

@@ -133,9 +133,15 @@ func newSys(cfg config, tracer trace.Tracer) (*nrl.System, *nrl.Recorder) {
 }
 
 // checkNRL verifies the recorded history and returns the summary line.
+// The verdict is budgeted so a pathological history cannot hang the
+// stats pipeline; a windowed verdict is labelled as such.
 func checkNRL(rec *nrl.Recorder, models nrl.ModelFor) (string, error) {
-	if err := nrl.CheckNRL(models, rec.History()); err != nil {
-		return "", fmt.Errorf("NRL check failed: %w", err)
+	violation, partial := nrl.CheckWindowed(models, rec.History(), nrl.DefaultCheckBudget)
+	if violation != nil {
+		return "", fmt.Errorf("NRL check failed: %w", violation)
+	}
+	if partial {
+		return "NRL check: ok (windowed prefix verdict; search budget hit)", nil
 	}
 	return "NRL check: ok", nil
 }

@@ -78,10 +78,15 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w, "\ntimeline:")
 		fmt.Fprint(w, h.Gantt(64))
 	}
-	if err := nrl.CheckNRL(models, h); err != nil {
-		return fmt.Errorf("NRL check failed: %w", err)
+	violation, partial := nrl.CheckWindowed(models, h, nrl.DefaultCheckBudget)
+	if violation != nil {
+		return fmt.Errorf("NRL check failed: %w", violation)
 	}
-	fmt.Fprintln(w, "\nNRL check: ok")
+	if partial {
+		fmt.Fprintln(w, "\nNRL check: ok (windowed prefix verdict; search budget hit)")
+	} else {
+		fmt.Fprintln(w, "\nNRL check: ok")
+	}
 	return nil
 }
 

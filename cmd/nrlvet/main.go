@@ -1,0 +1,178 @@
+// Command nrlvet statically enforces the repository's persist-and-
+// recovery discipline: the flush/fence ordering of DESIGN.md §5b, the
+// purity rules recovery code must obey, the store-ordering lattice
+// declared with nrl:persist-before annotations, trace attribution, and
+// the budgeted-checker conventions at the CLI boundary.
+//
+// Usage:
+//
+//	nrlvet [-json] [-a names] [-list] [packages...]
+//	nrlvet [-json] [-a names] -dir path
+//
+// Packages are go-list patterns (default "./..."); -dir analyzes a
+// single directory as one package, which also reaches testdata trees
+// that package patterns cannot name. Findings are suppressed by an
+// `//nrl:ignore <reason>` comment on the same line or the line above;
+// a reason-less ignore suppresses nothing and is itself a finding.
+//
+// Exit codes: 0 no findings, 1 findings reported, 3 usage or load error
+// (shared convention with nrlcheck and nrlchaos).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nrl/internal/analysis"
+)
+
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 3
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("nrlvet", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	names := fs.String("a", "", "comma-separated analyzer subset (default: the whole suite)")
+	list := fs.Bool("list", false, "list the suite's analyzers and exit")
+	dir := fs.String("dir", "", "analyze a single directory as one package (reaches testdata trees)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return exitClean
+	}
+
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlvet:", err)
+		return exitUsage
+	}
+
+	var pkgs []*analysis.Package
+	if *dir != "" {
+		if fs.NArg() > 0 {
+			fmt.Fprintln(errOut, "nrlvet: -dir and package patterns are mutually exclusive")
+			return exitUsage
+		}
+		root, err := analysis.ModuleRoot(".")
+		if err != nil {
+			fmt.Fprintln(errOut, "nrlvet:", err)
+			return exitUsage
+		}
+		pkg, err := analysis.LoadDir(root, *dir)
+		if err != nil {
+			fmt.Fprintln(errOut, "nrlvet:", err)
+			return exitUsage
+		}
+		pkgs = []*analysis.Package{pkg}
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		pkgs, err = analysis.LoadPatterns(".", patterns...)
+		if err != nil {
+			fmt.Fprintln(errOut, "nrlvet:", err)
+			return exitUsage
+		}
+	}
+
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlvet:", err)
+		return exitUsage
+	}
+
+	if *jsonOut {
+		if err := writeJSON(out, diags); err != nil {
+			fmt.Fprintln(errOut, "nrlvet:", err)
+			return exitUsage
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s:%d:%d: [%s/%s] %s\n",
+				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+				d.Analyzer, d.Rule, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "nrlvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return exitFindings
+	}
+	return exitClean
+}
+
+// selectAnalyzers resolves the -a subset, defaulting to the full suite.
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return analysis.Analyzers(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a := analysis.AnalyzerByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// jsonFinding is the stable wire shape of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Rule     string `json:"rule"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(out io.Writer, diags []analysis.Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			File:     relPath(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Rule:     d.Rule,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// relPath renders a position path relative to the working directory so
+// output is stable across checkouts (and golden-testable).
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

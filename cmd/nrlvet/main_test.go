@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func golden(t *testing.T, name string, wantCode int, args ...string) string {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	if code != wantCode {
+		t.Fatalf("run(%v) = exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			args, code, wantCode, out.String(), errOut.String())
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, out.Bytes(), want)
+	}
+	return out.String()
+}
+
+// TestSeededGolden: the seeded-violation fixture produces one stable
+// finding per represented analyzer and exits 1.
+func TestSeededGolden(t *testing.T) {
+	o := golden(t, "seeded", exitFindings, "-dir", "testdata/src/seeded")
+	for _, rule := range []string{"missed-flush", "flush-no-fence", "zero-attr", "order-violation", "empty-reason"} {
+		if !strings.Contains(o, rule) {
+			t.Errorf("text output missing rule %q:\n%s", rule, o)
+		}
+	}
+}
+
+// TestSeededJSONGolden: -json emits the same findings as a stable JSON
+// array that round-trips.
+func TestSeededJSONGolden(t *testing.T) {
+	o := golden(t, "seeded_json", exitFindings, "-json", "-dir", "testdata/src/seeded")
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Rule     string `json:"rule"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(o), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, o)
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Rule == "" || f.Message == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+	}
+}
+
+// TestCleanGolden: a conforming package produces no output and exits 0.
+func TestCleanGolden(t *testing.T) {
+	golden(t, "clean", exitClean, "-dir", "testdata/src/clean")
+}
+
+// TestListGolden: -list names every analyzer in the suite.
+func TestListGolden(t *testing.T) {
+	o := golden(t, "list", exitClean, "-list")
+	for _, name := range []string{"persistorder", "recoverypure", "witnessorder", "traceattr", "checkconv", "ignore"} {
+		if !strings.Contains(o, name) {
+			t.Errorf("-list output missing %q:\n%s", name, o)
+		}
+	}
+}
+
+// TestAnalyzerSubset: -a restricts the suite; only persistorder findings
+// surface from the seeded fixture.
+func TestAnalyzerSubset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-a", "persistorder", "-dir", "testdata/src/seeded"}, &out, &errOut); code != exitFindings {
+		t.Fatalf("exit %d, want %d\n%s", code, exitFindings, errOut.String())
+	}
+	o := out.String()
+	if !strings.Contains(o, "persistorder") {
+		t.Errorf("subset output missing persistorder findings:\n%s", o)
+	}
+	for _, absent := range []string{"traceattr", "witnessorder", "ignore/"} {
+		if strings.Contains(o, absent) {
+			t.Errorf("subset output leaked %q findings:\n%s", absent, o)
+		}
+	}
+}
+
+// TestUnknownAnalyzer: a bad -a name is a usage error.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-a", "nope"}, &out, &errOut); code != exitUsage {
+		t.Errorf("exit %d, want %d", code, exitUsage)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation:\n%s", errOut.String())
+	}
+}
+
+// TestDirAndPatternsConflict: -dir with patterns is a usage error.
+func TestDirAndPatternsConflict(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", "testdata/src/clean", "./..."}, &out, &errOut); code != exitUsage {
+		t.Errorf("exit %d, want %d", code, exitUsage)
+	}
+}
+
+// TestSelfPatterns: the driver over its own package is clean — the
+// repo-wide gate lives in internal/analysis's TestRepositoryClean.
+func TestSelfPatterns(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errOut); code != exitClean {
+		t.Errorf("exit %d, want %d\n%s%s", code, exitClean, out.String(), errOut.String())
+	}
+}

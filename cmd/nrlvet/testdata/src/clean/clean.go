@@ -1,0 +1,10 @@
+// Package clean conforms to every nrlvet rule: the empty-output golden.
+package clean
+
+import "nrl/internal/nvm"
+
+func persist(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+	m.Flush(a)
+	m.Fence()
+}

@@ -93,7 +93,7 @@ func run() error {
 		"vault": nrl.StackModel{},
 		"till":  nrl.StackModel{},
 	})
-	if err := nrl.CheckNRL(models, rec.History()); err != nil {
+	if err := nrl.CheckNRLBudget(models, rec.History(), nrl.DefaultCheckBudget); err != nil {
 		return fmt.Errorf("NRL check failed: %w", err)
 	}
 	fmt.Println("NRL check:        ok")

@@ -58,6 +58,7 @@ func run() error {
 	mem2 := nvm.New(nvm.WithMode(nvm.Buffered))
 	a := mem2.Alloc("x", 0)
 	mem2.Write(a, 99)
+	//nrl:ignore the missing fence is this example's point: it demonstrates the store being lost
 	mem2.Flush(a) // flush without fence: not yet durable
 	mem2.CrashAll()
 	fmt.Printf("flush-without-fence after power failure: x = %d (store lost, as real hardware allows)\n", mem2.Read(a))

@@ -73,7 +73,7 @@ func electionRound(seed int64, n int) (leader, crashes int, err error) {
 		return 0, 0, fmt.Errorf("winner register says %d, leader is %d", w, leaders[0])
 	}
 	models := func(obj string) nrl.Model { return nrl.TASModel{} }
-	if err := nrl.CheckNRL(models, rec.History()); err != nil {
+	if err := nrl.CheckNRLBudget(models, rec.History(), nrl.DefaultCheckBudget); err != nil {
 		return 0, 0, fmt.Errorf("NRL check failed: %w", err)
 	}
 	return leaders[0], inj.Crashes(), nil

@@ -95,7 +95,7 @@ func run() error {
 		"jobs":    nrl.QueueModel{},
 		"loglock": nrl.MutexModel{},
 	})
-	if err := nrl.CheckNRL(models, rec.History()); err != nil {
+	if err := nrl.CheckNRLBudget(models, rec.History(), nrl.DefaultCheckBudget); err != nil {
 		return fmt.Errorf("NRL check failed: %w", err)
 	}
 	fmt.Println("NRL check:        ok")

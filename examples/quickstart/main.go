@@ -51,7 +51,7 @@ func run() error {
 	h := rec.History()
 	fmt.Printf("history steps:      %d\n", h.Len())
 	models := nrl.Models(map[string]nrl.Model{"ctr": nrl.CounterModel{}})
-	if err := nrl.CheckNRL(models, h); err != nil {
+	if err := nrl.CheckNRLBudget(models, h, nrl.DefaultCheckBudget); err != nil {
 		return fmt.Errorf("NRL check failed: %w", err)
 	}
 	fmt.Println("NRL check:          ok (history is recoverable well-formed and N(H) is linearizable)")

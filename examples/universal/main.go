@@ -60,7 +60,7 @@ func run() error {
 		"board": nrl.QueueModel{},
 		"gauge": nrl.MaxRegisterModel{},
 	})
-	if err := nrl.CheckNRL(models, rec.History()); err != nil {
+	if err := nrl.CheckNRLBudget(models, rec.History(), nrl.DefaultCheckBudget); err != nil {
 		return fmt.Errorf("NRL check failed: %w", err)
 	}
 	fmt.Println("NRL check:        ok (both spec-derived objects)")

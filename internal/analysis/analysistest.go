@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// TB is the subset of *testing.T the golden-package harness needs,
+// declared locally so the framework does not link the testing package
+// into cmd/nrlvet.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantRe matches the expectation comments of a golden package:
+//
+//	c.Write(a, 1) // want "not followed by a flush"
+//	// want "first" "second"
+//
+// Each quoted string is a regexp; the diagnostics reported on that line
+// must match the expectations one-to-one (order-insensitively).
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunGolden loads the golden package at dir (relative to the calling
+// test's working directory; the module root is discovered from moduleDir)
+// and checks the analyzers' diagnostics against its `// want` comments.
+// It returns the diagnostics for any additional assertions.
+func RunGolden(t TB, moduleDir, dir string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkg, err := LoadDir(moduleDir, dir)
+	if err != nil {
+		t.Fatalf("loading golden package %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	// Collect expectations: file -> line -> regexps.
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(strings.TrimPrefix(text, "want "), -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	// Match diagnostics against expectations.
+	unmatched := map[key][]*regexp.Regexp{}
+	for k, v := range wants {
+		unmatched[k] = append([]*regexp.Regexp{}, v...)
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		res := unmatched[k]
+		found := false
+		for i, re := range res {
+			if re.MatchString(d.Message) || re.MatchString(d.Analyzer+"/"+d.Rule) {
+				unmatched[k] = append(res[:i], res[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s/%s] %s",
+				posStr(d.Pos), d.Analyzer, d.Rule, d.Message)
+		}
+	}
+	for k, res := range unmatched {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(k.file), k.line, re)
+		}
+	}
+	return diags
+}
+
+func posStr(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}

@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nrl/internal/analysis"
+)
+
+// moduleRoot is the repository root relative to this package's test
+// working directory; export data for golden-package imports is resolved
+// from the module's own build graph.
+const moduleRoot = "../.."
+
+func TestPersistOrder(t *testing.T) {
+	analysis.RunGolden(t, moduleRoot, "testdata/src/persistorder",
+		analysis.PersistOrder)
+}
+
+func TestRecoveryPure(t *testing.T) {
+	analysis.RunGolden(t, moduleRoot, "testdata/src/recoverypure",
+		analysis.RecoveryPure)
+}
+
+func TestWitnessOrder(t *testing.T) {
+	analysis.RunGolden(t, moduleRoot, "testdata/src/witnessorder",
+		analysis.WitnessOrder)
+}
+
+func TestTraceAttr(t *testing.T) {
+	analysis.RunGolden(t, moduleRoot, "testdata/src/traceattr",
+		analysis.TraceAttr)
+}
+
+func TestCheckConv(t *testing.T) {
+	analysis.RunGolden(t, moduleRoot, "testdata/src/checkconv",
+		analysis.CheckConv)
+}
+
+func TestIgnoreEngine(t *testing.T) {
+	// The full suite runs here: the golden package asserts both that
+	// reasoned ignores suppress persistorder findings and that the
+	// reason-less ignore surfaces alongside the finding it failed to
+	// suppress.
+	analysis.RunGolden(t, moduleRoot, "testdata/src/ignoretest",
+		analysis.Analyzers()...)
+}
+
+func TestAnalyzerByName(t *testing.T) {
+	for _, a := range analysis.Analyzers() {
+		if got := analysis.AnalyzerByName(a.Name); got != a {
+			t.Errorf("AnalyzerByName(%q) = %v, want the suite analyzer", a.Name, got)
+		}
+	}
+	if analysis.AnalyzerByName("nope") != nil {
+		t.Errorf("AnalyzerByName(nope) should be nil")
+	}
+}

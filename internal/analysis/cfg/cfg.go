@@ -1,0 +1,755 @@
+// Package cfg builds intra-function control-flow graphs over the Go
+// AST, specialised for this repository's recoverable-operation idiom.
+//
+// A generic statement-level CFG treats the `for { switch line { ... } }`
+// state machine that every Exec method uses as an opaque dynamic
+// dispatch: any case arm could follow any other, so every path-based
+// property degenerates to "anything can happen". This package refines
+// that machine: when a loop body is exactly a switch over an integer
+// variable with all-constant case values, it runs a small constant
+// propagation of the tag variable through each arm and wires dispatch
+// edges only to the arms the tag can actually hold — `line = 7` at the
+// end of an arm produces exactly one edge, to `case 7`. That recovers
+// the real program-order structure the persist-and-recovery analyzers
+// need (flush-before-return on every path, persist-before-publish).
+//
+// Blocks hold leaf nodes only (simple statements and the control
+// expressions of compound statements), so an analyzer can extract events
+// with a full ast.Inspect of each node without double-counting bodies.
+package cfg
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Block is a basic block: an ordered list of leaf AST nodes followed by
+// edges to successor blocks. A block with no successors that is not the
+// graph's Exit terminates abnormally (panic, os.Exit): paths through it
+// never return from the function.
+type Block struct {
+	// Nodes are simple statements or control expressions, in execution
+	// order. Each is safe to walk fully with ast.Inspect.
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Arm is non-nil when the block belongs to a recognised state
+	// machine's case arm (the arm entry and all its interior blocks).
+	Arm *Arm
+}
+
+// Arm describes one case arm of a recognised for/switch state machine.
+type Arm struct {
+	Clause *ast.CaseClause
+	// Values are the arm's constant case values (empty for default).
+	Values []int64
+	// Default marks the default clause.
+	Default bool
+	// Entry is the arm's entry block.
+	Entry *Block
+}
+
+// Machine describes a recognised `for { switch tag { ... } }` state
+// machine at the top level of a function body.
+type Machine struct {
+	Tag  *ast.Ident
+	Obj  types.Object // the tag variable's object
+	Arms []*Arm
+}
+
+// ArmFor returns the arm whose case values contain v, or nil.
+func (m *Machine) ArmFor(v int64) *Arm {
+	for _, a := range m.Arms {
+		for _, av := range a.Values {
+			if av == v {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// Graph is a function's control-flow graph.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // the single synthetic return target
+	Blocks []*Block
+
+	// Machine is non-nil when the function body's trailing statement is
+	// a recognised state machine.
+	Machine *Machine
+}
+
+type loopCtx struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+	// redispatch marks the state machine's loop: break/continue and
+	// falling off an arm re-enter the dispatcher.
+	redispatch bool
+}
+
+type builder struct {
+	info   *types.Info
+	graph  *Graph
+	cur    *Block
+	loops  []loopCtx
+	labels map[string]*Block // goto targets (best effort)
+	gotos  []struct {
+		from  *Block
+		label string
+	}
+	// machine dispatch state
+	machine       *Machine
+	redispatchers []*Block // blocks whose line-set decides their arm successors
+	curArm        *Arm
+}
+
+// Build constructs the CFG for fn's body. info may be nil, in which case
+// no state-machine refinement is attempted (case constants cannot be
+// evaluated) and switches dispatch conservatively.
+func Build(fn *ast.FuncDecl, info *types.Info) *Graph {
+	g := &Graph{}
+	b := &builder{info: info, graph: g, labels: map[string]*Block{}}
+	g.Exit = &Block{}
+	g.Entry = b.newBlock()
+	b.cur = g.Entry
+	if fn.Body != nil {
+		b.stmts(fn.Body.List)
+	}
+	// Falling off the end of a function returns.
+	b.edge(b.cur, g.Exit)
+	for _, gt := range b.gotos {
+		if t, ok := b.labels[gt.label]; ok {
+			b.edge(gt.from, t)
+		}
+	}
+	g.Blocks = append(g.Blocks, g.Exit)
+	g.Machine = b.machine
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Arm: b.curArm}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock seals cur and starts a fresh block reachable from it.
+func (b *builder) startBlock() *Block {
+	nb := b.newBlock()
+	b.edge(b.cur, nb)
+	b.cur = nb
+	return nb
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminates reports whether the expression statement unconditionally
+// ends control flow (panic or os.Exit).
+func terminates(s *ast.ExprStmt) bool {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminates(s) {
+			// Dead block for anything that syntactically follows.
+			b.cur = b.newBlock()
+		}
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.add(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.graph.Exit)
+		b.cur = b.newBlock()
+	case *ast.LabeledStmt:
+		lb := b.startBlock()
+		b.labels[s.Label.Name] = lb
+		b.labeledStmt(s.Label.Name, s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		b.add(s)
+	}
+}
+
+func (b *builder) labeledStmt(label string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	after := b.newBlock()
+
+	thenEntry := b.newBlock()
+	b.edge(head, thenEntry)
+	b.cur = thenEntry
+	b.stmts(s.Body.List)
+	b.edge(b.cur, after)
+
+	if s.Else != nil {
+		elseEntry := b.newBlock()
+		b.edge(head, elseEntry)
+		b.cur = elseEntry
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	// Top-level `for { switch tag { ... } }` state machine?
+	if m := b.recognizeMachine(s); m != nil {
+		b.buildMachine(s, m)
+		return
+	}
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.startBlock()
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	post := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: post})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.edge(b.cur, post)
+	if s.Post != nil {
+		post.Nodes = append(post.Nodes, s.Post)
+	}
+	b.edge(post, head)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X)
+	head := b.startBlock()
+	after := b.newBlock()
+	b.edge(head, after) // empty range
+	body := b.newBlock()
+	b.edge(head, body)
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+	b.caseClauses(s.Body.List, head, after)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.cur
+	after := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+	b.caseClauses(s.Body.List, head, after)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+// caseClauses wires head -> each clause body -> after, handling
+// fallthrough and the implicit no-match edge.
+func (b *builder) caseClauses(clauses []ast.Stmt, head, after *Block) {
+	entries := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		entries[i] = b.newBlock()
+		b.edge(head, entries[i])
+	}
+	for i, cs := range clauses {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = entries[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(entries) {
+			b.edge(b.cur, entries[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	after := b.newBlock()
+	b.loops = append(b.loops, loopCtx{breakTo: after})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		entry := b.newBlock()
+		b.edge(head, entry)
+		b.cur = entry
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	find := func(cont bool) *loopCtx {
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			l := &b.loops[i]
+			if cont && l.continueTo == nil && !l.redispatch {
+				continue // plain switch: continue binds to enclosing loop
+			}
+			if label == "" || l.label == label {
+				return l
+			}
+		}
+		return nil
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if l := find(false); l != nil {
+			if l.redispatch {
+				b.markRedispatch(b.cur)
+			} else {
+				b.edge(b.cur, l.breakTo)
+			}
+		}
+		b.cur = b.newBlock()
+	case token.CONTINUE:
+		if l := find(true); l != nil {
+			if l.redispatch {
+				b.markRedispatch(b.cur)
+			} else {
+				b.edge(b.cur, l.continueTo)
+			}
+		}
+		b.cur = b.newBlock()
+	case token.GOTO:
+		b.gotos = append(b.gotos, struct {
+			from  *Block
+			label string
+		}{b.cur, label})
+		b.cur = b.newBlock()
+	}
+}
+
+// ---- state machine recognition and construction ----
+
+// recognizeMachine reports a Machine when s is `for { switch tag {...} }`
+// with an identifier tag and all-constant integer case values.
+func (b *builder) recognizeMachine(s *ast.ForStmt) *Machine {
+	if b.info == nil || b.machine != nil {
+		return nil
+	}
+	if s.Init != nil || s.Cond != nil || s.Post != nil || len(s.Body.List) != 1 {
+		return nil
+	}
+	sw, ok := s.Body.List[0].(*ast.SwitchStmt)
+	if !ok || sw.Init != nil {
+		return nil
+	}
+	tag, ok := sw.Tag.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := b.info.ObjectOf(tag)
+	if obj == nil {
+		return nil
+	}
+	m := &Machine{Tag: tag, Obj: obj}
+	for _, cs := range sw.Body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			return nil
+		}
+		arm := &Arm{Clause: cc, Default: cc.List == nil}
+		for _, e := range cc.List {
+			tv, ok := b.info.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return nil
+			}
+			v, ok := constant.Int64Val(tv.Value)
+			if !ok {
+				return nil
+			}
+			arm.Values = append(arm.Values, v)
+		}
+		m.Arms = append(m.Arms, arm)
+	}
+	if len(m.Arms) == 0 {
+		return nil
+	}
+	return m
+}
+
+func (b *builder) markRedispatch(blk *Block) {
+	for _, r := range b.redispatchers {
+		if r == blk {
+			return
+		}
+	}
+	b.redispatchers = append(b.redispatchers, blk)
+}
+
+// buildMachine builds per-arm sub-CFGs and wires dispatch edges by
+// propagating the possible values of the tag variable to each point that
+// re-enters the dispatcher.
+func (b *builder) buildMachine(s *ast.ForStmt, m *Machine) {
+	b.machine = m
+	b.redispatchers = nil
+
+	// The block reaching the machine dispatches on the tag's incoming
+	// value, which is unknown (the Exec entry line): edge to every arm.
+	entryFrom := b.cur
+
+	b.loops = append(b.loops, loopCtx{redispatch: true})
+	for _, arm := range m.Arms {
+		b.curArm = arm
+		arm.Entry = b.newBlock()
+		b.cur = arm.Entry
+		fellThrough := false
+		for _, st := range arm.Clause.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fellThrough = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if fellThrough {
+			// Rare; treat as redispatch-to-anything.
+			b.markRedispatch(b.cur)
+		} else if b.cur != nil {
+			// Falling off the arm re-enters the dispatcher.
+			b.markRedispatch(b.cur)
+		}
+		b.curArm = nil
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+
+	for _, arm := range m.Arms {
+		b.edge(entryFrom, arm.Entry)
+	}
+
+	// Constant-propagate the tag through each arm's sub-CFG and connect
+	// redispatch points to the arms their line-set selects.
+	sets := b.propagateTag(m)
+	for _, r := range b.redispatchers {
+		set, known := sets[r]
+		if !known || set == nil { // TOP: all arms possible
+			for _, arm := range m.Arms {
+				b.edge(r, arm.Entry)
+			}
+			continue
+		}
+		matched := false
+		for v := range set {
+			if arm := m.ArmFor(v); arm != nil {
+				b.edge(r, arm.Entry)
+				matched = true
+			} else if def := defaultArm(m); def != nil {
+				b.edge(r, def.Entry)
+				matched = true
+			}
+		}
+		if !matched {
+			// Empty set (unreachable redispatch): leave terminal.
+			_ = r
+		}
+	}
+
+	// After the infinite loop nothing follows; a fresh dead block
+	// receives any syntactically trailing statements.
+	b.cur = b.newBlock()
+}
+
+func defaultArm(m *Machine) *Arm {
+	for _, a := range m.Arms {
+		if a.Default {
+			return a
+		}
+	}
+	return nil
+}
+
+// propagateTag runs a forward may-value analysis of the tag variable over
+// each arm's blocks. nil set = TOP (unknown). The returned map gives the
+// out-set of every block.
+func (b *builder) propagateTag(m *Machine) map[*Block]map[int64]bool {
+	in := map[*Block]map[int64]bool{}
+	out := map[*Block]map[int64]bool{}
+	seeded := map[*Block]bool{}
+	for _, arm := range m.Arms {
+		var seed map[int64]bool
+		if !arm.Default && len(arm.Values) > 0 {
+			seed = map[int64]bool{}
+			for _, v := range arm.Values {
+				seed[v] = true
+			}
+		}
+		in[arm.Entry] = seed // nil for default = TOP
+		seeded[arm.Entry] = true
+	}
+
+	// Arm-interior blocks are exactly those with non-nil Arm.
+	var armBlocks []*Block
+	for _, blk := range b.graph.Blocks {
+		if blk.Arm != nil {
+			armBlocks = append(armBlocks, blk)
+		}
+	}
+	preds := map[*Block][]*Block{}
+	for _, blk := range armBlocks {
+		for _, s := range blk.Succs {
+			if s.Arm != nil {
+				preds[s] = append(preds[s], blk)
+			}
+		}
+	}
+
+	union := func(a, bs map[int64]bool) map[int64]bool {
+		if a == nil || bs == nil {
+			return nil // TOP
+		}
+		u := map[int64]bool{}
+		for v := range a {
+			u[v] = true
+		}
+		for v := range bs {
+			u[v] = true
+		}
+		return u
+	}
+	equal := func(a, bs map[int64]bool) bool {
+		if (a == nil) != (bs == nil) || len(a) != len(bs) {
+			return false
+		}
+		for v := range a {
+			if !bs[v] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range armBlocks {
+			newIn := in[blk]
+			if !seeded[blk] {
+				first := true
+				for _, p := range preds[blk] {
+					if o, ok := out[p]; ok {
+						if first {
+							newIn = o
+							first = false
+						} else {
+							newIn = union(newIn, o)
+						}
+					}
+				}
+				if first {
+					newIn = map[int64]bool{} // no predecessor info yet
+				}
+			}
+			newOut := b.transferTag(m, blk, newIn)
+			if !equal(in[blk], newIn) || !equal(out[blk], newOut) {
+				in[blk], out[blk] = newIn, newOut
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// transferTag applies blk's assignments to the tag variable to set.
+func (b *builder) transferTag(m *Machine, blk *Block, set map[int64]bool) map[int64]bool {
+	cur := set
+	for _, n := range blk.Nodes {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || b.info.ObjectOf(id) != m.Obj {
+					continue
+				}
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				cur = assignTag(b.info, s.Tok, rhs, cur)
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok && b.info.ObjectOf(id) == m.Obj {
+				if cur == nil {
+					continue
+				}
+				delta := int64(1)
+				if s.Tok == token.DEC {
+					delta = -1
+				}
+				next := map[int64]bool{}
+				for v := range cur {
+					next[v+delta] = true
+				}
+				cur = next
+			}
+		}
+	}
+	return cur
+}
+
+func assignTag(info *types.Info, tok token.Token, rhs ast.Expr, cur map[int64]bool) map[int64]bool {
+	if rhs == nil {
+		return nil
+	}
+	tv, ok := info.Types[rhs]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return nil // unknown value: TOP
+	}
+	k, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return nil
+	}
+	switch tok {
+	case token.ASSIGN, token.DEFINE:
+		return map[int64]bool{k: true}
+	case token.ADD_ASSIGN:
+		if cur == nil {
+			return nil
+		}
+		next := map[int64]bool{}
+		for v := range cur {
+			next[v+k] = true
+		}
+		return next
+	case token.SUB_ASSIGN:
+		if cur == nil {
+			return nil
+		}
+		next := map[int64]bool{}
+		for v := range cur {
+			next[v-k] = true
+		}
+		return next
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parse typechecks src (a full file) and returns fn's declaration.
+func parse(t *testing.T, src, fn string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	conf.Check("p", fset, []*ast.File{f}, info) // errors tolerated: no imports used
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd, info
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// callsIn lists the function names called within a block, in order.
+func callsIn(b *Block) []string {
+	var out []string
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok {
+					out = append(out, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// reachable walks successors from b collecting every call name seen.
+func reachable(b *Block) map[string]bool {
+	seen := map[*Block]bool{}
+	calls := map[string]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, c := range callsIn(b) {
+			calls[c] = true
+		}
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(b)
+	return calls
+}
+
+func TestLinearFlow(t *testing.T) {
+	fn, info := parse(t, `package p
+func a() {}
+func b() {}
+func f() { a(); b() }
+`, "f")
+	g := Build(fn, info)
+	calls := reachable(g.Entry)
+	if !calls["a"] || !calls["b"] {
+		t.Fatalf("calls = %v, want a and b", calls)
+	}
+	if g.Machine != nil {
+		t.Fatal("unexpected machine")
+	}
+}
+
+func TestIfBranchesRejoin(t *testing.T) {
+	fn, info := parse(t, `package p
+func a() {}
+func b() {}
+func c() {}
+func f(x bool) {
+	if x {
+		a()
+	} else {
+		b()
+	}
+	c()
+}
+`, "f")
+	g := Build(fn, info)
+	// Both branch bodies must reach c(), and neither must reach the other.
+	var aBlk *Block
+	for _, blk := range g.Blocks {
+		for _, name := range callsIn(blk) {
+			if name == "a" {
+				aBlk = blk
+			}
+		}
+	}
+	if aBlk == nil {
+		t.Fatal("no block calls a")
+	}
+	r := reachable(aBlk)
+	if !r["c"] {
+		t.Error("a's block should reach c")
+	}
+	if r["b"] {
+		t.Error("a's block should not reach b")
+	}
+}
+
+func TestReturnStopsFlow(t *testing.T) {
+	fn, info := parse(t, `package p
+func a() {}
+func b() {}
+func f(x bool) {
+	if x {
+		a()
+		return
+	}
+	b()
+}
+`, "f")
+	g := Build(fn, info)
+	var aBlk *Block
+	for _, blk := range g.Blocks {
+		for _, name := range callsIn(blk) {
+			if name == "a" {
+				aBlk = blk
+			}
+		}
+	}
+	if r := reachable(aBlk); r["b"] {
+		t.Error("code after return should be unreachable from a")
+	}
+}
+
+const machineSrc = `package p
+func stepA() {}
+func stepB() {}
+func stepC() {}
+func recov() {}
+func f(line int) int {
+	for {
+		switch line {
+		case 1:
+			stepA()
+			line = 2
+		case 2:
+			stepB()
+			line = 3
+		case 3:
+			stepC()
+			return 0
+		case 9:
+			recov()
+			line = 1
+		default:
+			panic("bad line")
+		}
+	}
+}
+`
+
+func TestMachineRecognized(t *testing.T) {
+	fn, info := parse(t, machineSrc, "f")
+	g := Build(fn, info)
+	if g.Machine == nil {
+		t.Fatal("state machine not recognized")
+	}
+	if len(g.Machine.Arms) != 5 {
+		t.Fatalf("arms = %d, want 5", len(g.Machine.Arms))
+	}
+	if g.Machine.ArmFor(9) == nil || g.Machine.ArmFor(2) == nil {
+		t.Fatal("missing arm lookup")
+	}
+}
+
+func TestMachineDispatchIsRefined(t *testing.T) {
+	fn, info := parse(t, machineSrc, "f")
+	g := Build(fn, info)
+	// From arm 1 (line = 2) the only dispatch successor is arm 2: stepA's
+	// block must reach stepB and stepC, and must NOT reach recov.
+	arm1 := g.Machine.ArmFor(1)
+	r := reachable(arm1.Entry)
+	if !r["stepB"] || !r["stepC"] {
+		t.Errorf("arm 1 should reach stepB and stepC: %v", r)
+	}
+	if r["recov"] {
+		t.Error("arm 1 must not dispatch to the recovery arm (line is 2)")
+	}
+	// From arm 9 (line = 1) everything is reachable again.
+	arm9 := g.Machine.ArmFor(9)
+	if r := reachable(arm9.Entry); !r["stepA"] {
+		t.Error("recovery arm should dispatch back to arm 1")
+	}
+	// Function entry dispatches everywhere (the entry line is unknown).
+	if r := reachable(g.Entry); !r["recov"] || !r["stepA"] {
+		t.Error("entry should reach every arm")
+	}
+}
+
+func TestMachineContinueRedispatches(t *testing.T) {
+	fn, info := parse(t, `package p
+func a() {}
+func b() {}
+func c() {}
+func f(line int, x bool) int {
+	for {
+		switch line {
+		case 1:
+			a()
+			if x {
+				line = 3
+				continue
+			}
+			line = 2
+		case 2:
+			b()
+			return 0
+		case 3:
+			c()
+			return 1
+		}
+	}
+}
+`, "f")
+	g := Build(fn, info)
+	arm1 := g.Machine.ArmFor(1)
+	r := reachable(arm1.Entry)
+	if !r["b"] || !r["c"] {
+		t.Errorf("arm 1 should reach both arm 2 and arm 3: %v", r)
+	}
+	arm3 := g.Machine.ArmFor(3)
+	if r := reachable(arm3.Entry); r["a"] || r["b"] {
+		t.Errorf("arm 3 returns; it should reach nothing else: %v", r)
+	}
+}
+
+func TestMachineIncrementedTag(t *testing.T) {
+	fn, info := parse(t, `package p
+func a() {}
+func b() {}
+func x() {}
+func f(line int) int {
+	for {
+		switch line {
+		case 10, 18:
+			a()
+			line++
+		case 11, 19:
+			b()
+			return 0
+		case 30:
+			x()
+			return 1
+		}
+	}
+}
+`, "f")
+	g := Build(fn, info)
+	armA := g.Machine.ArmFor(10)
+	r := reachable(armA.Entry)
+	if !r["b"] {
+		t.Error("line++ from {10,18} should dispatch to the {11,19} arm")
+	}
+	if r["x"] {
+		t.Error("line++ from {10,18} must not reach case 30")
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	fn, info := parse(t, `package p
+func a() {}
+func b() {}
+func f(x bool) {
+	if x {
+		a()
+		panic("dead")
+	}
+	b()
+}
+`, "f")
+	g := Build(fn, info)
+	var aBlk *Block
+	for _, blk := range g.Blocks {
+		for _, n := range callsIn(blk) {
+			if n == "a" {
+				aBlk = blk
+			}
+		}
+	}
+	if r := reachable(aBlk); r["b"] {
+		t.Error("panic should stop flow before b")
+	}
+}
+
+func TestInnerLoopInsideArm(t *testing.T) {
+	fn, info := parse(t, `package p
+func a() {}
+func fence() {}
+func f(line, n int) int {
+	for {
+		switch line {
+		case 1:
+			for i := 0; i < n; i++ {
+				a()
+			}
+			fence()
+			return 0
+		}
+	}
+}
+`, "f")
+	g := Build(fn, info)
+	var aBlk *Block
+	for _, blk := range g.Blocks {
+		for _, nm := range callsIn(blk) {
+			if nm == "a" {
+				aBlk = blk
+			}
+		}
+	}
+	if aBlk == nil {
+		t.Fatal("no block calls a")
+	}
+	if r := reachable(aBlk); !r["fence"] {
+		t.Error("inner loop body should reach the fence after the loop")
+	}
+}
+
+func TestNoInfoNoMachine(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", strings.ReplaceAll(machineSrc, "\t", "    "), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	g := Build(fn, nil)
+	if g.Machine != nil {
+		t.Fatal("machine refinement requires type info")
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CheckConv enforces the PR 2/PR 3 checking conventions at the tool
+// boundary. The WGL checker is exponential in history width; the chaos
+// campaigns learned this the hard way and grew budgets and the windowed
+// fallback. Commands must not regress to the raw entry points:
+//
+//   - raw-check: a main package calls an unbudgeted checker (CheckNRL,
+//     Check, CheckLinearizable, the atomicity conditions, CheckObject).
+//     A hostile or merely wide history hangs the CLI; use CheckNRLBudget
+//     (or chaos.CheckWindowed for campaign-sized histories) with an
+//     explicit budget such as chaos.DefaultCheckBudget.
+//   - budget-discard: any code calls a checker and drops the result.
+//     The error IS the verdict — a discarded check certifies nothing.
+var CheckConv = &Analyzer{
+	Name: "checkconv",
+	Doc:  "commands must use budgeted checkers and consume their verdicts",
+	Run:  runCheckConv,
+}
+
+// checkerPkgs are the packages whose Check* entry points the rules
+// recognise, whether reached directly or through the nrl facade vars.
+var checkerPkgs = map[string]bool{
+	"nrl":                    true,
+	"nrl/internal/linearize": true,
+	"nrl/internal/chaos":     true,
+}
+
+// unbudgetedCheckers hang on wide histories; budgetedCheckers bound the
+// WGL search and return ErrSearchBudget instead.
+var (
+	unbudgetedCheckers = map[string]bool{
+		"Check":                      true,
+		"CheckNRL":                   true,
+		"CheckLinearizable":          true,
+		"CheckStrictLinearizability": true,
+		"CheckPersistentAtomicity":   true,
+		"CheckTransientAtomicity":    true,
+		"CheckObject":                true,
+	}
+	budgetedCheckers = map[string]bool{
+		"CheckNRLBudget":    true,
+		"CheckBudget":       true,
+		"CheckObjectBudget": true,
+		"CheckWindowed":     true,
+	}
+)
+
+// checkerCall resolves a call to a recognised checker name, handling
+// both real functions (linearize.CheckNRL) and the nrl facade, whose
+// exports are package-level func-typed variables (nrl.CheckNRL).
+func checkerCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(fun.Sel)
+	}
+	if obj == nil || obj.Pkg() == nil || !checkerPkgs[obj.Pkg().Path()] {
+		return "", false
+	}
+	switch obj.(type) {
+	case *types.Func, *types.Var:
+		name := obj.Name()
+		if unbudgetedCheckers[name] || budgetedCheckers[name] {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func runCheckConv(p *Pass) error {
+	isMain := p.Pkg.Name() == "main"
+
+	// budget-discard: checker calls whose result is thrown away, either
+	// as a bare expression statement or assigned entirely to blanks.
+	discarded := map[*ast.CallExpr]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					discarded[call] = true
+				}
+			case *ast.AssignStmt:
+				allBlank := len(s.Rhs) == 1
+				for _, lhs := range s.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if allBlank {
+					if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+						discarded[call] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := checkerCall(p.Info, call)
+			if !ok {
+				return true
+			}
+			if discarded[call] {
+				p.Reportf(call.Pos(), "budget-discard",
+					"result of %s is discarded; the returned error is the verdict — handle it or the check certifies nothing", name)
+				return true
+			}
+			if isMain && unbudgetedCheckers[name] {
+				p.Reportf(call.Pos(), "raw-check",
+					"main package calls unbudgeted %s, which can hang on wide histories; use CheckNRLBudget (or chaos.CheckWindowed) with an explicit budget such as chaos.DefaultCheckBudget", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The `//nrl:ignore <reason>` escape hatch: a finding is suppressed by a
+// trailing comment on its line or a standalone comment on the line
+// immediately above. The reason is mandatory twice over: a reason-less
+// ignore suppresses nothing, and the Ignore analyzer reports it, so
+// every suppression in the tree names its justification.
+
+const ignoreName = "ignore"
+
+const ignorePrefix = "nrl:ignore"
+
+// ignoreComment extracts the reason of an nrl:ignore comment, with
+// ok=false when the comment is not an nrl:ignore at all.
+func ignoreComment(text string) (reason string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix)), true
+}
+
+type ignoreSet struct {
+	// lines maps file -> line -> true for every nrl:ignore comment.
+	lines map[string]map[int]bool
+}
+
+func collectIgnores(pkg *Package) *ignoreSet {
+	ig := &ignoreSet{lines: map[string]map[int]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// A reason-less ignore suppresses nothing: the escape
+				// hatch only opens when the justification is written down.
+				if reason, ok := ignoreComment(c.Text); !ok || reason == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := ig.lines[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					ig.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return ig
+}
+
+// suppressed reports whether a diagnostic at pos is covered by an
+// nrl:ignore on the same line or the line immediately above.
+func (ig *ignoreSet) suppressed(pos token.Position) bool {
+	m := ig.lines[pos.Filename]
+	if m == nil {
+		return false
+	}
+	return m[pos.Line] || m[pos.Line-1]
+}
+
+// Ignore verifies the escape hatch itself: every `//nrl:ignore` must
+// carry a non-empty reason.
+var Ignore = &Analyzer{
+	Name: ignoreName,
+	Doc:  "nrl:ignore comments must state a non-empty reason",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					reason, ok := ignoreComment(c.Text)
+					if ok && reason == "" {
+						p.Reportf(c.Pos(), "empty-reason",
+							"nrl:ignore must state a reason (//nrl:ignore <why this finding is a false positive>)")
+					}
+				}
+			}
+		}
+		return nil
+	},
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Dir        string
+	ImportPath string
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// goList runs `go list -json -deps -export` for patterns in dir.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard", "-deps", "-export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errOut.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths through compiled export data.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// LoadPatterns loads and typechecks the packages matching the go-list
+// patterns (e.g. "./..."), resolved relative to dir. Each analyzed
+// package is typechecked from source; its imports come from export data
+// produced by the go command, so the repository must build.
+func LoadPatterns(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Fset: fset, Files: files, Pkg: pkg, Info: info,
+			Dir: t.Dir, ImportPath: t.ImportPath,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// ModuleRoot resolves the root directory of the module enclosing dir,
+// so drivers can hand LoadDir an export map covering the whole module
+// regardless of which package they were launched from.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go list -m: %v\n%s", err, errOut.String())
+	}
+	return strings.TrimSpace(out.String()), nil
+}
+
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string
+	exportErr  error
+)
+
+// moduleExports returns the export-data map for every package in the
+// module's build graph, built once per process. moduleDir may be any
+// directory inside the module.
+func moduleExports(moduleDir string) (map[string]string, error) {
+	exportOnce.Do(func() {
+		listed, err := goList(moduleDir, []string{"./..."})
+		if err != nil {
+			exportErr = err
+			return
+		}
+		exportMap = map[string]string{}
+		for _, p := range listed {
+			if p.Export != "" {
+				exportMap[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return exportMap, exportErr
+}
+
+// LoadDir parses and typechecks the single package rooted at dir (all
+// non-test .go files), resolving imports through the enclosing module's
+// export data. It is the loader for analysistest golden packages, which
+// live under testdata/ and are invisible to `go list ./...`.
+func LoadDir(moduleDir, dir string) (*Package, error) {
+	exports, err := moduleExports(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: exportImporter(fset, exports)}
+	path := filepath.Base(dir)
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", dir, err)
+	}
+	return &Package{
+		Fset: fset, Files: files, Pkg: pkg, Info: info,
+		Dir: dir, ImportPath: path,
+	}, nil
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"nrl/internal/analysis/cfg"
+)
+
+// opMachine is one recoverable operation's Exec state machine paired
+// with the line geometry declared by its Info() method: the normal entry
+// line and the recovery entry line of proc.OpInfo.
+type opMachine struct {
+	fn           *ast.FuncDecl
+	machine      *cfg.Machine
+	graph        *cfg.Graph
+	entry        int64
+	recoverEntry int64
+}
+
+// recoveryArm reports whether an arm is recovery-only code: every case
+// value is at or past the recovery entry. Arms that serve both regimes
+// (`case 10, 18:`) are neither normal nor recovery and are exempt from
+// the recovery-purity rules.
+func (m *opMachine) recoveryArm(a *cfg.Arm) bool {
+	if a.Default || len(a.Values) == 0 {
+		return false
+	}
+	for _, v := range a.Values {
+		if v < m.recoverEntry {
+			return false
+		}
+	}
+	return true
+}
+
+// normalArm reports whether an arm is pre-crash code only.
+func (m *opMachine) normalArm(a *cfg.Arm) bool {
+	if a.Default || len(a.Values) == 0 {
+		return false
+	}
+	for _, v := range a.Values {
+		if v >= m.recoverEntry {
+			return false
+		}
+	}
+	return true
+}
+
+// receiverTypeName returns the name of fn's receiver base type, or "".
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// opInfoEntries extracts the Entry and RecoverEntry constants from an
+// Info() method returning a proc.OpInfo composite literal.
+func opInfoEntries(p *Pass, fn *ast.FuncDecl) (entry, recover int64, ok bool) {
+	if fn.Name.Name != "Info" || fn.Body == nil {
+		return 0, 0, false
+	}
+	for _, st := range fn.Body.List {
+		ret, isRet := st.(*ast.ReturnStmt)
+		if !isRet || len(ret.Results) != 1 {
+			continue
+		}
+		lit, isLit := ast.Unparen(ret.Results[0]).(*ast.CompositeLit)
+		if !isLit {
+			continue
+		}
+		var haveE, haveR bool
+		for _, el := range lit.Elts {
+			kv, isKV := el.(*ast.KeyValueExpr)
+			if !isKV {
+				continue
+			}
+			key, isIdent := kv.Key.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			tv, found := p.Info.Types[kv.Value]
+			if !found || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				continue
+			}
+			v, exact := constant.Int64Val(tv.Value)
+			if !exact {
+				continue
+			}
+			switch key.Name {
+			case "Entry":
+				entry, haveE = v, true
+			case "RecoverEntry":
+				recover, haveR = v, true
+			}
+		}
+		if haveE && haveR {
+			return entry, recover, true
+		}
+	}
+	return 0, 0, false
+}
+
+// findOpMachines pairs every Exec state machine in the package with the
+// line geometry from the sibling Info() method on the same receiver.
+func findOpMachines(p *Pass) []*opMachine {
+	type entries struct {
+		entry, recover int64
+	}
+	infoByRecv := map[string]entries{}
+	var execs []*ast.FuncDecl
+	for _, fn := range funcDecls(p) {
+		recv := receiverTypeName(fn)
+		if recv == "" {
+			continue
+		}
+		if e, r, ok := opInfoEntries(p, fn); ok {
+			infoByRecv[recv] = entries{e, r}
+			continue
+		}
+		if fn.Name.Name == "Exec" {
+			execs = append(execs, fn)
+		}
+	}
+	var out []*opMachine
+	for _, fn := range execs {
+		ent, ok := infoByRecv[receiverTypeName(fn)]
+		if !ok || ent.recover <= ent.entry {
+			continue
+		}
+		g := cfg.Build(fn, p.Info)
+		if g.Machine == nil {
+			continue
+		}
+		out = append(out, &opMachine{
+			fn: fn, machine: g.Machine, graph: g,
+			entry: ent.entry, recoverEntry: ent.recover,
+		})
+	}
+	return out
+}

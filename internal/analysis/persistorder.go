@@ -1,0 +1,80 @@
+package analysis
+
+// PersistOrder enforces the flush-then-fence half of the buffered-mode
+// persist discipline (DESIGN.md §5b, NVTraverse's flush/fence ordering):
+//
+//   - flush-no-fence: a flushed address whose flush can reach a return
+//     without an intervening fence is not durable — the flush alone only
+//     schedules write-back. Persist/persistBuffered count as fenced.
+//   - missed-flush: within a function that persists an address at all,
+//     every store to that address must be followed by a flush of it on
+//     every path to return. A function that persists A on one branch but
+//     stores A and returns on another has a window where a power failure
+//     un-linearizes a completed operation. Addresses are matched by
+//     source text; functions that never flush an address make no claim
+//     about it (the paper's per-process crash model needs no persistence
+//     instructions, and helping-matrix writes are deliberately left to
+//     the reader's fence).
+//
+// RMW witnesses (CAS/TAS/FAA) are not treated as stores here: only a
+// *successful* installation needs persisting, which is a branch-level
+// property the witnessorder lattice covers.
+var PersistOrder = &Analyzer{
+	Name: "persistorder",
+	Doc:  "nvm stores on paths to a return must be flushed and fenced",
+	Run:  runPersistOrder,
+}
+
+func runPersistOrder(p *Pass) error {
+	for _, fn := range funcDecls(p) {
+		be := functionEvents(p.Info, fn)
+		events := be.all()
+		if len(events) == 0 {
+			continue
+		}
+
+		// Addresses this function ever flushes, by source text.
+		flushed := map[string]bool{}
+		for _, e := range events {
+			if e.Flushes() {
+				for _, a := range e.Addrs {
+					flushed[exprText(p.Fset, a)] = true
+				}
+			}
+		}
+
+		for _, e := range events {
+			switch {
+			case e.Kind == EvWrite:
+				addr := exprText(p.Fset, e.Addrs[0])
+				if !flushed[addr] {
+					continue
+				}
+				ok := be.followedOnAllPaths(e, func(f *Event) bool {
+					if !f.Flushes() {
+						return false
+					}
+					for _, a := range f.Addrs {
+						if exprText(p.Fset, a) == addr {
+							return true
+						}
+					}
+					return false
+				})
+				if !ok {
+					p.Reportf(e.Pos, "missed-flush",
+						"store to %s can reach a return without a flush of it, but this function persists %s elsewhere; flush+fence the store or it is lost on power failure", addr, addr)
+				}
+			case e.Kind == EvFlush:
+				// Bare flush: needs a fence on every path to return.
+				addr := exprText(p.Fset, e.Addrs[0])
+				ok := be.followedOnAllPaths(e, func(f *Event) bool { return f.Fences() })
+				if !ok {
+					p.Reportf(e.Pos, "flush-no-fence",
+						"flush of %s can reach a return without a fence; the flush alone does not make the store durable", addr)
+				}
+			}
+		}
+	}
+	return nil
+}

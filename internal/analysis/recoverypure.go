@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"nrl/internal/analysis/cfg"
+)
+
+// RecoveryPure enforces the purity discipline of RECOVER code ("Tracking
+// in Order to Recover", and the paper's requirement that a recovery
+// function may consult only the persistent checkpoint — LI, NVM reads,
+// persisted response areas — never process state that died with the
+// crash):
+//
+//   - volatile-read: a recovery arm of an Exec state machine reads a
+//     function-level local whose value was produced by a normal
+//     (pre-crash) arm. After a crash those locals are re-initialised;
+//     trusting them re-executes with stale state. The arm must re-derive
+//     the value from NVM, LI, or a persisted response area first.
+//   - step-in-recovery: recovery arms must report progress through
+//     RecStep, not Step — Step advances the linearization-instruction
+//     checkpoint and would corrupt nested recovery accounting.
+//   - nonrecoverable-call: recovery re-executes deterministically;
+//     wall-clock and process-randomness primitives (time.Now, math/rand,
+//     os.Getpid) diverge across incarnations and are banned in recovery
+//     arms.
+//
+// Arms serving both regimes (`case 10, 18:`) are exempt: they dispatch
+// on the live line value and are re-entrant by construction.
+var RecoveryPure = &Analyzer{
+	Name: "recoverypure",
+	Doc:  "recovery code must not consult pre-crash volatile state",
+	Run:  runRecoveryPure,
+}
+
+// volatilePrimitives maps package path -> banned functions ("" = all).
+var volatilePrimitives = map[string]map[string]bool{
+	"time":      {"Now": true, "Since": true, "Until": true},
+	"math/rand": nil, // entire package
+	"os":        {"Getpid": true},
+}
+
+func runRecoveryPure(p *Pass) error {
+	for _, m := range findOpMachines(p) {
+		checkVolatileReads(p, m)
+		checkRecoveryCalls(p, m)
+	}
+	return nil
+}
+
+func checkVolatileReads(p *Pass, m *opMachine) {
+	tagObj := p.Info.ObjectOf(m.machine.Tag)
+
+	// Locals assigned by normal arms = state a crash discards.
+	normalAssigned := map[types.Object]bool{}
+	for _, arm := range m.machine.Arms {
+		if !m.normalArm(arm) {
+			continue
+		}
+		forEachAssignedObj(p.Info, arm.Clause, func(obj types.Object, _ token.Pos) {
+			normalAssigned[obj] = true
+		})
+	}
+
+	fnScopeVars := preambleLocals(p, m)
+
+	for _, arm := range m.machine.Arms {
+		if !m.recoveryArm(arm) {
+			continue
+		}
+		// Assignments within this recovery arm, by end position: a read
+		// after a same-arm assignment is re-derived state, not stale.
+		assignedAt := map[types.Object][]token.Pos{}
+		forEachAssignedObj(p.Info, arm.Clause, func(obj types.Object, end token.Pos) {
+			assignedAt[obj] = append(assignedAt[obj], end)
+		})
+
+		forEachRead(p.Info, arm.Clause, func(id *ast.Ident, obj types.Object) {
+			if obj == tagObj || !fnScopeVars[obj] || !normalAssigned[obj] {
+				return
+			}
+			for _, end := range assignedAt[obj] {
+				if end <= id.Pos() {
+					return // re-derived within the recovery arm
+				}
+			}
+			p.Reportf(id.Pos(), "volatile-read",
+				"recovery arm reads %s, which is pre-crash volatile state (assigned only by normal arms); re-derive it from NVM, LI, or a persisted response before use", id.Name)
+		})
+	}
+}
+
+// preambleLocals returns the function-level locals declared before the
+// state machine loop (the vars a recovery incarnation re-initialises).
+func preambleLocals(p *Pass, m *opMachine) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	loopPos := m.machine.Arms[0].Clause.Pos()
+	for _, st := range m.fn.Body.List {
+		if st.Pos() >= loopPos {
+			break
+		}
+		ast.Inspect(st, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj, ok := p.Info.Defs[id]; ok && obj != nil {
+				if v, isVar := obj.(*types.Var); isVar && !v.IsField() {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	// Parameters are re-supplied on recovery invocation; they are never
+	// stale, so leave them out of the volatile set entirely.
+	return out
+}
+
+// forEachAssignedObj visits every local assigned anywhere under n.
+func forEachAssignedObj(info *types.Info, n ast.Node, visit func(types.Object, token.Pos)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						visit(obj, s.End())
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					visit(obj, s.End())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// forEachRead visits every ident under n used as a value (not a plain
+// assignment target, field name, or method name).
+func forEachRead(info *types.Info, n ast.Node, visit func(*ast.Ident, types.Object)) {
+	writes := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if s, ok := n.(*ast.AssignStmt); ok && (s.Tok == token.ASSIGN || s.Tok == token.DEFINE) {
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					writes[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(n, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			// Visit the base; the selector ident names a field/method.
+			ast.Inspect(sel.X, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && !writes[id] {
+					if obj := info.Uses[id]; obj != nil {
+						visit(id, obj)
+					}
+				}
+				return true
+			})
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && !writes[id] {
+			if obj := info.Uses[id]; obj != nil {
+				visit(id, obj)
+			}
+		}
+		return true
+	})
+}
+
+func checkRecoveryCalls(p *Pass, m *opMachine) {
+	for _, arm := range m.machine.Arms {
+		if !m.recoveryArm(arm) {
+			continue
+		}
+		ast.Inspect(arm.Clause, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil {
+				return true
+			}
+			if recvNamed(fn) == ctxType && fn.Name() == "Step" {
+				p.Reportf(call.Pos(), "step-in-recovery",
+					"recovery arm %s calls c.Step; use c.RecStep so the LI checkpoint is not advanced by re-execution", armLabel(arm))
+				return true
+			}
+			if fn.Pkg() != nil {
+				if banned, known := volatilePrimitives[fn.Pkg().Path()]; known {
+					if banned == nil || banned[fn.Name()] {
+						p.Reportf(call.Pos(), "nonrecoverable-call",
+							"recovery arm %s calls %s.%s, which diverges across crash incarnations; recovery must be a deterministic function of persistent state", armLabel(arm), fn.Pkg().Path(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func armLabel(a *cfg.Arm) string {
+	if a.Default {
+		return "default"
+	}
+	s := "case"
+	for i, v := range a.Values {
+		if i > 0 {
+			s += ","
+		}
+		s += " " + strconv.FormatInt(v, 10)
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nrl/internal/analysis"
+)
+
+// TestRepositoryClean is the tree's own discipline gate: the full suite
+// over every package in the module must report nothing. Real findings
+// get fixed; false positives get an `//nrl:ignore <reason>` where the
+// reason argues the case. A failure here is a regression in either the
+// code's persist discipline or an analyzer's precision — both are bugs.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	pkgs, err := analysis.LoadPatterns(moduleRoot, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestLoadPatternsSinglePackage(t *testing.T) {
+	pkgs, err := analysis.LoadPatterns(moduleRoot, "./internal/nvm")
+	if err != nil {
+		t.Fatalf("loading nvm: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "nrl/internal/nvm" {
+		t.Fatalf("got %d packages, want exactly nrl/internal/nvm", len(pkgs))
+	}
+	if pkgs[0].Pkg.Name() != "nvm" {
+		t.Errorf("package name = %q, want nvm", pkgs[0].Pkg.Name())
+	}
+}
+
+func TestLoadDirTestdata(t *testing.T) {
+	pkg, err := analysis.LoadDir(moduleRoot, "testdata/src/persistorder")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Pkg.Name() != "persistorder" {
+		t.Errorf("package name = %q, want persistorder", pkg.Pkg.Name())
+	}
+	if len(pkg.Files) < 2 {
+		t.Errorf("expected at least 2 files, got %d", len(pkg.Files))
+	}
+}

@@ -1,0 +1,39 @@
+// Golden package for the checkconv analyzer. It is a main package on
+// purpose: the raw-check rule applies at the tool boundary, where an
+// unbudgeted WGL search turns a wide history into a hung CLI.
+package main
+
+import (
+	"fmt"
+
+	"nrl"
+	"nrl/internal/history"
+	"nrl/internal/linearize"
+)
+
+const budget = 2_000_000
+
+func checkViaFacade(models linearize.ModelFor, h history.History) error {
+	return nrl.CheckNRL(models, h) // want "raw-check"
+}
+
+func checkDirect(models linearize.ModelFor, h history.History) error {
+	if err := linearize.Check(models, h); err != nil { // want "raw-check"
+		return err
+	}
+	return linearize.CheckStrictLinearizability(models, h) // want "raw-check"
+}
+
+func discards(models linearize.ModelFor, h history.History) {
+	linearize.CheckNRLBudget(models, h, budget) // want "budget-discard"
+	_ = nrl.CheckNRLBudget(models, h, budget)   // want "budget-discard"
+}
+
+func checkBudgeted(models linearize.ModelFor, h history.History) error {
+	if err := nrl.CheckNRLBudget(models, h, budget); err != nil {
+		return fmt.Errorf("verdict: %w", err)
+	}
+	return linearize.CheckBudget(models, h, budget)
+}
+
+func main() {}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"nrl/internal/history"
+	"nrl/internal/linearize"
+)
+
+// Regression: nrlcheck's campaign path once handed a full campaign
+// history to the unbudgeted checker; a 6-process free-schedule run hung
+// the CLI for hours. The budgeted form returns ErrSearchBudget and lets
+// the caller fall back to windowed checking.
+func regressCampaignVerdict(models linearize.ModelFor, h history.History) error {
+	return linearize.CheckNRL(models, h) // want "raw-check"
+}

@@ -1,0 +1,32 @@
+// Golden package for the nrl:ignore escape hatch: suppression with a
+// reason works on the same line and the line above, and a reason-less
+// ignore is itself a finding.
+package ignoretest
+
+import "nrl/internal/nvm"
+
+// Suppressed same-line: no flush-no-fence reported.
+func suppressedTrailing(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+	m.Flush(a) //nrl:ignore deliberate torn write: the repair-path test asserts the un-fenced state
+}
+
+// Suppressed by the line above.
+func suppressedAbove(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+	//nrl:ignore demo of pre-fence visibility; durability asserted by the harness
+	m.Flush(a)
+}
+
+// A reason-less ignore is itself a finding, and it suppresses nothing:
+// the underlying flush-no-fence still surfaces.
+func emptyReason(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+	m.Flush(a) /*nrl:ignore*/ // want "empty-reason" "flush-no-fence"
+}
+
+// Unsuppressed finding in the same package still surfaces.
+func unsuppressed(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+	m.Flush(a) // want "flush-no-fence"
+}

@@ -1,0 +1,17 @@
+package persistorder
+
+import "nrl/internal/nvm"
+
+// Regression: the torn-append shape from the PR 3 durable log. The
+// length word was persisted on every path, but the record payload only
+// on the first-append path — a power failure mid-append left length
+// counting a record whose payload never reached the medium. The store
+// to records must be flushed on every path that publishes length.
+func regressTornAppend(m *nvm.Memory, records, length nvm.Addr, rec, n uint64) {
+	m.Write(records, rec) // want "missed-flush"
+	if n == 0 {
+		m.Persist(records)
+	}
+	m.Write(length, n+1)
+	m.Persist(length)
+}

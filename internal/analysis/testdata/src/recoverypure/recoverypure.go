@@ -1,0 +1,103 @@
+// Golden package for the recoverypure analyzer: Exec state machines
+// whose recovery arms do / do not respect the purity discipline.
+package recoverypure
+
+import (
+	"time"
+
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+type obj struct {
+	name string
+	c    nvm.Addr
+}
+
+// badOp's recovery arm trusts state that died with the crash.
+type badOp struct{ o *obj }
+
+func (o *badOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.o.name, Op: "BAD", Entry: 1, RecoverEntry: 10}
+}
+
+func (o *badOp) Exec(c *proc.Ctx, line int) uint64 {
+	var val uint64
+	for {
+		switch line {
+		case 1:
+			c.Step(1)
+			val = c.Read(o.o.c)
+			line = 2
+		case 2:
+			c.Step(2)
+			c.Write(o.o.c, val+1)
+			return val
+		case 10:
+			if val != 0 { // want "volatile-read"
+				return val // want "volatile-read"
+			}
+			c.Step(11)            // want "step-in-recovery"
+			_ = time.Now().Unix() // want "nonrecoverable-call"
+			return 0
+		default:
+			panic("bad line")
+		}
+	}
+}
+
+// goodOp re-derives its local from NVM before trusting it and reports
+// recovery progress through RecStep.
+type goodOp struct{ o *obj }
+
+func (o *goodOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.o.name, Op: "GOOD", Entry: 1, RecoverEntry: 10}
+}
+
+func (o *goodOp) Exec(c *proc.Ctx, line int) uint64 {
+	var val uint64
+	for {
+		switch line {
+		case 1:
+			c.Step(1)
+			val = c.Read(o.o.c)
+			line = 2
+		case 2:
+			c.Step(2)
+			c.Write(o.o.c, val+1)
+			return val
+		case 10:
+			c.RecStep(10)
+			val = c.Read(o.o.c) // re-derived from NVM: not stale
+			return val
+		default:
+			panic("bad line")
+		}
+	}
+}
+
+// mixedOp's `case 2, 12` arm serves both regimes: it dispatches on the
+// live line value and is re-entrant by construction, so reading val
+// there is exempt.
+type mixedOp struct{ o *obj }
+
+func (o *mixedOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.o.name, Op: "MIXED", Entry: 1, RecoverEntry: 12}
+}
+
+func (o *mixedOp) Exec(c *proc.Ctx, line int) uint64 {
+	var val uint64
+	for {
+		switch line {
+		case 1:
+			c.Step(1)
+			val = c.Read(o.o.c)
+			line = 2
+		case 2, 12:
+			c.Step(2)
+			return val // mixed arm: exempt
+		default:
+			panic("bad line")
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package recoverypure
+
+import (
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// Regression: the CAS-recovery shape that once consulted the cached
+// pre-crash read of C instead of re-reading it. The paper's RECOVER
+// evaluates `C == <p, new>` against NVM; trusting the pair local makes
+// recovery report failure for an installed CAS whose crash landed
+// between the read and the install.
+type regressObj struct {
+	name string
+	c    nvm.Addr
+}
+
+type regressCASOp struct{ o *regressObj }
+
+func (o *regressCASOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.o.name, Op: "CAS", Entry: 2, RecoverEntry: 13}
+}
+
+func (o *regressCASOp) Exec(c *proc.Ctx, line int) uint64 {
+	var (
+		new  = c.Arg(0)
+		pair uint64
+		ret  uint64
+	)
+	for {
+		switch line {
+		case 2:
+			c.Step(2)
+			pair = c.Read(o.o.c)
+			line = 7
+		case 7:
+			c.Step(7)
+			if c.CAS(o.o.c, pair, new) {
+				ret = 1
+			}
+			line = 8
+		case 8:
+			c.Step(8)
+			return ret
+		case 13:
+			c.RecStep(13)
+			if pair == new { // want "volatile-read"
+				return 1
+			}
+			line = 2
+		default:
+			panic("bad line")
+		}
+	}
+}

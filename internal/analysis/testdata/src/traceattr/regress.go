@@ -1,0 +1,23 @@
+package traceattr
+
+import (
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+	"nrl/internal/trace"
+)
+
+// Regression: recovery flushes once carried the parent operation's Op
+// string, so nrlstat's recovery profiles showed phantom rows — the
+// recovery cost of RECOVER was booked under ENQ. The recovery helper
+// must attribute under its own declared Op.
+type regressOp struct{ a nvm.Addr }
+
+func (o *regressOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: "q", Op: "RECOVER", Entry: 1, RecoverEntry: 2}
+}
+
+func (o *regressOp) Exec(c *proc.Ctx, line int) uint64 {
+	c.Mem().FlushAt(o.a, trace.Attr{P: c.P(), Obj: "q", Op: "ENQ"}) // want "mismatched-op"
+	c.Mem().FenceAt(trace.Attr{P: c.P(), Obj: "q", Op: "RECOVER"})
+	return 0
+}

@@ -1,0 +1,44 @@
+// Golden package for the traceattr analyzer: attribution of *At calls.
+package traceattr
+
+import (
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+	"nrl/internal/trace"
+)
+
+// Violating: the *At forms exist to carry attribution; a zero Attr
+// produces an anonymous event.
+func zeroAttr(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.WriteAt(a, v, trace.Attr{})                        // want "zero-attr"
+	m.FlushAt(a, trace.Attr{P: 0, Obj: "", Op: ""})      // want "zero-attr"
+	m.FenceAt(trace.Attr{Depth: 0})                      // want "zero-attr"
+	_ = m.ReadAt(a, trace.Attr{P: 1, Obj: "x", Op: "R"}) // attributed: fine
+}
+
+// Conforming: non-literal attrs carry someone else's provenance and are
+// not second-guessed.
+func passThrough(m *nvm.Memory, a nvm.Addr, v uint64, at trace.Attr) {
+	m.WriteAt(a, v, at)
+}
+
+type obj struct {
+	name string
+	a    nvm.Addr
+}
+
+// wrOp declares Op "WRITE"; attribution inside its methods must agree.
+type wrOp struct{ o *obj }
+
+func (o *wrOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.o.name, Op: "WRITE", Entry: 1, RecoverEntry: 5}
+}
+
+func (o *wrOp) Exec(c *proc.Ctx, line int) uint64 {
+	m := c.Mem()
+	// Copy-pasted attribution from the read op: books this operation's
+	// latency under the wrong profile row.
+	m.WriteAt(o.o.a, 1, trace.Attr{P: c.P(), Obj: o.o.name, Op: "READ"}) // want "mismatched-op"
+	m.WriteAt(o.o.a, 2, trace.Attr{P: c.P(), Obj: o.o.name, Op: "WRITE"})
+	return 0
+}

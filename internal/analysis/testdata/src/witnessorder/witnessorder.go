@@ -1,0 +1,79 @@
+// Golden package for the witnessorder analyzer: the store-ordering
+// lattice declared with nrl:persist-before field annotations.
+package witnessorder
+
+import "nrl/internal/nvm"
+
+func persistBuffered(m *nvm.Memory, addrs ...nvm.Addr) {
+	for _, a := range addrs {
+		m.Flush(a)
+	}
+	m.Fence()
+}
+
+// cell is the linked-structure shape: contents must be durable before
+// the link that publishes them is installed.
+type cell struct {
+	val  nvm.Addr // nrl:persist-before next(cas): contents before link
+	next nvm.Addr
+}
+
+// result is the response-area shape: the witness value must be durable
+// before the ack flag that makes readers trust it.
+type result struct {
+	resVal   nvm.Addr // nrl:persist-before resValid(write): witness before ack
+	resValid nvm.Addr
+}
+
+// Violating: the link is installed while the contents are still only in
+// the cache hierarchy.
+func publishUnpersisted(m *nvm.Memory, c *cell, v uint64) {
+	m.Write(c.val, v) // want "order-violation"
+	m.CAS(c.next, 0, 1)
+}
+
+// Violating on one branch: the fast path skips the persist, and a
+// power-failure sweep needs a lucky crash index to notice.
+func publishBranch(m *nvm.Memory, c *cell, v uint64, fast bool) {
+	m.Write(c.val, v) // want "order-violation"
+	if !fast {
+		m.Persist(c.val)
+	}
+	m.CAS(c.next, 0, 1)
+}
+
+// Violating: ack before witness.
+func ackUnpersisted(m *nvm.Memory, r *result, v uint64) {
+	m.Write(r.resVal, v) // want "order-violation"
+	m.Write(r.resValid, 1)
+}
+
+// Conforming: persist between store and publication.
+func publishPersisted(m *nvm.Memory, c *cell, v uint64) {
+	m.Write(c.val, v)
+	m.Persist(c.val)
+	m.CAS(c.next, 0, 1)
+}
+
+// Conforming: the buffered helper persists the store.
+func ackPersisted(m *nvm.Memory, r *result, v uint64) {
+	m.Write(r.resVal, v)
+	persistBuffered(m, r.resVal)
+	m.Write(r.resValid, 1)
+}
+
+// Conforming: the cas kind does not constrain plain writes of next
+// (e.g. recovery repairing a link it already proved durable).
+func repairLink(m *nvm.Memory, c *cell, v uint64) {
+	m.Write(c.val, v)
+	m.Write(c.next, 1)
+}
+
+// Conforming: per-element addresses match field-level annotations.
+type table struct {
+	slots nvm.Addr // unconstrained
+}
+
+func storeOnly(m *nvm.Memory, c *cell, v uint64) {
+	m.Write(c.val, v) // no publication reachable: fine
+}

@@ -137,7 +137,7 @@ func Run(cfg Config) (*Result, error) {
 				res.FirstStuck = stuck
 			}
 		}
-		verdict, partial := checkWindowed(cfg.Workload.Models, h, checkBudget)
+		verdict, partial := CheckWindowed(cfg.Workload.Models, h, checkBudget)
 		if partial {
 			res.Partial++
 		}
@@ -196,12 +196,15 @@ func classifyFailures(failures []error) (*proc.StuckReport, error) {
 	return first, nil
 }
 
-// checkWindowed NRL-checks h under the node budget; when the budget is
+// CheckWindowed NRL-checks h under the node budget; when the budget is
 // exceeded it degrades to checking successively shorter prefixes of h
 // (any prefix of a recoverable-well-formed history is itself recoverable
 // well-formed, so the partial verdict is sound). It returns the violation
-// (nil if clean or undecided) and whether the verdict is partial.
-func checkWindowed(models linearize.ModelFor, h history.History, budget int) (violation error, partial bool) {
+// (nil if clean or undecided) and whether the verdict is partial. It is
+// exported as the verdict path for the CLIs: a raw CheckNRL call in a
+// command can hang on a wide history (nrlvet's checkconv rule flags it);
+// CheckWindowed always terminates within the budget.
+func CheckWindowed(models linearize.ModelFor, h history.History, budget int) (violation error, partial bool) {
 	err := linearize.CheckNRLBudget(models, h, budget)
 	if err == nil {
 		return nil, false
@@ -247,7 +250,7 @@ func ReplayTraced(w harness.Workload, procs, ops int, seed int64, sites []CrashS
 	} else if stuck != nil {
 		return h, &proc.StuckError{Report: *stuck}
 	}
-	violation, _ := checkWindowed(w.Models, h, checkBudget)
+	violation, _ := CheckWindowed(w.Models, h, checkBudget)
 	return h, violation
 }
 

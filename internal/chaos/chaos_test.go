@@ -275,14 +275,14 @@ func TestCheckWindowedPartial(t *testing.T) {
 	if len(failures) != 0 {
 		t.Fatal(failures)
 	}
-	violation, partial := checkWindowed(w.Models, h, 1)
+	violation, partial := CheckWindowed(w.Models, h, 1)
 	if violation != nil {
 		t.Fatalf("windowed check reported violation: %v", violation)
 	}
 	if !partial {
 		t.Error("1-node budget did not force a partial verdict")
 	}
-	violation, partial = checkWindowed(w.Models, h, 0)
+	violation, partial = CheckWindowed(w.Models, h, 0)
 	if violation != nil || partial {
 		t.Errorf("default budget: violation=%v partial=%v", violation, partial)
 	}

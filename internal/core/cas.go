@@ -23,7 +23,7 @@ type CASObject struct {
 	c    nvm.Addr
 	r    [][]nvm.Addr // r[i][j]: j informs i; indices 1..N
 
-	resVal   []nvm.Addr // strict variant: persisted response per process
+	resVal   []nvm.Addr // nrl:persist-before resValid(write): witness before ack (strict variant response)
 	resValid []nvm.Addr // strict variant: response-valid flag per process
 
 	cas       *casOp

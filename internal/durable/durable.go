@@ -32,7 +32,7 @@ var ErrLogFull = errors.New("durable: log capacity exhausted")
 type Log struct {
 	mem     *nvm.Memory
 	length  nvm.Addr
-	records []nvm.Addr
+	records []nvm.Addr // nrl:persist-before length(write): record payload before the commit point
 }
 
 // NewLog allocates a log with the given capacity.
@@ -131,7 +131,7 @@ func (c *Counter) Read() uint64 {
 // and a completed Write is never lost.
 type Register struct {
 	mem  *nvm.Memory
-	bank [2]nvm.Addr
+	bank [2]nvm.Addr // nrl:persist-before sel(write): new value durable before the bank switch
 	sel  nvm.Addr
 }
 

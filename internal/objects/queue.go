@@ -36,9 +36,9 @@ type Queue struct {
 	alloc *FAA
 	head  *core.CASObject
 	tail  *core.CASObject
-	val   []nvm.Addr
-	next  []nvm.Addr // nilIdx = no successor yet
-	seq   []nvm.Addr // per-process tag counter
+	val   []nvm.Addr // nrl:persist-before next(cas): cell contents before the link publishes them
+	next  []nvm.Addr // nrl:persist-before next(cas): nilIdx = no successor yet; init before publication
+	seq   []nvm.Addr // nrl:persist-before next(cas): tag counter durable before a tag is installed
 	mine  []nvm.Addr // MyCell_p: cell being enqueued
 	vict  []nvm.Addr // Victim_p: cell index being dequeued
 

@@ -38,7 +38,7 @@ type Stack struct {
 	name  string
 	alloc *FAA            // cell allocator
 	top   *core.CASObject // TOP
-	val   []nvm.Addr      // cell values
+	val   []nvm.Addr      // nrl:persist-before next(write): cell value before the link write
 	next  []nvm.Addr      // cell next-links (cell index or nilIdx)
 	seq   []nvm.Addr      // per-process tag counter
 	mine  []nvm.Addr      // MyCell_p: cell being pushed

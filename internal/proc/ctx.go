@@ -198,7 +198,7 @@ func (c *Ctx) FAA(a nvm.Addr, delta uint64) uint64 {
 }
 
 // Flush is shorthand for Mem().Flush, attributed in traces.
-func (c *Ctx) Flush(a nvm.Addr) { c.p.sys.mem.FlushAt(a, c.attr()) }
+func (c *Ctx) Flush(a nvm.Addr) { c.p.sys.mem.FlushAt(a, c.attr()) } //nrl:ignore delegation shorthand: the fence is the calling operation's line, not this wrapper's
 
 // Fence is shorthand for Mem().Fence, attributed in traces.
 func (c *Ctx) Fence() { c.p.sys.mem.FenceAt(c.attr()) }

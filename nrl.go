@@ -269,6 +269,16 @@ var (
 // WGL search exceeds its node budget.
 var ErrSearchBudget = linearize.ErrSearchBudget
 
+// DefaultCheckBudget is the WGL node budget the chaos campaigns settled
+// on; commands pass it to CheckNRLBudget so a wide history degrades
+// into an ErrSearchBudget verdict instead of hanging the tool.
+const DefaultCheckBudget = chaos.DefaultCheckBudget
+
+// CheckWindowed is CheckNRLBudget with the campaigns' sound degradation:
+// on budget exhaustion it checks successively shorter prefixes and
+// reports whether the verdict is partial.
+var CheckWindowed = chaos.CheckWindowed
+
 // Empty is the response of Stack.Pop on an empty stack.
 const Empty = objects.Empty
 
