@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet nrlvet lint bench golden chaos crash
+.PHONY: all build test race vet nrlvet doclint lint bench bench-check microbench golden chaos crash
 
 all: lint build test
 
@@ -22,11 +22,34 @@ vet:
 nrlvet:
 	$(GO) run ./cmd/nrlvet ./...
 
+# Godoc hygiene on its own: go vet plus only the missing-doc-comment
+# analyzer (the full suite runs it too; this is the fast loop while
+# documenting).
+doclint: vet
+	$(GO) run ./cmd/nrlvet -a doccomment ./...
+
 # Everything CI's lint job runs: go vet, the nrlvet suite, and the race
 # detector over the internal packages.
 lint: vet nrlvet race
 
+# Regenerate the committed performance baselines (BENCH_nvm.json,
+# BENCH_objects.json — schema nrl-bench/1, see internal/bench). Run on a
+# quiet machine and commit the result when performance changes on
+# purpose; CI gates against these files via bench-check.
 bench:
+	$(GO) run ./cmd/nrlbench -json .
+
+# Re-run the suites into a scratch directory and gate against the
+# committed baselines: >15% ns/op growth or a vanished benchmark fails.
+bench-check:
+	rm -rf bench-out && mkdir -p bench-out
+	$(GO) run ./cmd/nrlbench -json bench-out
+	$(GO) run ./cmd/nrlbench -compare BENCH_nvm.json bench-out/BENCH_nvm.json
+	$(GO) run ./cmd/nrlbench -compare BENCH_objects.json bench-out/BENCH_objects.json
+
+# The raw go-test microbenchmarks (bench_test.go) for interactive work;
+# the committed BENCH_*.json baselines come from `make bench` instead.
+microbench:
 	$(GO) test -bench . -benchtime 1000x -run '^$$' .
 
 # Regenerate the golden files of the CLI tests (after an intentional

@@ -6,6 +6,7 @@ package nrl_test
 import (
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"nrl"
@@ -376,6 +377,111 @@ func BenchmarkE8_Write(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- NVM hot path -----------------------------------------------------------
+
+// benchHeapWords sizes the backing heap of the NVM scaling benchmarks: a
+// production-scale word count, so costs that are O(total words) — the
+// pre-shard fence scanned the entire word array for flushed words — show
+// up as they would in a real system, not amortised away by a toy heap.
+const benchHeapWords = 1 << 14
+
+// BenchmarkNVM_BufferedCASPersist is the scaling benchmark of the sharded
+// memory: n workers, each owning one word of a benchHeapWords-word heap,
+// each repeating the buffered persist discipline (read, CAS, flush,
+// fence) with per-process trace attribution. Before the memory was
+// sharded every iteration serialized on one global persistence mutex and
+// every fence scanned the whole word array; the per-process flush sets
+// reduce the fence to the one word the worker actually flushed.
+// EXPERIMENTS.md §9 records the before/after.
+func BenchmarkNVM_BufferedCASPersist(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			mem := nvm.New(nvm.WithMode(nvm.Buffered))
+			mem.AllocArray("heap", benchHeapWords, 0)
+			addrs := mem.AllocArray("w", n, 0)
+			per := b.N / n
+			if per == 0 {
+				per = 1
+			}
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for p := 1; p <= n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					at := trace.Attr{P: p}
+					a := addrs[p-1]
+					for i := 0; i < per; i++ {
+						v := mem.ReadAt(a, at)
+						mem.CASAt(a, v, v+1, at)
+						mem.FlushAt(a, at)
+						mem.FenceAt(at)
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkNVM_BufferedContendedCAS measures n workers hammering one
+// shared word (every CAS lands on the same shard, so sharding cannot
+// help; this bounds the cost of the per-shard locking itself).
+func BenchmarkNVM_BufferedContendedCAS(b *testing.B) {
+	for _, n := range []int{1, 8} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			mem := nvm.New(nvm.WithMode(nvm.Buffered))
+			a := mem.Alloc("w", 0)
+			per := b.N / n
+			if per == 0 {
+				per = 1
+			}
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for p := 1; p <= n; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					at := trace.Attr{P: p}
+					for i := 0; i < per; i++ {
+						v := mem.ReadAt(a, at)
+						mem.CASAt(a, v, v+1, at)
+					}
+				}(p)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkNVM_UntracedWrite asserts the zero-alloc, branch-only cost of
+// the untraced primitive fast path (the nop-tracer guarantee extends from
+// the operation layer down to raw memory primitives).
+func BenchmarkNVM_UntracedWrite(b *testing.B) {
+	for _, mode := range []nvm.Mode{nvm.ADR, nvm.Buffered} {
+		b.Run(mode.String(), func(b *testing.B) {
+			mem := nvm.New(nvm.WithMode(mode))
+			a := mem.Alloc("x", 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mem.Write(a, uint64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkNVM_Alloc measures allocation of fresh words (the growth path:
+// chunked slabs must not quadratically re-copy).
+func BenchmarkNVM_Alloc(b *testing.B) {
+	mem := nvm.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.Alloc("x", 0)
 	}
 }
 

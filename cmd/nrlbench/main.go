@@ -3,17 +3,28 @@
 // primitives, scaling, contention, crash rates, strictness, the blocking
 // TAS recovery, checker cost and the persistence-mode ablation.
 //
+// It is also the front end of the machine-comparable benchmark pipeline
+// (internal/bench): -json runs the memory- and object-level suites and
+// writes schema-versioned BENCH_nvm.json / BENCH_objects.json reports,
+// and -compare diffs two such reports, failing (exit 1) on any ns/op
+// regression beyond -threshold — the CI regression gate.
+//
 // Usage:
 //
 //	nrlbench [-ops N] [-exp E1,E3,...] [-trace out.jsonl]
+//	nrlbench -json DIR [-suite nvm|objects|all] [-benchops N]
+//	nrlbench -compare old.json new.json [-threshold 0.15]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
+	"nrl/internal/bench"
 	"nrl/internal/harness"
 	"nrl/internal/trace"
 )
@@ -30,8 +41,19 @@ func run(args []string) error {
 	ops := fs.Int("ops", 20000, "base operation count per measurement")
 	expFlag := fs.String("exp", "all", "comma-separated experiments to run (E1..E10) or 'all'")
 	traceOut := fs.String("trace", "", "write a JSONL event trace of the whole run to this file (skews timings)")
+	jsonDir := fs.String("json", "", "run the benchmark suites and write BENCH_<suite>.json reports into this directory")
+	suite := fs.String("suite", "all", "with -json: which suite to run (nvm, objects, all)")
+	benchOps := fs.Int("benchops", 0, "with -json: total operations per benchmark (0 = default)")
+	compare := fs.Bool("compare", false, "compare two BENCH_*.json reports (old new) and fail on regressions")
+	threshold := fs.Float64("threshold", bench.DefaultThreshold, "with -compare: relative ns/op growth tolerated before failing")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		return runCompare(fs.Args(), *threshold)
+	}
+	if *jsonDir != "" {
+		return runSuites(*jsonDir, *suite, *benchOps)
 	}
 	scale := harness.Scale{Ops: *ops}
 	var sink *trace.JSONL
@@ -90,4 +112,60 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runSuites executes the selected internal/bench suites and writes one
+// BENCH_<suite>.json per suite into dir.
+func runSuites(dir, suite string, benchOps int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	suites := bench.Suites()
+	var names []string
+	if suite == "all" {
+		for name := range suites {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		for _, name := range strings.Split(suite, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := suites[name]; !ok {
+				return fmt.Errorf("unknown suite %q (have: nvm, objects)", name)
+			}
+			names = append(names, name)
+		}
+	}
+	opts := bench.Options{Ops: benchOps}
+	for _, name := range names {
+		report := bench.RunSuite(name, suites[name], opts)
+		path := filepath.Join(dir, "BENCH_"+name+".json")
+		if err := report.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", path, len(report.Results))
+	}
+	return nil
+}
+
+// runCompare diffs a baseline report against a fresh one and returns a
+// non-nil error (exit 1) when the regression gate trips.
+func runCompare(paths []string, threshold float64) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-compare needs exactly two report paths (old new), got %d", len(paths))
+	}
+	base, err := bench.ReadFile(paths[0])
+	if err != nil {
+		return err
+	}
+	head, err := bench.ReadFile(paths[1])
+	if err != nil {
+		return err
+	}
+	c, err := bench.Compare(base, head, threshold)
+	if err != nil {
+		return err
+	}
+	c.Fprint(os.Stdout)
+	return c.Gate()
 }

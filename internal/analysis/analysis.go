@@ -21,6 +21,8 @@ type Diagnostic struct {
 	Message  string
 }
 
+// String renders the finding in the canonical pos: [analyzer/rule]
+// message form used by the CLI's text output.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s/%s] %s", d.Pos, d.Analyzer, d.Rule, d.Message)
 }
@@ -63,6 +65,7 @@ func Analyzers() []*Analyzer {
 		WitnessOrder,
 		TraceAttr,
 		CheckConv,
+		DocComment,
 		Ignore,
 	}
 }
@@ -122,7 +125,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 type EventKind int
 
 const (
-	EvNone            EventKind = iota
+	EvNone            EventKind = iota // not discipline-relevant
 	EvWrite                     // Memory.Write/WriteAt, Ctx.Write
 	EvRMW                       // CAS/TAS/FAA and their *At forms
 	EvFlush                     // Flush/FlushAt

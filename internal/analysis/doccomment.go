@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// DocComment is the godoc-hygiene half of the repo's lint step: every
+// exported name is API, and an undocumented export is an API whose
+// contract exists only in the author's head. The rule is the standard
+// godoc convention — each exported top-level declaration (function,
+// method on an exported type, type, and each exported const/var) must
+// carry a doc comment, either on the declaration itself or on its
+// enclosing group.
+//
+// main packages are exempt: a command's surface is its flags and output
+// (documented by the package comment), not its Go identifiers.
+var DocComment = &Analyzer{
+	Name: "doccomment",
+	Doc:  "exported declarations must have doc comments",
+	Run:  runDocComment,
+}
+
+func runDocComment(p *Pass) error {
+	if p.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				if recv := receiverTypeName(d); recv != "" && !ast.IsExported(recv) {
+					continue // method on an unexported type: not godoc surface
+				}
+				p.Reportf(d.Pos(), "missing-doc", "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+			case *ast.GenDecl:
+				checkGenDecl(p, d)
+			}
+		}
+	}
+	return nil
+}
+
+// funcKind distinguishes "function" from "method" in diagnostics.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDecl applies the rule to type/const/var declarations: a doc
+// comment on the grouped declaration covers every spec in the group; an
+// undocumented group needs per-spec comments on its exported specs.
+func checkGenDecl(p *Pass, d *ast.GenDecl) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				p.Reportf(s.Pos(), "missing-doc", "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					p.Reportf(name.Pos(), "missing-doc", "exported %s %s has no doc comment", d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"nrl/internal/analysis"
+)
+
+// docCommentDiags runs only the doccomment analyzer over a single
+// in-memory source file. The golden-package harness cannot host this
+// analyzer's value-spec cases: a `// want` expectation must sit on the
+// diagnostic's own line, where it would count as the spec's trailing
+// doc comment and suppress the very finding it asserts.
+func docCommentDiags(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	conf := types.Config{}
+	info := &types.Info{Defs: map[*ast.Ident]types.Object{}, Uses: map[*ast.Ident]types.Object{}}
+	pkg, err := conf.Check(f.Name.Name, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(
+		[]*analysis.Package{{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}},
+		[]*analysis.Analyzer{analysis.DocComment})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	msgs := make([]string, len(diags))
+	for i, d := range diags {
+		msgs[i] = d.Message
+	}
+	return msgs
+}
+
+func TestDocCommentFindings(t *testing.T) {
+	got := docCommentDiags(t, `package p
+
+// Documented is fine.
+type Documented struct{}
+
+// Fine has a doc comment.
+func (Documented) Fine() {}
+
+func (Documented) Bare() {}
+
+type Undocumented struct{}
+
+type hidden struct{}
+
+// Visible sits on an unexported type either way.
+func (hidden) Visible() {}
+
+func Exported() {}
+
+func helper() {}
+
+// Grouped declarations are covered by the group's doc comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const (
+	TrailingOK = 1 // a trailing comment on the spec counts
+	// LeadingOK has a spec-level doc comment.
+	LeadingOK = 2
+	BareConst = 3
+	loose     = 4
+)
+
+var Global int
+
+var _ = helper
+var _ = loose
+`)
+	want := []string{
+		"exported method Bare has no doc comment",
+		"exported type Undocumented has no doc comment",
+		"exported function Exported has no doc comment",
+		"exported const BareConst has no doc comment",
+		"exported var Global has no doc comment",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings %q, want %d", len(got), got, len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %q in %q", w, got)
+		}
+	}
+}
+
+func TestDocCommentMethodOnUnexportedType(t *testing.T) {
+	// Exported methods on unexported types are not godoc surface (they
+	// matter only through interfaces, whose declarations carry the
+	// contract) and must not be flagged.
+	got := docCommentDiags(t, `package p
+
+type impl struct{}
+
+func (impl) Close() error { return nil }
+`)
+	if len(got) != 0 {
+		t.Fatalf("findings on an unexported type's methods: %q", got)
+	}
+}
+
+func TestDocCommentMainExempt(t *testing.T) {
+	got := docCommentDiags(t, `package main
+
+func Run() {}
+
+func main() { Run() }
+`)
+	if len(got) != 0 {
+		t.Fatalf("findings in package main: %q", got)
+	}
+}
+
+func TestDocCommentHonoursIgnore(t *testing.T) {
+	got := docCommentDiags(t, `package p
+
+//nrl:ignore generated shim, documented in the package comment
+func Exported() {}
+`)
+	for _, m := range got {
+		if strings.Contains(m, "Exported") {
+			t.Fatalf("nrl:ignore did not suppress: %q", got)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestShardSpeedupVsPreshardBaseline pins the headline acceptance
+// criterion of the sharded memory: the committed BENCH_nvm.json
+// baseline must beat the committed pre-shard measurement (see
+// testdata/preshard/README.md for its provenance) by at least 2x on the
+// 8-process Buffered-mode CAS+persist benchmark. The gap is ~90x in
+// practice — the pre-shard fence scanned every allocated word, the
+// sharded fence visits only the issuing process's flushed words — so
+// this only fires if either baseline file is replaced with something
+// that no longer supports the claim.
+func TestShardSpeedupVsPreshardBaseline(t *testing.T) {
+	pre, err := ReadFile("testdata/preshard/BENCH_nvm.json")
+	if err != nil {
+		t.Fatalf("pre-shard baseline: %v", err)
+	}
+	cur, err := ReadFile("../../BENCH_nvm.json")
+	if os.IsNotExist(err) {
+		t.Skip("no committed BENCH_nvm.json (run `make bench` at the repo root)")
+	}
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+
+	const row = "BufferedCASPersist/procs=8"
+	old, okOld := pre.Result(row)
+	new, okNew := cur.Result(row)
+	if !okOld || !okNew {
+		t.Fatalf("acceptance row %q missing: preshard=%v current=%v", row, okOld, okNew)
+	}
+	if speedup := old.NsPerOp / new.NsPerOp; speedup < 2 {
+		t.Errorf("%s: %.0f -> %.0f ns/op is only %.2fx, want >= 2x",
+			row, old.NsPerOp, new.NsPerOp, speedup)
+	}
+
+	// The suites must be comparable via the CLI gate machinery too: the
+	// README's reproduction command relies on Compare accepting the pair.
+	c, err := Compare(pre, cur, DefaultThreshold)
+	if err != nil {
+		t.Fatalf("Compare(preshard, current): %v", err)
+	}
+	if err := c.Gate(); err != nil {
+		t.Errorf("current baseline regresses the pre-shard measurement: %v", err)
+	}
+}

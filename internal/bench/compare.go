@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultThreshold is the relative ns/op growth the regression gate
+// tolerates before failing (15%): wide enough to ride out shared-runner
+// noise, tight enough to catch a lost fast path.
+const DefaultThreshold = 0.15
+
+// Delta is one benchmark's old-vs-new comparison. Ratio is new/old
+// ns/op (so 2.0 means twice as slow, 0.5 twice as fast).
+type Delta struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	Ratio      float64
+	Regression bool
+}
+
+// Comparison is the result of diffing two reports of the same suite.
+type Comparison struct {
+	Suite       string
+	Threshold   float64
+	Deltas      []Delta
+	OnlyOld     []string // benchmarks that disappeared (treated as failures by Gate)
+	OnlyNew     []string // newly added benchmarks (informational)
+	EnvMismatch string   // non-empty when the reports came from different environments
+}
+
+// Regressions returns the deltas that exceeded the threshold.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Gate returns an error when the comparison should fail a CI run: any
+// ns/op regression beyond the threshold, or a benchmark that vanished
+// (a silently dropped benchmark would otherwise retire its own gate).
+func (c *Comparison) Gate() error {
+	if n := len(c.Regressions()); n > 0 {
+		return fmt.Errorf("bench: %d benchmark(s) regressed beyond %.0f%%", n, c.Threshold*100)
+	}
+	if len(c.OnlyOld) > 0 {
+		return fmt.Errorf("bench: %d baseline benchmark(s) missing from the new report: %v", len(c.OnlyOld), c.OnlyOld)
+	}
+	return nil
+}
+
+// Compare diffs two reports benchmark-by-benchmark on ns/op: base is
+// the committed baseline, head the fresh run. threshold <= 0 selects
+// DefaultThreshold. The suites must match; comparing an nvm report
+// against an objects report is always a mistake.
+func Compare(base, head *Report, threshold float64) (*Comparison, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if err := head.Validate(); err != nil {
+		return nil, err
+	}
+	if base.Suite != head.Suite {
+		return nil, fmt.Errorf("bench: comparing different suites %q vs %q", base.Suite, head.Suite)
+	}
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	c := &Comparison{Suite: base.Suite, Threshold: threshold}
+	if base.Go != head.Go || base.GOOS != head.GOOS || base.GOARCH != head.GOARCH || base.CPUs != head.CPUs {
+		c.EnvMismatch = fmt.Sprintf("%s %s/%s %d CPUs vs %s %s/%s %d CPUs",
+			base.Go, base.GOOS, base.GOARCH, base.CPUs, head.Go, head.GOOS, head.GOARCH, head.CPUs)
+	}
+	for _, name := range base.sorted() {
+		o, _ := base.Result(name)
+		n, ok := head.Result(name)
+		if !ok {
+			c.OnlyOld = append(c.OnlyOld, name)
+			continue
+		}
+		d := Delta{Name: name, OldNs: o.NsPerOp, NewNs: n.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Ratio = n.NsPerOp / o.NsPerOp
+			d.Regression = d.Ratio > 1+threshold
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, name := range head.sorted() {
+		if _, ok := base.Result(name); !ok {
+			c.OnlyNew = append(c.OnlyNew, name)
+		}
+	}
+	return c, nil
+}
+
+// Fprint renders the comparison as an aligned table with one verdict
+// per benchmark (ok / REGRESSED / missing / new).
+func (c *Comparison) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "suite %s (threshold %.0f%%)\n", c.Suite, c.Threshold*100)
+	if c.EnvMismatch != "" {
+		fmt.Fprintf(w, "  note: environments differ: %s\n", c.EnvMismatch)
+	}
+	width := 0
+	for _, d := range c.Deltas {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		if d.Regression {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(w, "  %-*s  %10.1f -> %10.1f ns/op  (%5.2fx)  %s\n",
+			width, d.Name, d.OldNs, d.NewNs, d.Ratio, verdict)
+	}
+	for _, name := range c.OnlyOld {
+		fmt.Fprintf(w, "  %-*s  missing from new report\n", width, name)
+	}
+	for _, name := range c.OnlyNew {
+		fmt.Fprintf(w, "  %-*s  new benchmark (no baseline)\n", width, name)
+	}
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixture builds a report with the given ns/op per benchmark name.
+func fixture(suite string, ns map[string]float64) *Report {
+	r := newReport(suite)
+	// Insertion order does not matter: Compare walks names sorted.
+	for name, v := range ns {
+		r.Results = append(r.Results, Result{Name: name, Ops: 1000, NsPerOp: v})
+	}
+	return r
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := fixture("nvm", map[string]float64{
+		"CASPersist": 100,
+		"Write":      20,
+	})
+	head := fixture("nvm", map[string]float64{
+		"CASPersist": 130, // +30%: regression at a 15% threshold
+		"Write":      21,  // +5%: within threshold
+	})
+	c, err := Compare(base, head, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Name != "CASPersist" {
+		t.Fatalf("Regressions = %+v, want exactly CASPersist", regs)
+	}
+	if got := regs[0].Ratio; got < 1.29 || got > 1.31 {
+		t.Errorf("ratio = %v, want ~1.30", got)
+	}
+	if err := c.Gate(); err == nil {
+		t.Fatal("Gate passed despite a regression")
+	}
+	var sb strings.Builder
+	c.Fprint(&sb)
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("Fprint output missing REGRESSED verdict:\n%s", sb.String())
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	base := fixture("nvm", map[string]float64{"CASPersist": 100})
+	head := fixture("nvm", map[string]float64{"CASPersist": 114}) // +14%
+	c, err := Compare(base, head, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("Regressions = %+v, want none", regs)
+	}
+	if err := c.Gate(); err != nil {
+		t.Fatalf("Gate failed within threshold: %v", err)
+	}
+}
+
+func TestCompareImprovementIsNotRegression(t *testing.T) {
+	base := fixture("nvm", map[string]float64{"CASPersist": 7000})
+	head := fixture("nvm", map[string]float64{"CASPersist": 56})
+	c, err := Compare(base, head, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if err := c.Gate(); err != nil {
+		t.Fatalf("Gate failed on a 125x improvement: %v", err)
+	}
+	if r := c.Deltas[0].Ratio; r > 0.01 {
+		t.Errorf("ratio = %v, want ~0.008", r)
+	}
+}
+
+func TestCompareMissingBenchmarkFailsGate(t *testing.T) {
+	base := fixture("nvm", map[string]float64{"CASPersist": 100, "Gone": 50})
+	head := fixture("nvm", map[string]float64{"CASPersist": 100, "Fresh": 10})
+	c, err := Compare(base, head, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "Gone" {
+		t.Fatalf("OnlyOld = %v, want [Gone]", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "Fresh" {
+		t.Fatalf("OnlyNew = %v, want [Fresh]", c.OnlyNew)
+	}
+	if err := c.Gate(); err == nil {
+		t.Fatal("Gate passed despite a vanished baseline benchmark")
+	}
+}
+
+func TestCompareRejectsSuiteMismatch(t *testing.T) {
+	base := fixture("nvm", map[string]float64{"X": 1})
+	head := fixture("objects", map[string]float64{"X": 1})
+	if _, err := Compare(base, head, 0.15); err == nil {
+		t.Fatal("Compare accepted reports from different suites")
+	}
+}
+
+func TestCompareDefaultThreshold(t *testing.T) {
+	base := fixture("nvm", map[string]float64{"X": 100})
+	head := fixture("nvm", map[string]float64{"X": 114})
+	c, err := Compare(base, head, 0) // 0 selects DefaultThreshold (15%)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if c.Threshold != DefaultThreshold {
+		t.Fatalf("threshold = %v, want %v", c.Threshold, DefaultThreshold)
+	}
+	if len(c.Regressions()) != 0 {
+		t.Fatal("14% growth flagged under the default 15% threshold")
+	}
+}
+
+func TestCompareEnvMismatchIsNoted(t *testing.T) {
+	base := fixture("nvm", map[string]float64{"X": 100})
+	head := fixture("nvm", map[string]float64{"X": 100})
+	head.Go = "go1.99.0"
+	c, err := Compare(base, head, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if c.EnvMismatch == "" {
+		t.Fatal("environment mismatch not recorded")
+	}
+	if err := c.Gate(); err != nil {
+		t.Fatalf("env mismatch alone must not fail the gate: %v", err)
+	}
+}

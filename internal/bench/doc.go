@@ -1,0 +1,19 @@
+// Package bench is the repository's performance-measurement layer: it
+// runs the memory- and object-level benchmark suites in-process,
+// producing schema-versioned, machine-comparable reports
+// (BENCH_nvm.json, BENCH_objects.json) instead of free-form `go test
+// -bench` text.
+//
+// A Report carries, per benchmark: throughput (ns/op), sampled latency
+// percentiles (p50/p99), allocation rates, and the persistence-side
+// rates drawn from nvm.Stats — flushes, fences and fence-drained words
+// per operation, plus bank-mutex contention — so a perf change shows up
+// together with the mechanical reason for it (e.g. fewer fence words
+// per op after a flush-set change).
+//
+// Compare diffs two reports benchmark-by-benchmark and flags ns/op
+// regressions beyond a threshold; `nrlbench -compare old.json new.json`
+// is the CLI wrapper CI uses as its regression gate, and `make bench`
+// regenerates the committed baselines. DESIGN.md §9 documents the cost
+// model the suites measure; EXPERIMENTS.md §9 records the numbers.
+package bench

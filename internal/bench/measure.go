@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"nrl/internal/nvm"
+)
+
+// Spec describes one benchmark: a name, a worker count, and a Setup
+// that builds a fresh instance of the workload. Setup receives the
+// resolved worker count and the total operation budget (measured ops
+// plus warmup — capacity-bounded objects size themselves from it) and
+// returns the memory whose nvm.Stats the harness should attribute to
+// the run (nil if the workload has no interesting persistence side)
+// plus one operation closure per worker; closure w is called with the
+// iteration index from a goroutine dedicated to worker w.
+type Spec struct {
+	Name    string
+	Workers int
+	Setup   func(workers, totalOps int) (mem *nvm.Memory, ops []func(i int))
+}
+
+// Options tunes a suite run.
+type Options struct {
+	// Ops is the total operation count per benchmark, split evenly
+	// across the spec's workers. Zero selects DefaultOps.
+	Ops int
+	// Samples is the number of operations to time individually for the
+	// latency percentiles. Zero selects DefaultSamples; negative
+	// disables sampling (P50/P99 stay zero).
+	Samples int
+}
+
+// Default measurement sizes: large enough that per-run fixed costs
+// (goroutine spawns, the sampling slices) amortise below the reported
+// resolution, small enough that a full suite stays in CI-smoke range.
+const (
+	DefaultOps     = 200_000
+	DefaultSamples = 20_000
+)
+
+func (o Options) withDefaults() Options {
+	if o.Ops <= 0 {
+		o.Ops = DefaultOps
+	}
+	if o.Samples == 0 {
+		o.Samples = DefaultSamples
+	}
+	return o
+}
+
+// timerOverhead estimates the cost of one time.Now/time.Since pair, so
+// sampled latencies can be corrected for the harness's own timer reads.
+// The estimate is the median of a short calibration loop.
+func timerOverhead() time.Duration {
+	const rounds = 2001
+	lat := make([]time.Duration, rounds)
+	for i := range lat {
+		t0 := time.Now()
+		lat[i] = time.Since(t0)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[rounds/2]
+}
+
+// Measure runs one spec and returns its measurements.
+//
+// The run has two measured phases over one workload instance. The
+// throughput phase runs every worker concurrently with no per-op
+// instrumentation (matching the `go test -bench` convention of this
+// repo's bench_test.go: ns/op is wall time over total operations), and
+// the allocation and nvm.Stats rates are deltas over exactly this
+// phase. The latency phase then times each operation individually —
+// all workers still running concurrently, corrected for calibrated
+// timer overhead — so the percentiles reflect latency under the
+// benchmark's own concurrency without polluting the throughput number
+// with timer reads.
+func Measure(s Spec, o Options) Result {
+	o = o.withDefaults()
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	per := o.Ops / workers
+	if per < 1 {
+		per = 1
+	}
+	total := per * workers
+	warm := per / 10
+	if warm > 1000 {
+		warm = 1000
+	}
+	samplesPer := 0
+	if o.Samples > 0 {
+		samplesPer = o.Samples / workers
+		if samplesPer > per {
+			samplesPer = per
+		}
+	}
+	mem, fns := s.Setup(workers, (per+warm+samplesPer)*workers)
+	if len(fns) != workers {
+		panic("bench: Setup returned wrong worker count for " + s.Name)
+	}
+
+	// Warm up: a slice of the real workload, so first-touch costs
+	// (slab growth, flush-set registration, scheduler state) are paid
+	// before the measured region.
+	runWorkers(fns, warm, nil, 0)
+
+	// Throughput phase.
+	if mem != nil {
+		mem.DrainStats()
+	}
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	runWorkers(fns, per, nil, 0)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	res := Result{
+		Name:    s.Name,
+		Ops:     total,
+		NsPerOp: float64(wall.Nanoseconds()) / float64(total),
+	}
+	res.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+	res.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(total)
+	if mem != nil {
+		st := mem.DrainStats()
+		res.FlushesPerOp = float64(st.Flushes) / float64(total)
+		res.FencesPerOp = float64(st.Fences) / float64(total)
+		res.FenceWordsPerOp = float64(st.FenceWords) / float64(total)
+		res.ShardContention = st.ShardContention
+	}
+
+	// Latency phase.
+	if samplesPer > 0 {
+		overhead := timerOverhead()
+		lat := make([][]time.Duration, workers)
+		runWorkers(fns, samplesPer, lat, 1)
+		if all := mergeLatencies(lat, overhead); len(all) > 0 {
+			res.P50Ns = float64(percentile(all, 50))
+			res.P99Ns = float64(percentile(all, 99))
+		}
+	}
+	return res
+}
+
+// runWorkers executes per iterations of every worker concurrently.
+// When lat is non-nil, each worker times every `every`-th operation
+// into lat[w] (preallocated here, so the timed region never grows a
+// slice).
+func runWorkers(fns []func(int), per int, lat [][]time.Duration, every int) {
+	var wg sync.WaitGroup
+	for w := range fns {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn := fns[w]
+			if lat == nil || every <= 0 {
+				for i := 0; i < per; i++ {
+					fn(i)
+				}
+				return
+			}
+			samples := make([]time.Duration, 0, per/every+1)
+			for i := 0; i < per; i++ {
+				if i%every == 0 {
+					t0 := time.Now()
+					fn(i)
+					samples = append(samples, time.Since(t0))
+				} else {
+					fn(i)
+				}
+			}
+			lat[w] = samples
+		}(w)
+	}
+	wg.Wait()
+}
+
+// mergeLatencies pools every worker's samples, corrects each for the
+// calibrated timer overhead (flooring at zero) and sorts them.
+func mergeLatencies(lat [][]time.Duration, overhead time.Duration) []time.Duration {
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	for i, d := range all {
+		if d > overhead {
+			all[i] = d - overhead
+		} else {
+			all[i] = 0
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// percentile returns the p-th percentile of sorted samples
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// RunSuite measures every spec and assembles the report.
+func RunSuite(suite string, specs []Spec, o Options) *Report {
+	r := newReport(suite)
+	for _, s := range specs {
+		r.Results = append(r.Results, Measure(s, o))
+	}
+	return r
+}

@@ -50,6 +50,7 @@ func CoordOf(pt proc.CrashPoint) Coord {
 	return Coord{Obj: pt.Obj, Op: pt.Op, Line: pt.Line, Depth: pt.Depth, Bucket: b}
 }
 
+// String renders the coordinate as obj.op@line d<depth> c<bucket>.
 func (c Coord) String() string {
 	return fmt.Sprintf("%s.%s@%d d%d c%d", c.Obj, c.Op, c.Line, c.Depth, c.Bucket)
 }

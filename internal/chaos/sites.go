@@ -18,6 +18,7 @@ type CrashSite struct {
 	Step uint64
 }
 
+// String renders the site in the p<proc>@<step> flag syntax.
 func (s CrashSite) String() string {
 	return fmt.Sprintf("p%d@%d", s.Proc, s.Step)
 }

@@ -16,6 +16,23 @@
 // paths real NVRAM systems require, and powers the persistence-mode
 // ablation experiment (E8).
 //
-// All operations on words are safe for concurrent use. Allocation
-// (Alloc/AllocArray) is synchronized but intended for setup, not hot paths.
+// # Layout and scalability
+//
+// Words are striped over ShardCount banks of inline, cache-line-padded
+// slabs (shard.go), and the banks grow through copy-on-write chunk
+// tables, so every primitive resolves its word with one atomic pointer
+// load and mutates it with plain atomics — the hot path takes no lock
+// and, untraced, performs no allocation. Persistence bookkeeping is per
+// process rather than global: a Flush captures its (address, value)
+// pair into the issuing process's flush set and a Fence drains exactly
+// that set, the way SFENCE orders only the issuing CPU's cache-line
+// write-backs. Fence cost is therefore proportional to what the caller
+// actually flushed, never to the size of the memory, and CrashAll
+// discards all pending flushes in O(1) by bumping an epoch. DESIGN.md
+// §9 derives the cost model; EXPERIMENTS.md §9 measures it.
+//
+// All operations on words are safe for concurrent use, and
+// Alloc/AllocArray reserve addresses with a single atomic increment —
+// allocation is cheap enough to appear on hot paths, though real NRL
+// programs allocate at setup and recovery time only.
 package nvm

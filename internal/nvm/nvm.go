@@ -41,38 +41,38 @@ type Addr int32
 // InvalidAddr is never returned by Alloc.
 const InvalidAddr Addr = -1
 
-// word is one 64-bit NVRAM cell.
+// Memory is a simulated NVRAM, sharded for scale: words are striped over
+// ShardCount banks of inline, cache-line-padded slabs (see shard.go), so
+// the primitive hot path is lock-free — reads and mutations are plain
+// atomics plus one atomic chunk-table load — and persistence metadata is
+// guarded per bank, not globally.
 //
-// val is the current (architecturally visible) value. In Buffered mode,
-// persisted is the durable value, flushed is the value captured by the most
-// recent Flush that has not yet been fenced, and state tracks which of the
-// three meanings applies.
-type word struct {
-	val atomic.Uint64
-
-	// The fields below are only touched in Buffered mode, under Memory.pmu.
-	persisted uint64
-	flushed   uint64
-	state     wordState
-}
-
-type wordState uint8
-
-const (
-	wordClean    wordState = iota // persisted == val at last persist event
-	wordDirty                     // val newer than persisted, no flush pending
-	wordFlushing                  // flushed captured, awaiting Fence
-)
-
-// Memory is a simulated NVRAM.
+// Persistence tracking is per process: each Flush records its captured
+// (address, value) pair in the issuing process's flush set, and a Fence
+// drains exactly that set — no global scan, no cross-process
+// interference, mirroring how SFENCE orders only the issuing CPU's
+// cache-line write-backs. Raw accesses without attribution share flush
+// set 0.
 type Memory struct {
 	mode Mode
 
-	mu    sync.Mutex // guards words/names growth
-	words []*word
-	names []string
+	// next is the allocation cursor: addresses 0..next-1 are allocated.
+	next atomic.Int64
 
-	pmu sync.Mutex // Buffered mode: guards persistence metadata
+	// shards are the word banks; the shard of address a is a&shardMask.
+	shards [ShardCount]shard
+
+	// flushSets[p] tracks process p's flushes awaiting its next fence;
+	// growMu guards registry growth only (never the hot path).
+	flushSets atomic.Pointer[[]*flushSet]
+	growMu    sync.Mutex
+
+	// crashEpoch counts CrashAll events. Each flush set is stamped with
+	// the epoch its entries were captured in; a crash invalidates every
+	// process's pending flushes at once by bumping the epoch, and each
+	// owner discards its stale set lazily at its next flush or fence —
+	// so a crash never has to visit (or lock) the flush sets at all.
+	crashEpoch atomic.Uint64
 
 	// backend, when non-nil, holds the durable side of every word in
 	// real storage; fences commit through it (see Backend). phase, when
@@ -131,11 +131,16 @@ func (m *Memory) SetTracer(t trace.Tracer) { m.trc = trace.Active(t) }
 // installed sink was trace.Nop).
 func (m *Memory) Tracer() trace.Tracer { return m.trc }
 
-// emit sends one memory-primitive event. Attribution: an empty at.Obj is
-// filled with the root of the target word's allocation name, so raw
-// accesses (outside any recoverable operation) still land under a usable
-// per-object key in profiles.
+// emit sends one memory-primitive event. With no tracer installed it is
+// a single predictable branch — no event construction, no allocation —
+// so call sites may invoke it unconditionally. Attribution: an empty
+// at.Obj is filled with the root of the target word's allocation name,
+// so raw accesses (outside any recoverable operation) still land under
+// a usable per-object key in profiles.
 func (m *Memory) emit(k trace.Kind, a Addr, ret uint64, at trace.Attr) {
+	if m.trc == nil {
+		return
+	}
 	e := trace.Event{
 		Kind: k, P: at.P, Obj: at.Obj, Op: at.Op, Depth: at.Depth,
 		Addr: int32(a), Ret: ret,
@@ -161,10 +166,41 @@ func (m *Memory) emit(k trace.Kind, a Addr, ret uint64, at trace.Attr) {
 // initial (and initial durable) value. Word identity is the address, so
 // programs must allocate the same words in the same order across
 // restarts.
+//
+// Alloc is safe for concurrent use and holds no global lock: the
+// address is reserved with one atomic increment, and only the word's
+// own bank is locked (briefly) to initialise its durable side.
 func (m *Memory) Alloc(name string, init uint64) Addr {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	a := Addr(len(m.words))
+	a := Addr(m.next.Add(1) - 1)
+	m.place(a, name, init)
+	return a
+}
+
+// AllocArray allocates n words, all initialized to init, with names
+// "name[0]".."name[n-1]", and returns their addresses in order. The
+// addresses form one contiguous bank reservation — a single atomic
+// reservation of n consecutive addresses, striped round-robin across
+// the shards — rather than n independent allocations.
+func (m *Memory) AllocArray(name string, n int, init uint64) []Addr {
+	if n <= 0 {
+		return nil
+	}
+	base := Addr(m.next.Add(int64(n)) - int64(n))
+	addrs := make([]Addr, n)
+	for i := range addrs {
+		a := base + Addr(i)
+		m.place(a, fmt.Sprintf("%s[%d]", name, i), init)
+		addrs[i] = a
+	}
+	return addrs
+}
+
+// place initialises the word at a reserved address: recovers or grows
+// the backend state, materialises the slab, and sets the initial value.
+// No lock is held (both value stores are atomic; slab growth has its
+// own brief bank lock inside chunkFor) — backend I/O and the name write
+// happen entirely outside any critical section.
+func (m *Memory) place(a Addr, name string, init uint64) {
 	if m.backend != nil {
 		if v, ok := m.backend.Recovered(a); ok {
 			init = v
@@ -172,43 +208,36 @@ func (m *Memory) Alloc(name string, init uint64) Addr {
 			m.backend.Grow(a, init)
 		}
 	}
-	w := &word{}
+	si, slot := slotOf(a)
+	ch := m.chunkFor(si, slot)
+	off := slot & chunkMask
+	w := &ch.words[off]
 	w.val.Store(init)
-	w.persisted = init
-	m.words = append(m.words, w)
-	m.names = append(m.names, name)
-	return a
-}
-
-// AllocArray allocates n words, all initialized to init, with names
-// "name[0]".."name[n-1]", and returns their addresses in order.
-func (m *Memory) AllocArray(name string, n int, init uint64) []Addr {
-	addrs := make([]Addr, n)
-	for i := range addrs {
-		addrs[i] = m.Alloc(fmt.Sprintf("%s[%d]", name, i), init)
-	}
-	return addrs
+	w.persisted.Store(init)
+	ch.names[off] = name
 }
 
 // Size reports the number of allocated words.
-func (m *Memory) Size() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.words)
-}
+func (m *Memory) Size() int { return int(m.next.Load()) }
 
 // Name returns the name given to the word at a.
 func (m *Memory) Name(a Addr) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.names[a]
+	si, slot := slotOf(a)
+	chunks := *m.shards[si].chunks.Load()
+	return chunks[slot>>chunkShift].names[slot&chunkMask]
 }
 
-func (m *Memory) word(a Addr) *word {
-	m.mu.Lock()
-	w := m.words[a]
-	m.mu.Unlock()
-	return w
+// dirtied records a store landing on a word: a clean word becomes dirty
+// (lock-free transition) and the phase hook observes it. The state
+// machine exists for phase accounting only, so without a hook installed
+// no state is maintained and the store costs one predictable branch.
+func (m *Memory) dirtied(w *word) {
+	if m.phase == nil {
+		return
+	}
+	if w.state.CompareAndSwap(wordClean, wordDirty) {
+		m.phase(PhaseDirty)
+	}
 }
 
 // Read atomically reads the word at a.
@@ -218,7 +247,7 @@ func (m *Memory) Read(a Addr) uint64 { return m.ReadAt(a, trace.Attr{}) } //nrl:
 // (package proc routes Ctx accesses through here).
 func (m *Memory) ReadAt(a Addr, at trace.Attr) uint64 {
 	m.stats.reads.Add(1)
-	v := m.word(a).val.Load()
+	v := m.wordAt(a).val.Load()
 	if m.trc != nil {
 		m.emit(trace.MemRead, a, v, at)
 	}
@@ -235,27 +264,15 @@ func (m *Memory) WriteAt(a Addr, v uint64, at trace.Attr) {
 		return
 	}
 	m.stats.writes.Add(1)
-	w := m.word(a)
-	var dirtied bool
+	w := m.wordAt(a)
+	w.val.Store(v)
 	if m.mode == Buffered {
-		m.pmu.Lock()
-		w.val.Store(v)
-		if w.state == wordClean {
-			w.state = wordDirty
-			dirtied = true
-		}
-		m.pmu.Unlock()
-	} else {
-		w.val.Store(v)
-	}
-	if dirtied && m.phase != nil {
-		m.phase(PhaseDirty)
+		m.dirtied(w)
+	} else if m.backend != nil {
+		m.commitOne(a, v)
 	}
 	if m.trc != nil {
 		m.emit(trace.MemWrite, a, v, at)
-	}
-	if m.mode != Buffered && m.backend != nil {
-		m.commitOne(a, v)
 	}
 }
 
@@ -273,33 +290,20 @@ func (m *Memory) CASAt(a Addr, old, new uint64, at trace.Attr) bool {
 		return false
 	}
 	m.stats.cases.Add(1)
-	w := m.word(a)
-	var ok, dirtied bool
-	if m.mode == Buffered {
-		m.pmu.Lock()
-		if w.val.Load() == old {
-			w.val.Store(new)
-			if w.state == wordClean {
-				w.state = wordDirty
-				dirtied = true
-			}
-			ok = true
+	w := m.wordAt(a)
+	ok := w.val.CompareAndSwap(old, new)
+	if ok {
+		if m.mode == Buffered {
+			m.dirtied(w)
+		} else if m.backend != nil {
+			m.commitOne(a, new)
 		}
-		m.pmu.Unlock()
-	} else {
-		ok = w.val.CompareAndSwap(old, new)
 	}
-	if dirtied && m.phase != nil {
-		m.phase(PhaseDirty)
-	}
-	if ok && m.mode != Buffered && m.backend != nil {
-		m.commitOne(a, new)
+	var ret uint64
+	if ok {
+		ret = 1
 	}
 	if m.trc != nil {
-		var ret uint64
-		if ok {
-			ret = 1
-		}
 		m.emit(trace.MemCAS, a, ret, at)
 	}
 	return ok
@@ -314,28 +318,14 @@ func (m *Memory) TAS(a Addr) uint64 { return m.TASAt(a, trace.Attr{}) } //nrl:ig
 // is rejected and the current value returned unchanged (see Err).
 func (m *Memory) TASAt(a Addr, at trace.Attr) uint64 {
 	if m.degraded.Load() {
-		return m.word(a).val.Load()
+		return m.wordAt(a).val.Load()
 	}
 	m.stats.tases.Add(1)
-	w := m.word(a)
-	var prev uint64
-	var dirtied bool
+	w := m.wordAt(a)
+	prev := w.val.Swap(1)
 	if m.mode == Buffered {
-		m.pmu.Lock()
-		prev = w.val.Load()
-		w.val.Store(1)
-		if w.state == wordClean {
-			w.state = wordDirty
-			dirtied = true
-		}
-		m.pmu.Unlock()
-	} else {
-		prev = w.val.Swap(1)
-	}
-	if dirtied && m.phase != nil {
-		m.phase(PhaseDirty)
-	}
-	if m.mode != Buffered && m.backend != nil {
+		m.dirtied(w)
+	} else if m.backend != nil {
 		m.commitOne(a, 1)
 	}
 	if m.trc != nil {
@@ -353,28 +343,14 @@ func (m *Memory) FAA(a Addr, delta uint64) uint64 {
 // is rejected and the current value returned unchanged (see Err).
 func (m *Memory) FAAAt(a Addr, delta uint64, at trace.Attr) uint64 {
 	if m.degraded.Load() {
-		return m.word(a).val.Load()
+		return m.wordAt(a).val.Load()
 	}
 	m.stats.faas.Add(1)
-	w := m.word(a)
-	var prev uint64
-	var dirtied bool
+	w := m.wordAt(a)
+	prev := w.val.Add(delta) - delta
 	if m.mode == Buffered {
-		m.pmu.Lock()
-		prev = w.val.Load()
-		w.val.Store(prev + delta)
-		if w.state == wordClean {
-			w.state = wordDirty
-			dirtied = true
-		}
-		m.pmu.Unlock()
-	} else {
-		prev = w.val.Add(delta) - delta
-	}
-	if dirtied && m.phase != nil {
-		m.phase(PhaseDirty)
-	}
-	if m.mode != Buffered && m.backend != nil {
+		m.dirtied(w)
+	} else if m.backend != nil {
 		m.commitOne(a, prev+delta)
 	}
 	if m.trc != nil {
@@ -384,25 +360,40 @@ func (m *Memory) FAAAt(a Addr, delta uint64, at trace.Attr) uint64 {
 }
 
 // Flush initiates persistence of the word at a. In Buffered mode the
-// current value is captured and becomes durable at the next Fence; in ADR
-// mode Flush only counts (stores are already durable).
+// current value is captured into the issuing process's flush set and
+// becomes durable at that process's next Fence; in ADR mode Flush only
+// counts (stores are already durable).
 func (m *Memory) Flush(a Addr) { m.FlushAt(a, trace.Attr{}) } //nrl:ignore untraced delegation shorthand; the fence is the caller's obligation, not this wrapper's
 
-// FlushAt is Flush carrying trace attribution. The emitted event's Name
-// records the flushed word's allocation name, so profiles can attribute
-// unowned flushes to the word's root object.
+// FlushAt is Flush carrying trace attribution. at.P selects the flush
+// set the capture is tracked in (0 = the shared unattributed set). The
+// emitted event's Name records the flushed word's allocation name, so
+// profiles can attribute unowned flushes to the word's root object.
 func (m *Memory) FlushAt(a Addr, at trace.Attr) {
 	if m.degraded.Load() {
 		return
 	}
 	m.stats.flushes.Add(1)
 	if m.mode == Buffered {
-		w := m.word(a)
-		m.pmu.Lock()
-		w.flushed = w.val.Load()
-		w.state = wordFlushing
-		m.pmu.Unlock()
+		w := m.wordAt(a)
+		v := w.val.Load()
+		fs := m.flushSetFor(at.P)
+		shared := at.P <= 0
+		if shared {
+			fs.mu.Lock()
+		}
+		if e := m.crashEpoch.Load(); e != fs.epoch {
+			// The entries predate a crash that already discarded their
+			// captures; drop them before tracking the new one.
+			fs.entries = fs.entries[:0]
+			fs.epoch = e
+		}
+		fs.entries = append(fs.entries, flushEntry{a: a, v: v})
+		if shared {
+			fs.mu.Unlock()
+		}
 		if m.phase != nil {
+			w.state.Store(wordFlushing)
 			m.phase(PhaseFlushing)
 		}
 	}
@@ -411,14 +402,19 @@ func (m *Memory) FlushAt(a Addr, at trace.Attr) {
 	}
 }
 
-// Fence makes all previously flushed values durable. In ADR mode it only
-// counts.
+// Fence makes the values flushed by this caller durable. In ADR mode it
+// only counts.
 func (m *Memory) Fence() { m.FenceAt(trace.Attr{}) } //nrl:ignore zero-attr by definition: untraced shorthand
 
 // FenceAt is Fence carrying trace attribution. The emitted event has no
-// address: a fence orders every outstanding flush at once.
+// address: a fence orders every outstanding flush of the issuing
+// process (at.P; 0 = the shared unattributed set) at once. It drains
+// exactly that process's flush set — the per-process tracking invariant:
+// every NRL persistence obligation is a flush followed by a fence by
+// the same process, so a fence never needs to commit (or scan for)
+// another process's captures.
 //
-// With a backend installed, the fence first commits the flushed values
+// With a backend installed, the fence first commits the drained values
 // through Backend.Commit — the real pwrite+fsync — and only advances the
 // simulated persisted values once the backend reports the batch durable.
 // A failed commit (the backend's retry budget is exhausted) degrades the
@@ -430,36 +426,10 @@ func (m *Memory) FenceAt(at trace.Attr) {
 	}
 	m.stats.fences.Add(1)
 	if m.mode == Buffered {
-		m.mu.Lock()
-		words := m.words
-		m.mu.Unlock()
-		m.pmu.Lock()
-		if m.backend != nil {
-			var batch []WordUpdate
-			for i, w := range words {
-				if w.state == wordFlushing {
-					batch = append(batch, WordUpdate{Addr: Addr(i), Val: w.flushed})
-				}
-			}
-			if len(batch) > 0 {
-				if err := m.backend.Commit(batch); err != nil {
-					m.pmu.Unlock()
-					m.degrade(err)
-					return
-				}
-			}
+		if err := m.drainFlushes(at.P); err != nil {
+			m.degrade(err)
+			return
 		}
-		for _, w := range words {
-			if w.state == wordFlushing {
-				w.persisted = w.flushed
-				if w.val.Load() == w.persisted {
-					w.state = wordClean
-				} else {
-					w.state = wordDirty
-				}
-			}
-		}
-		m.pmu.Unlock()
 		if m.phase != nil {
 			if m.backend != nil {
 				m.phase(PhaseIdle)
@@ -470,6 +440,98 @@ func (m *Memory) FenceAt(at trace.Attr) {
 	}
 	if m.trc != nil {
 		m.emit(trace.MemFence, InvalidAddr, 0, at)
+	}
+}
+
+// drainFlushes applies process p's pending flush captures: commits them
+// through the backend (if any) and advances the persisted values. The
+// owner accesses its set lock-free (set 0, shared by raw accesses, takes
+// its mutex); entries stamped with a pre-crash epoch are discarded, not
+// drained. A single capture without a backend is one atomic persisted
+// store; every other shape locks the banks involved in ascending order
+// (the global lock order shared with CrashAll), so a multi-word fence
+// advances its words atomically with respect to a concurrent crash.
+func (m *Memory) drainFlushes(p int) error {
+	fs := m.flushSetFor(p)
+	if p <= 0 {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+	}
+	if e := m.crashEpoch.Load(); e != fs.epoch {
+		// Everything pending predates the last crash, which already
+		// discarded the captures; the fence has nothing to make durable.
+		fs.entries = fs.entries[:0]
+		fs.epoch = e
+		return nil
+	}
+	entries := fs.entries
+	if len(entries) == 0 {
+		return nil
+	}
+	if len(entries) == 1 && m.backend == nil {
+		// Fast path: the canonical persist discipline is one flush per
+		// fence, and advancing one word's durable value is a single
+		// atomic store — no bank lock, no dedup, no bank-set bookkeeping.
+		m.applyPersist(entries[0])
+		m.stats.fenceWords.Add(1)
+		fs.entries = entries[:0]
+		return nil
+	}
+	// Deduplicate re-flushed words keeping the last capture (the batch
+	// is almost always tiny, so the quadratic scan beats a map).
+	batch := entries[:0:len(entries)]
+	for i, e := range entries {
+		last := true
+		for _, later := range entries[i+1:] {
+			if later.a == e.a {
+				last = false
+				break
+			}
+		}
+		if last {
+			batch = append(batch, e)
+		}
+	}
+	var banks shardBitmap
+	for _, e := range batch {
+		si, _ := slotOf(e.a)
+		banks.add(si)
+	}
+	banks.lockAll(&m.shards, &m.stats)
+	if m.backend != nil {
+		updates := make([]WordUpdate, len(batch))
+		for i, e := range batch {
+			updates[i] = WordUpdate{Addr: e.a, Val: e.v}
+		}
+		if err := m.backend.Commit(updates); err != nil {
+			banks.unlockAll(&m.shards)
+			return err
+		}
+	}
+	for _, e := range batch {
+		m.applyPersist(e)
+	}
+	banks.unlockAll(&m.shards)
+	m.stats.fenceWords.Add(uint64(len(batch)))
+	fs.entries = fs.entries[:0]
+	return nil
+}
+
+// applyPersist advances one word's durable side to a drained flush
+// capture. The store itself is atomic; multi-word drains call this with
+// the word's bank mutex held so the batch is atomic against CrashAll,
+// while a single-word drain needs no lock. State-machine maintenance
+// runs only for phase-hooked memories (see dirtied).
+func (m *Memory) applyPersist(e flushEntry) {
+	w := m.wordAt(e.a)
+	w.persisted.Store(e.v)
+	if m.phase == nil {
+		return
+	}
+	if w.val.Load() == e.v {
+		w.state.Store(wordClean)
+	} else {
+		w.state.Store(wordDirty)
 	}
 }
 
@@ -484,9 +546,15 @@ func (m *Memory) PersistAt(a Addr, at trace.Attr) {
 }
 
 // CrashAll simulates a full-system power failure: every word reverts to its
-// most recently persisted value and all pending flushes are discarded. It
-// is meaningful only in Buffered mode; in ADR mode it is a no-op because
-// every store is already durable.
+// most recently persisted value and every process's pending flushes are
+// discarded. It is meaningful only in Buffered mode; in ADR mode it is a
+// no-op because every store is already durable.
+//
+// The pending flushes are discarded without touching the flush sets:
+// bumping crashEpoch invalidates every set at once, and each owner drops
+// its stale entries at its next flush or fence. The reverts themselves
+// run with every bank mutex held (ascending index — the same order
+// multi-word fences use), so a crash never tears a multi-word fence.
 //
 // Stats accounting: the crash is counted only after its effects (the
 // reverts) are applied, and the reverts bypass Write entirely — so a
@@ -499,27 +567,40 @@ func (m *Memory) CrashAll() {
 		m.stats.systemCrashes.Add(1)
 		return
 	}
-	m.mu.Lock()
-	words := m.words
-	m.mu.Unlock()
-	m.pmu.Lock()
-	for _, w := range words {
-		w.val.Store(w.persisted)
-		w.flushed = 0
-		w.state = wordClean
+	m.crashEpoch.Add(1)
+	for si := range m.shards {
+		m.shards[si].lock(&m.stats)
 	}
-	m.pmu.Unlock()
+	n := int(m.next.Load())
+	for si := range m.shards {
+		s := &m.shards[si]
+		var chunks []*wordChunk
+		if cs := s.chunks.Load(); cs != nil {
+			chunks = *cs
+		}
+		slots := shardSlots(si, n)
+		for slot := 0; slot < slots; slot++ {
+			ci := slot >> chunkShift
+			if ci >= len(chunks) {
+				break
+			}
+			w := &chunks[ci].words[slot&chunkMask]
+			w.val.Store(w.persisted.Load())
+			w.state.Store(wordClean)
+		}
+	}
+	for si := range m.shards {
+		m.shards[si].mu.Unlock()
+	}
 	m.stats.systemCrashes.Add(1)
 }
 
 // Durable reports the durable (persisted) value of the word at a. In ADR
-// mode this equals Read(a).
+// mode this equals Read(a). The read is a single atomic load — no lock.
 func (m *Memory) Durable(a Addr) uint64 {
-	w := m.word(a)
+	w := m.wordAt(a)
 	if m.mode != Buffered {
 		return w.val.Load()
 	}
-	m.pmu.Lock()
-	defer m.pmu.Unlock()
-	return w.persisted
+	return w.persisted.Load()
 }

@@ -32,6 +32,18 @@ type Stats struct {
 	flushes       atomic.Uint64
 	fences        atomic.Uint64
 	systemCrashes atomic.Uint64
+
+	// fenceWords counts the words fences made durable (after
+	// deduplicating re-flushed words), so fenceWords/fences is the mean
+	// drained-batch size — a direct read on how much work the
+	// per-process flush sets save versus a global scan.
+	fenceWords atomic.Uint64
+
+	// shardContention counts lock acquisitions (bank persistence
+	// mutexes) that could not be taken immediately. Zero under a
+	// well-striped workload; growth signals fences or crashes fighting
+	// over the same bank.
+	shardContention atomic.Uint64
 }
 
 // StatsSnapshot is a point-in-time copy of a Memory's counters.
@@ -44,6 +56,14 @@ type StatsSnapshot struct {
 	Flushes       uint64
 	Fences        uint64
 	SystemCrashes uint64
+
+	// FenceWords is the total number of words fences made durable; see
+	// Stats for the batch-size interpretation.
+	FenceWords uint64
+
+	// ShardContention counts contended bank-mutex acquisitions; see
+	// Stats.
+	ShardContention uint64
 }
 
 // Total returns the total number of memory primitives applied (excluding
@@ -63,6 +83,9 @@ func (m *Memory) Stats() StatsSnapshot {
 		Flushes:       m.stats.flushes.Load(),
 		Fences:        m.stats.fences.Load(),
 		SystemCrashes: m.stats.systemCrashes.Load(),
+
+		FenceWords:      m.stats.fenceWords.Load(),
+		ShardContention: m.stats.shardContention.Load(),
 	}
 }
 
@@ -78,6 +101,8 @@ func (m *Memory) ResetStats() {
 	m.stats.flushes.Store(0)
 	m.stats.fences.Store(0)
 	m.stats.systemCrashes.Store(0)
+	m.stats.fenceWords.Store(0)
+	m.stats.shardContention.Store(0)
 }
 
 // DrainStats atomically swaps every counter to zero and returns the
@@ -96,5 +121,8 @@ func (m *Memory) DrainStats() StatsSnapshot {
 		Flushes:       m.stats.flushes.Swap(0),
 		Fences:        m.stats.fences.Swap(0),
 		SystemCrashes: m.stats.systemCrashes.Swap(0),
+
+		FenceWords:      m.stats.fenceWords.Swap(0),
+		ShardContention: m.stats.shardContention.Swap(0),
 	}
 }

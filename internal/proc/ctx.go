@@ -162,12 +162,14 @@ func (c *Ctx) awaitFor(line, on int, cond func() bool) {
 
 // attr builds the trace attribution for a memory access issued by this
 // process: the issuing pid, the inner-most pending operation (if any) and
-// the nesting depth. With tracing off it returns the zero Attr without
-// touching the frame stack, keeping the untraced path allocation-free.
+// the nesting depth. The pid is always filled in — the memory keys its
+// per-process flush sets on Attr.P, tracing or not (see nvm.FenceAt) —
+// but with tracing off the frame stack is never touched, keeping the
+// untraced path allocation-free.
 func (c *Ctx) attr() trace.Attr {
 	p := c.p
 	if p.sys.tracer == nil {
-		return trace.Attr{}
+		return trace.Attr{P: p.id}
 	}
 	at := trace.Attr{P: p.id, Depth: len(p.stack)}
 	if len(p.stack) > 0 {

@@ -37,6 +37,8 @@ type AwaitInfo struct {
 	Iters uint64
 }
 
+// String renders the parked process, its await site, and (when
+// declared) the process it is waiting on.
 func (a AwaitInfo) String() string {
 	s := fmt.Sprintf("p%d parked in %s.%s await@%d (depth %d, attempt %d, %d iters",
 		a.Proc, a.Obj, a.Op, a.Line, a.Depth, a.Attempt, a.Iters)

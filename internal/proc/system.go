@@ -359,6 +359,26 @@ func (p *Proc) onCrash() {
 // is delivered (volatilely) to the parent frame and the parent's recovery
 // function runs, continuing outward until the whole stack unwinds. A crash
 // during recovery panics out to the caller's attempt loop.
+//
+// This is the single place the paper's recovery-function contract is
+// discharged, so all of it is stated here:
+//
+//   - Same arguments: the frame's args survive the crash (they are
+//     system state, not process state), and Exec re-enters with them —
+//     Ctx.Arg reads the identical values the interrupted invocation got.
+//   - LI_p: the frame's li register names the last *body* instruction
+//     begun (Ctx.Step updates it after the crash check; Ctx.RecStep
+//     never touches it), so a recovery entered at RecoverEntry can test
+//     LI exactly as Algorithm 4's "LI_p < 4" does, across repeated
+//     crashes during recovery.
+//   - Inner-most first: recovery starts at the top frame and cascades
+//     outward; each completed child's response reaches its parent only
+//     through the volatile child register (Ctx.ChildResp), which any
+//     further crash invalidates — the paper's motivation for strict
+//     operations.
+//
+// ALGORITHMS.md ("Recovery semantics") maps each clause back to the
+// paper's model section.
 func (p *Proc) resume() uint64 {
 	p.record(history.Rec, p.top(), nil, 0)
 	var ret uint64

@@ -61,6 +61,7 @@ type Point struct {
 	Line int
 }
 
+// String renders the crash point as p<proc> obj.op@line.
 func (p Point) String() string {
 	return fmt.Sprintf("p%d %s.%s@%d", p.Proc, p.Obj, p.Op, p.Line)
 }

@@ -52,12 +52,12 @@ const (
 	// MemRead .. MemFence are NVRAM primitives, attributed to the issuing
 	// process/object when known (see Attr).
 	MemRead
-	MemWrite
-	MemCAS
-	MemTAS
-	MemFAA
-	MemFlush
-	MemFence
+	MemWrite // store to an NVRAM word
+	MemCAS   // compare-and-swap on an NVRAM word
+	MemTAS   // test-and-set on an NVRAM word
+	MemFAA   // fetch-and-add on an NVRAM word
+	MemFlush // CLWB analogue: capture a word for the next fence
+	MemFence // SFENCE analogue: drain the issuing process's captures
 	// MemCommit marks a durable backend making a fence's flushed words
 	// durable for real (pwrite+fsync): Ret is the number of words in the
 	// batch, Attempt the I/O retries the commit needed, DurUS its
