@@ -40,12 +40,15 @@ bench:
 	$(GO) run ./cmd/nrlbench -json .
 
 # Re-run the suites into a scratch directory and gate against the
-# committed baselines: >15% ns/op growth or a vanished benchmark fails.
+# committed baselines (>15% ns/op growth, a new allocation, or a
+# vanished benchmark fails), then hold the flight-recorder rows to their
+# overhead budget within the fresh report.
 bench-check:
 	rm -rf bench-out && mkdir -p bench-out
 	$(GO) run ./cmd/nrlbench -json bench-out
 	$(GO) run ./cmd/nrlbench -compare BENCH_nvm.json bench-out/BENCH_nvm.json
 	$(GO) run ./cmd/nrlbench -compare BENCH_objects.json bench-out/BENCH_objects.json
+	$(GO) run ./cmd/nrlbench -overhead bench-out/BENCH_objects.json
 
 # The raw go-test microbenchmarks (bench_test.go) for interactive work;
 # the committed BENCH_*.json baselines come from `make bench` instead.

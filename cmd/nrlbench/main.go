@@ -6,14 +6,19 @@
 // It is also the front end of the machine-comparable benchmark pipeline
 // (internal/bench): -json runs the memory- and object-level suites and
 // writes schema-versioned BENCH_nvm.json / BENCH_objects.json reports,
-// and -compare diffs two such reports, failing (exit 1) on any ns/op
-// regression beyond -threshold — the CI regression gate.
+// and -compare diffs two such reports, failing (exit 1) on any ns/op or
+// allocs/op regression beyond -threshold — the CI regression gate.
+// -overhead checks the flight-recorder rows of an objects report against
+// their bare baselines within the same report, failing when the recorder
+// costs more than its budget (bench.RecorderOverheadBudget) or allocates
+// on the record path.
 //
 // Usage:
 //
 //	nrlbench [-ops N] [-exp E1,E3,...] [-trace out.jsonl]
 //	nrlbench -json DIR [-suite nvm|objects|all] [-benchops N]
 //	nrlbench -compare old.json new.json [-threshold 0.15]
+//	nrlbench -overhead BENCH_objects.json
 package main
 
 import (
@@ -46,11 +51,15 @@ func run(args []string) error {
 	benchOps := fs.Int("benchops", 0, "with -json: total operations per benchmark (0 = default)")
 	compare := fs.Bool("compare", false, "compare two BENCH_*.json reports (old new) and fail on regressions")
 	threshold := fs.Float64("threshold", bench.DefaultThreshold, "with -compare: relative ns/op growth tolerated before failing")
+	overhead := fs.String("overhead", "", "check the flight-recorder overhead budget within this objects report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *compare {
 		return runCompare(fs.Args(), *threshold)
+	}
+	if *overhead != "" {
+		return runOverhead(*overhead)
 	}
 	if *jsonDir != "" {
 		return runSuites(*jsonDir, *suite, *benchOps)
@@ -168,4 +177,17 @@ func runCompare(paths []string, threshold float64) error {
 	}
 	c.Fprint(os.Stdout)
 	return c.Gate()
+}
+
+// runOverhead evaluates the recorder-overhead budget pairs within one
+// report and returns a non-nil error (exit 1) on any breach.
+func runOverhead(path string) error {
+	report, err := bench.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	results := bench.Overhead(report, bench.OverheadPairs())
+	fmt.Printf("flight-recorder overhead (%s)\n", path)
+	bench.FprintOverhead(os.Stdout, results)
+	return bench.GateOverhead(results)
 }

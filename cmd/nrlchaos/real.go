@@ -78,6 +78,10 @@ func runReal(args []string, out, errOut io.Writer) int {
 	if res.TornWrites > 0 {
 		fmt.Fprintf(out, ", %d torn pages (%d repaired)", res.TornWrites, res.RepairedWrites)
 	}
+	fmt.Fprintf(out, ", %d black-box checks", res.BlackBoxChecks)
+	if res.BlackBoxTorn > 0 {
+		fmt.Fprintf(out, " (%d torn recorder slots)", res.BlackBoxTorn)
+	}
 	if len(res.Failures) == 0 {
 		fmt.Fprintf(out, ": ok\n")
 	} else {

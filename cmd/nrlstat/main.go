@@ -13,6 +13,19 @@
 //	nrlstat [-scenario counter|cas|stack|mixed|durable-log]
 //	        [-procs N] [-ops N] [-rate R] [-maxcrashes N] [-seed S]
 //	        [-trace out.jsonl]
+//	nrlstat -from run.jsonl
+//	nrlstat forensics <store-dir | bbox-file>
+//	nrlstat serve [-addr host:port] [-procs N] [-ops N]
+//
+// serve runs the counter workload once with full instrumentation and
+// then keeps the live telemetry plane (/metrics, /healthz,
+// /debug/pprof/) up on -addr until killed.
+//
+// -from replays a previously captured JSONL event stream through the
+// same profile pipeline instead of running a workload; a final line
+// torn by a crash is tolerated and reported. The forensics subcommand
+// decodes a store's flight-recorder region and prints the reconstructed
+// in-flight operation report (see internal/flightrec/forensics).
 package main
 
 import (
@@ -49,6 +62,12 @@ type config struct {
 }
 
 func run(args []string, w io.Writer) error {
+	if len(args) > 0 && args[0] == "forensics" {
+		return runForensics(args[1:], w)
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], w)
+	}
 	fs := flag.NewFlagSet("nrlstat", flag.ContinueOnError)
 	scenario := fs.String("scenario", "counter", "workload: counter, cas, stack, mixed or durable-log")
 	procs := fs.Int("procs", 3, "number of processes")
@@ -57,8 +76,12 @@ func run(args []string, w io.Writer) error {
 	maxCrashes := fs.Int("maxcrashes", 10, "crash budget of the injector")
 	seed := fs.Int64("seed", 1, "scheduler and injector seed")
 	traceOut := fs.String("trace", "", "also write the full event stream to this JSONL file")
+	from := fs.String("from", "", "replay a captured JSONL event stream instead of running a workload")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *from != "" {
+		return runFrom(*from, w)
 	}
 	if *procs <= 0 || *ops <= 0 {
 		return fmt.Errorf("-procs and -ops must be positive")

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"nrl/internal/flightrec"
 	"os"
 	"path/filepath"
 	"strings"
@@ -101,6 +102,130 @@ func TestBadFlags(t *testing.T) {
 		var out bytes.Buffer
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) accepted bad flags", args)
+		}
+	}
+}
+
+// TestReplayFrom: -from rebuilds the profile from a captured stream,
+// and tolerates (and reports) a final line torn by a crash.
+func TestReplayFrom(t *testing.T) {
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "run.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-procs", "2", "-ops", "20", "-trace", stream}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-from", stream}, &out); err != nil {
+		t.Fatal(err)
+	}
+	o := out.String()
+	if !strings.Contains(o, "replay ") || !strings.Contains(o, "Per-object profile") {
+		t.Errorf("replay output missing profile:\n%s", o)
+	}
+	if strings.Contains(o, "warning:") {
+		t.Errorf("clean stream reported truncation:\n%s", o)
+	}
+
+	// Tear the tail, as a kill mid-write would.
+	b, err := os.ReadFile(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.jsonl")
+	if err := os.WriteFile(torn, b[:len(b)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-from", torn}, &out); err != nil {
+		t.Fatalf("torn stream errored: %v", err)
+	}
+	if !strings.Contains(out.String(), "warning: final line") {
+		t.Errorf("torn stream missing truncation warning:\n%s", out.String())
+	}
+}
+
+// forensicsFixture builds the deterministic flight-recorder image behind
+// testdata/forensics.bbox: a two-process story — p1 completes an
+// increment (with checkpoint, fence and commit markers), p2 crashes
+// mid-append and is caught re-entering recovery — plus one slot torn by
+// hand, so the golden report locks down the partial-report path too.
+func forensicsFixture(t *testing.T) []byte {
+	t.Helper()
+	rec := flightrec.NewRecorder(flightrec.Options{Slots: 32, Deep: true})
+	rec.Record(flightrec.Rec{Kind: flightrec.KindBegin, P: 1, Depth: 1, Obj: "ctr", Op: "Inc", Val: 1})
+	rec.Record(flightrec.Rec{Kind: flightrec.KindCheckpoint, P: 1, Depth: 1, Obj: "ctr", Op: "Inc", LI: 2})
+	rec.Record(flightrec.Rec{Kind: flightrec.KindBegin, P: 2, Depth: 1, Obj: "log", Op: "Append", Val: 9})
+	rec.RecordFence(1, 2)
+	rec.RecordCommit(1, 2)
+	rec.Record(flightrec.Rec{Kind: flightrec.KindEnd, P: 1, Depth: 1, Obj: "ctr", Op: "Inc", Val: 2})
+	rec.Record(flightrec.Rec{Kind: flightrec.KindCrash, P: 2, Depth: 1, Obj: "log", Op: "Append", LI: 3})
+	rec.Record(flightrec.Rec{Kind: flightrec.KindRecoverEnter, P: 2, Depth: 1, Obj: "log", Op: "Append", LI: 3, Attempt: 1})
+	img := make([]byte, rec.SizeBytes())
+	if err := rec.Sync(func(b []byte, off int64) error {
+		copy(img[off:], b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the checkpoint's slot (record seq 2 -> slot 1, payload byte).
+	img[32+32+12] ^= 0xff
+	return img
+}
+
+// TestForensicsGolden locks down the forensics subcommand's recovery
+// report against the committed flight-recorder image.
+func TestForensicsGolden(t *testing.T) {
+	bbox := filepath.Join("testdata", "forensics.bbox")
+	golden := filepath.Join("testdata", "forensics.golden")
+	if *update {
+		if err := os.WriteFile(bbox, forensicsFixture(t), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else if want, err := os.ReadFile(bbox); err != nil {
+		t.Fatalf("missing committed image (run with -update): %v", err)
+	} else if got := forensicsFixture(t); !bytes.Equal(got, want) {
+		t.Fatalf("fixture drifted from committed image: regenerate with -update and review the golden diff")
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"forensics", bbox}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("forensics report differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, out.Bytes(), want)
+	}
+}
+
+// TestServeOnce: the serve subcommand brings the telemetry plane up and
+// its metrics document is well-formed JSON reflecting the workload.
+func TestServeOnce(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"serve", "-once", "-procs", "2", "-ops", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	o := out.String()
+	i := strings.Index(o, "{")
+	if i < 0 {
+		t.Fatalf("no JSON document in output:\n%s", o)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal([]byte(o[i:]), &flat); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, o)
+	}
+	for _, k := range []string{"nvm.ops_total", "flightrec.seq", "trace.events_total"} {
+		if _, ok := flat[k]; !ok {
+			t.Errorf("metrics missing %q", k)
 		}
 	}
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nrl/internal/flightrec"
+	"nrl/internal/flightrec/forensics"
+	"nrl/internal/harness"
+	"nrl/internal/persist"
+	"nrl/internal/trace"
+)
+
+// runFrom is the -from mode: rebuild the profile from a captured JSONL
+// event stream. The stream may end in a line torn by a crash (that is
+// when such files are most interesting); the surviving events are
+// profiled and the truncation reported.
+func runFrom(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, note, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replay %s: %d events\n", path, len(events))
+	if note != "" {
+		fmt.Fprintf(w, "warning: %s\n", note)
+	}
+	fmt.Fprintln(w)
+	p := trace.Build(events)
+	for _, tab := range harness.ProfileTables(p) {
+		tab.Fprint(w)
+	}
+	return nil
+}
+
+// runForensics is the forensics subcommand: decode a flight-recorder
+// region — either a persist store directory (its bbox file) or the
+// region file itself — and print the reconstructed report.
+func runForensics(args []string, w io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: nrlstat forensics <store-dir | bbox-file>")
+	}
+	path := args[0]
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, persist.BlackBoxName)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	recs, valid, torn := flightrec.Decode(img)
+	fmt.Fprintf(w, "flight recorder %s: %d valid records, %d torn slots\n\n", path, valid, torn)
+	rep := forensics.Reconstruct(recs, torn)
+	rep.Format(w)
+	return nil
+}

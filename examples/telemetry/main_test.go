@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end; every example self-verifies
+// its invariants and returns an error on any violation.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

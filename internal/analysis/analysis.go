@@ -164,6 +164,7 @@ const (
 	memoryType = "nrl/internal/nvm.Memory"
 	ctxType    = "nrl/internal/proc.Ctx"
 	attrType   = "nrl/internal/trace.Attr"
+	recType    = "nrl/internal/flightrec.Rec"
 )
 
 // calleeFunc resolves a call to its *types.Func, nil for non-functions

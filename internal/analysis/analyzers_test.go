@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nrl/internal/analysis"
+	"nrl/internal/flightrec"
 )
 
 // moduleRoot is the repository root relative to this package's test
@@ -29,6 +30,23 @@ func TestWitnessOrder(t *testing.T) {
 func TestTraceAttr(t *testing.T) {
 	analysis.RunGolden(t, moduleRoot, "testdata/src/traceattr",
 		analysis.TraceAttr)
+}
+
+// TestTraceAttrLifecycleRange pins the lifecycleKindMin/Max constants
+// the traceattr analyzer mirrors to the flightrec Kind values they
+// stand for: if a Kind is renumbered or the Lifecycle window moves,
+// this fails before the analyzer silently mis-classifies records.
+func TestTraceAttrLifecycleRange(t *testing.T) {
+	if flightrec.KindBegin != 1 || flightrec.KindCheckpoint != 6 {
+		t.Fatalf("lifecycle kinds moved: KindBegin=%d KindCheckpoint=%d; update traceattr's lifecycleKindMin/Max",
+			flightrec.KindBegin, flightrec.KindCheckpoint)
+	}
+	for k := flightrec.Kind(0); k <= 12; k++ {
+		want := k >= 1 && k <= 6
+		if k.Lifecycle() != want {
+			t.Fatalf("Kind(%d).Lifecycle() = %v, want %v; update traceattr's lifecycleKindMin/Max", k, k.Lifecycle(), want)
+		}
+	}
 }
 
 func TestCheckConv(t *testing.T) {

@@ -11,13 +11,20 @@ import (
 const DefaultThreshold = 0.15
 
 // Delta is one benchmark's old-vs-new comparison. Ratio is new/old
-// ns/op (so 2.0 means twice as slow, 0.5 twice as fast).
+// ns/op (so 2.0 means twice as slow, 0.5 twice as fast). An allocation
+// regression is tracked separately from the time ratio: allocs/op is
+// effectively deterministic, so a new allocation on a hot path is a
+// real code change even when the timing noise hides it.
 type Delta struct {
 	Name       string
 	OldNs      float64
 	NewNs      float64
 	Ratio      float64
 	Regression bool
+
+	OldAllocs       float64
+	NewAllocs       float64
+	AllocRegression bool
 }
 
 // Comparison is the result of diffing two reports of the same suite.
@@ -30,11 +37,12 @@ type Comparison struct {
 	EnvMismatch string   // non-empty when the reports came from different environments
 }
 
-// Regressions returns the deltas that exceeded the threshold.
+// Regressions returns the deltas that exceeded the threshold (on either
+// time or allocations).
 func (c *Comparison) Regressions() []Delta {
 	var out []Delta
 	for _, d := range c.Deltas {
-		if d.Regression {
+		if d.Regression || d.AllocRegression {
 			out = append(out, d)
 		}
 	}
@@ -42,11 +50,22 @@ func (c *Comparison) Regressions() []Delta {
 }
 
 // Gate returns an error when the comparison should fail a CI run: any
-// ns/op regression beyond the threshold, or a benchmark that vanished
-// (a silently dropped benchmark would otherwise retire its own gate).
+// ns/op or allocs/op regression beyond the threshold, or a benchmark
+// that vanished (a silently dropped benchmark would otherwise retire its
+// own gate).
 func (c *Comparison) Gate() error {
+	var ns, allocs int
+	for _, d := range c.Deltas {
+		if d.Regression {
+			ns++
+		}
+		if d.AllocRegression {
+			allocs++
+		}
+	}
 	if n := len(c.Regressions()); n > 0 {
-		return fmt.Errorf("bench: %d benchmark(s) regressed beyond %.0f%%", n, c.Threshold*100)
+		return fmt.Errorf("bench: %d benchmark(s) regressed beyond %.0f%% (%d on ns/op, %d on allocs/op)",
+			n, c.Threshold*100, ns, allocs)
 	}
 	if len(c.OnlyOld) > 0 {
 		return fmt.Errorf("bench: %d baseline benchmark(s) missing from the new report: %v", len(c.OnlyOld), c.OnlyOld)
@@ -83,11 +102,22 @@ func Compare(base, head *Report, threshold float64) (*Comparison, error) {
 			c.OnlyOld = append(c.OnlyOld, name)
 			continue
 		}
-		d := Delta{Name: name, OldNs: o.NsPerOp, NewNs: n.NsPerOp}
+		d := Delta{
+			Name: name, OldNs: o.NsPerOp, NewNs: n.NsPerOp,
+			OldAllocs: o.AllocsPerOp, NewAllocs: n.AllocsPerOp,
+		}
 		if o.NsPerOp > 0 {
 			d.Ratio = n.NsPerOp / o.NsPerOp
 			d.Regression = d.Ratio > 1+threshold
 		}
+		// Allocation gate: at least half an allocation per op appeared AND
+		// the relative growth clears the threshold. The absolute floor
+		// keeps rounding jitter on near-zero rates (and GC accounting
+		// noise on tiny runs) from tripping a relative-only rule; the
+		// relative part keeps one extra alloc on a 20-alloc op from
+		// counting as a regression.
+		d.AllocRegression = d.NewAllocs-d.OldAllocs > 0.5 &&
+			d.NewAllocs > d.OldAllocs*(1+threshold)
 		c.Deltas = append(c.Deltas, d)
 	}
 	for _, name := range head.sorted() {
@@ -113,11 +143,16 @@ func (c *Comparison) Fprint(w io.Writer) {
 	}
 	for _, d := range c.Deltas {
 		verdict := "ok"
-		if d.Regression {
+		switch {
+		case d.Regression && d.AllocRegression:
+			verdict = "REGRESSED (ns/op, allocs/op)"
+		case d.Regression:
 			verdict = "REGRESSED"
+		case d.AllocRegression:
+			verdict = "REGRESSED (allocs/op)"
 		}
-		fmt.Fprintf(w, "  %-*s  %10.1f -> %10.1f ns/op  (%5.2fx)  %s\n",
-			width, d.Name, d.OldNs, d.NewNs, d.Ratio, verdict)
+		fmt.Fprintf(w, "  %-*s  %10.1f -> %10.1f ns/op  (%5.2fx)  %6.2f -> %6.2f allocs  %s\n",
+			width, d.Name, d.OldNs, d.NewNs, d.Ratio, d.OldAllocs, d.NewAllocs, verdict)
 	}
 	for _, name := range c.OnlyOld {
 		fmt.Fprintf(w, "  %-*s  missing from new report\n", width, name)

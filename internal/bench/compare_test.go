@@ -131,3 +131,143 @@ func TestCompareEnvMismatchIsNoted(t *testing.T) {
 		t.Fatalf("env mismatch alone must not fail the gate: %v", err)
 	}
 }
+
+// allocFixture is fixture with per-row allocation rates.
+func allocFixture(suite string, rows map[string][2]float64) *Report {
+	r := newReport(suite)
+	for name, v := range rows {
+		r.Results = append(r.Results, Result{Name: name, Ops: 1000, NsPerOp: v[0], AllocsPerOp: v[1]})
+	}
+	return r
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := allocFixture("objects", map[string][2]float64{
+		"Hot":   {100, 4},
+		"Noise": {100, 0.2}, // rounding jitter on a near-zero rate
+		"Wide":  {100, 20},  // one more alloc on a 20-alloc op
+	})
+	head := allocFixture("objects", map[string][2]float64{
+		"Hot":   {100, 6},    // two new allocations: regression
+		"Noise": {100, 0.45}, // +0.25 absolute: under the half-alloc floor
+		"Wide":  {100, 21},   // +1 absolute but only +5% relative
+	})
+	c, err := Compare(base, head, 0.15)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Name != "Hot" {
+		t.Fatalf("regressions = %+v, want exactly Hot", regs)
+	}
+	if !regs[0].AllocRegression || regs[0].Regression {
+		t.Fatalf("Hot = %+v, want an alloc-only regression", regs[0])
+	}
+	if err := c.Gate(); err == nil {
+		t.Fatal("alloc regression did not fail the gate")
+	}
+}
+
+func TestOverheadGate(t *testing.T) {
+	pair := OverheadPair{Base: "Bare", Inst: "Instrumented", Budget: 0.15}
+
+	within := allocFixture("objects", map[string][2]float64{
+		"Bare": {100, 4}, "Instrumented": {112, 4},
+	})
+	res := Overhead(within, []OverheadPair{pair})
+	if err := GateOverhead(res); err != nil {
+		t.Fatalf("12%% overhead failed a 15%% budget: %v", err)
+	}
+
+	over := allocFixture("objects", map[string][2]float64{
+		"Bare": {100, 4}, "Instrumented": {120, 4},
+	})
+	res = Overhead(over, []OverheadPair{pair})
+	if err := GateOverhead(res); err == nil {
+		t.Fatal("20% overhead passed a 15% budget")
+	}
+	if !res[0].TimeBreach || res[0].AllocBreach {
+		t.Fatalf("result = %+v, want a time-only breach", res[0])
+	}
+
+	allocs := allocFixture("objects", map[string][2]float64{
+		"Bare": {100, 4}, "Instrumented": {105, 5},
+	})
+	res = Overhead(allocs, []OverheadPair{pair})
+	if err := GateOverhead(res); err == nil {
+		t.Fatal("an extra allocation passed the budget")
+	}
+
+	missing := allocFixture("objects", map[string][2]float64{"Bare": {100, 4}})
+	res = Overhead(missing, []OverheadPair{pair})
+	if err := GateOverhead(res); err == nil {
+		t.Fatal("a vanished instrumented row passed the gate")
+	}
+	if res[0].Missing != "Instrumented" {
+		t.Fatalf("Missing = %q, want Instrumented", res[0].Missing)
+	}
+}
+
+func TestOverheadTwoEstimators(t *testing.T) {
+	pair := OverheadPair{Base: "Bare", Inst: "Instrumented", Budget: 0.15}
+	report := func(base, inst Result) *Report {
+		base.Name, inst.Name = "Bare", "Instrumented"
+		base.Ops, inst.Ops = 1000, 1000
+		r := newReport("objects")
+		r.Results = append(r.Results, base, inst)
+		return r
+	}
+
+	// A noise burst froze the instrumented minimum high (min/min +25%)
+	// but the round-by-round ratios say ~10%: the paired estimate wins
+	// and the pair passes.
+	frozenMin := report(
+		Result{NsPerOp: 100, RoundsNs: []float64{100, 101, 130, 128}},
+		Result{NsPerOp: 125, RoundsNs: []float64{125, 110, 143, 141}},
+	)
+	res := Overhead(frozenMin, []OverheadPair{pair})
+	if res[0].TimeBreach {
+		t.Fatalf("burst-frozen minimum breached: overhead = %.3f", res[0].Overhead)
+	}
+	if got := res[0].Overhead; got > 0.12 || got < 0.08 {
+		t.Fatalf("overhead = %.3f, want the ~10%% paired median", got)
+	}
+
+	// A genuine regression raises every round, so both estimates agree
+	// and the smaller one still breaches.
+	regressed := report(
+		Result{NsPerOp: 100, RoundsNs: []float64{100, 102, 104}},
+		Result{NsPerOp: 125, RoundsNs: []float64{125, 128, 131}},
+	)
+	res = Overhead(regressed, []OverheadPair{pair})
+	if !res[0].TimeBreach {
+		t.Fatalf("25%% regression passed: overhead = %.3f", res[0].Overhead)
+	}
+
+	// Pre-RoundsNs reports (or mismatched series) fall back to min/min.
+	legacy := report(
+		Result{NsPerOp: 100},
+		Result{NsPerOp: 125, RoundsNs: []float64{125, 110}},
+	)
+	res = Overhead(legacy, []OverheadPair{pair})
+	if !res[0].TimeBreach || res[0].Overhead != 0.25 {
+		t.Fatalf("legacy report: overhead = %.3f, want the 0.25 min/min fallback", res[0].Overhead)
+	}
+}
+
+func TestOverheadPairsResolveInObjectsSuite(t *testing.T) {
+	// The registry must name real rows: every pair member has to be a
+	// spec of the objects suite, or the budget silently gates nothing.
+	names := map[string]bool{}
+	for _, s := range ObjectsSuite() {
+		names[s.Name] = true
+	}
+	for _, p := range OverheadPairs() {
+		if !names[p.Base] {
+			t.Errorf("pair baseline %q is not an objects-suite spec", p.Base)
+		}
+		if !names[p.Inst] {
+			t.Errorf("pair row %q is not an objects-suite spec", p.Inst)
+		}
+	}
+}

@@ -35,10 +35,19 @@ type Report struct {
 type Result struct {
 	// Name is the benchmark identifier ("BufferedCASPersist/procs=8").
 	Name string `json:"name"`
-	// Ops is the number of operations the measurement aggregated.
+	// Ops is the number of operations of one throughput round (the rate
+	// denominators aggregate over every round).
 	Ops int `json:"ops"`
-	// NsPerOp is wall time divided by Ops (workers run concurrently).
+	// NsPerOp is the best round's wall time divided by Ops (workers run
+	// concurrently).
 	NsPerOp float64 `json:"ns_per_op"`
+	// RoundsNs is every round's ns/op in round order — the raw series
+	// NsPerOp is the minimum of. The overhead gate pairs the series of
+	// a group's two rows for its median-paired estimate (see
+	// OverheadResult.Overhead), and a surprising ratio can be read
+	// against the round-to-round spread of the machine that produced
+	// it. Absent in pre-rounds reports.
+	RoundsNs []float64 `json:"rounds_ns,omitempty"`
 	// P50Ns and P99Ns are percentiles of individually timed operations,
 	// sampled throughout the run and corrected for timer overhead.
 	P50Ns float64 `json:"p50_ns"`

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nrl/internal/core"
+	"nrl/internal/flightrec"
 	"nrl/internal/nvm"
 	"nrl/internal/objects"
 	"nrl/internal/proc"
@@ -100,29 +101,53 @@ func NVMSuite() []Spec {
 // system, using its own Ctx from its own goroutine.
 func ObjectsSuite() []Spec {
 	var specs []Spec
-	for _, n := range []int{1, 8} {
-		n := n
-		for _, mode := range []nvm.Mode{nvm.ADR, nvm.Buffered} {
-			mode := mode
-			specs = append(specs, Spec{
-				Name:    fmt.Sprintf("Counter/Inc/mode=%s/procs=%d", mode, n),
-				Workers: n,
-				Setup: func(workers, _ int) (*nvm.Memory, []func(int)) {
-					sys := proc.NewSystem(proc.Config{
-						Procs: workers,
-						Mem:   nvm.New(nvm.WithMode(mode)),
-					})
-					ctr := objects.NewCounter(sys, "ctr")
-					ops := make([]func(int), workers)
-					for w := range ops {
-						c := sys.Proc(w + 1).Ctx()
-						ops[w] = func(int) { ctr.Inc(c) }
-					}
-					return sys.Mem(), ops
-				},
-			})
+	counterSpec := func(mode nvm.Mode, n int, frec func() *flightrec.Recorder, suffix string) Spec {
+		return Spec{
+			Name:    fmt.Sprintf("Counter/Inc/mode=%s/procs=%d%s", mode, n, suffix),
+			Workers: n,
+			Setup: func(workers, _ int) (*nvm.Memory, []func(int)) {
+				var rec *flightrec.Recorder
+				if frec != nil {
+					rec = frec()
+				}
+				sys := proc.NewSystem(proc.Config{
+					Procs:     workers,
+					Mem:       nvm.New(nvm.WithMode(mode)),
+					FlightRec: rec,
+				})
+				ctr := objects.NewCounter(sys, "ctr")
+				ops := make([]func(int), workers)
+				for w := range ops {
+					c := sys.Proc(w + 1).Ctx()
+					ops[w] = func(int) { ctr.Inc(c) }
+				}
+				return sys.Mem(), ops
+			},
 		}
 	}
+	// Each flight-recorder row runs immediately after its bare baseline:
+	// the overhead gate (see Overhead and OverheadPairs) is a ratio of
+	// the two, and on a shared machine the ratio is only meaningful when
+	// both rows saw the same machine — adjacent rows are seconds apart,
+	// rows at opposite ends of the suite are minutes apart. The gate
+	// holds the shallow rows to RecorderOverheadBudget; the deep row is
+	// informational (checkpoint-per-step is a debugging mode).
+	shallow := func() *flightrec.Recorder { return flightrec.NewRecorder(flightrec.Options{}) }
+	deep := func() *flightrec.Recorder { return flightrec.NewRecorder(flightrec.Options{Deep: true}) }
+	for _, mode := range []nvm.Mode{nvm.ADR, nvm.Buffered} {
+		base := counterSpec(mode, 1, nil, "")
+		inst := counterSpec(mode, 1, shallow, "/flightrec=on")
+		// The pair's rounds interleave: the overhead gate divides these
+		// two rows, and a ratio of measurements taken at different
+		// moments of a shared machine's life measures the machine.
+		base.Group = "counter-frec-" + mode.String()
+		inst.Group = base.Group
+		specs = append(specs, base, inst)
+	}
+	for _, mode := range []nvm.Mode{nvm.ADR, nvm.Buffered} {
+		specs = append(specs, counterSpec(mode, 8, nil, ""))
+	}
+	specs = append(specs, counterSpec(nvm.ADR, 1, deep, "/flightrec=deep"))
 	specs = append(specs, Spec{
 		Name:    "Register/Write/mode=ADR/procs=1",
 		Workers: 1,

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"nrl/internal/durable"
+	"nrl/internal/flightrec"
+	"nrl/internal/flightrec/forensics"
 	"nrl/internal/nvm"
 	"nrl/internal/persist"
 )
@@ -57,15 +59,24 @@ type KillWorkerConfig struct {
 //
 //	phase <name>                        every persistence-phase transition
 //	recovered len=L ctr=C torn=T repaired=R   once, after recovery
+//	blackbox records=N torn=T maxbegun=B maxended=E inflight=I   once, after recovery
 //	len <v>                             after append v is durable (the ack)
 //	done                                before a clean exit
 //	corrupt|degraded|bad <detail>       before a failure exit
+//
+// Every incarnation carries a flight recorder as the store's black box
+// and brackets each append with begin/end lifecycle records, so the
+// blackbox line lets the campaign cross-check the forensic story
+// against the recovered state: an end record is only issued once the
+// append is durable, and a begin record rides the append's own commit,
+// hence maxended <= len <= maxbegun must hold on every recovery.
 //
 // The returned code is one of the KillWorker constants. The function
 // never panics on storage failure; that is the point.
 func RunKillWorker(cfg KillWorkerConfig, out io.Writer) int {
 	hook := func(p nvm.Phase) { fmt.Fprintf(out, "phase %s\n", p) }
-	f, err := persist.Open(cfg.Dir, persist.Options{PhaseHook: hook})
+	frec := flightrec.NewRecorder(flightrec.Options{Slots: flightrec.DefaultSlots, Deep: true})
+	f, err := persist.Open(cfg.Dir, persist.Options{PhaseHook: hook, BlackBox: frec})
 	if err != nil {
 		if errors.Is(err, persist.ErrCorrupt) {
 			fmt.Fprintf(out, "corrupt %v\n", err)
@@ -97,11 +108,35 @@ func RunKillWorker(cfg KillWorkerConfig, out io.Writer) int {
 	}
 	rep := f.Report()
 	fmt.Fprintf(out, "recovered len=%d ctr=%d torn=%d repaired=%d\n", n, sum, rep.Torn, rep.Repaired)
+
+	// Forensic cross-check: replay the black box that survived the last
+	// incarnation and hold its story against the recovered state. End
+	// records are issued only after the append's commit returned, so no
+	// durable end may exceed the recovered length; begin records ride
+	// the append's own commit, so the recovered length may not exceed
+	// the largest durable begin (unless torn slots ate it).
+	recs := frec.Recovered()
+	fb := forensics.Reconstruct(recs, rep.BlackBoxTorn)
+	var maxBegun, maxEnded uint64
+	if pr := fb.Proc(1); pr != nil {
+		maxBegun, maxEnded = pr.MaxBegunVal, pr.MaxEndedVal
+	}
+	fmt.Fprintf(out, "blackbox records=%d torn=%d maxbegun=%d maxended=%d inflight=%d\n",
+		len(recs), rep.BlackBoxTorn, maxBegun, maxEnded, fb.InFlightTotal())
+	if maxEnded > n {
+		fmt.Fprintf(out, "bad blackbox: end %d past recovered len %d\n", maxEnded, n)
+		return KillWorkerBad
+	}
+	if rep.BlackBoxTorn == 0 && len(recs) > 0 && n > maxBegun {
+		fmt.Fprintf(out, "bad blackbox: recovered len %d but max begun %d\n", n, maxBegun)
+		return KillWorkerBad
+	}
 	if cfg.Verify {
 		fmt.Fprintln(out, "done")
 		return KillWorkerOK
 	}
 
+	frec.Record(flightrec.Rec{Kind: flightrec.KindRecoverEnter, P: 1, Depth: 1, Obj: "log", Op: "Reconcile", Val: n})
 	// Reconciliation: complete the in-flight increment a kill between
 	// append and inc left behind (recovery finishing the pending
 	// operation, in NRL terms).
@@ -112,9 +147,11 @@ func RunKillWorker(cfg KillWorkerConfig, out io.Writer) int {
 			return KillWorkerDegraded
 		}
 	}
+	frec.Record(flightrec.Rec{Kind: flightrec.KindRecoverExit, P: 1, Depth: 1, Obj: "log", Op: "Reconcile", Val: ctr.Read()})
 
 	for i := 0; i < cfg.Appends; i++ {
 		v := log.Len() + 1
+		frec.Record(flightrec.Rec{Kind: flightrec.KindBegin, P: 1, Depth: 1, Obj: "log", Op: "Append", Val: v})
 		if _, err := log.TryAppend(v); err != nil {
 			if errors.Is(err, nvm.ErrDegraded) {
 				fmt.Fprintf(out, "degraded %v\n", err)
@@ -128,6 +165,9 @@ func RunKillWorker(cfg KillWorkerConfig, out io.Writer) int {
 			fmt.Fprintf(out, "degraded %v\n", err)
 			return KillWorkerDegraded
 		}
+		// The append (and its counter bump) is durable: the end record
+		// is safe to issue, and will ride the next commit.
+		frec.Record(flightrec.Rec{Kind: flightrec.KindEnd, P: 1, Depth: 1, Obj: "log", Op: "Append", Val: v})
 		fmt.Fprintf(out, "len %d\n", v)
 	}
 	fmt.Fprintln(out, "done")
@@ -163,6 +203,14 @@ type KillRound struct {
 	AckedLen     uint64
 	Torn         int
 	Repaired     int
+	// Black-box forensics as reported by the incarnation: surviving
+	// record count, torn slots, and the lifecycle extremes the campaign
+	// cross-checks against RecoveredLen.
+	BBRecords  int
+	BBTorn     int
+	BBMaxBegun uint64
+	BBMaxEnded uint64
+	BBInFlight int
 }
 
 // KillResult is a campaign's outcome. Failures is empty iff every
@@ -175,6 +223,11 @@ type KillResult struct {
 	// and repaired across all incarnations.
 	TornWrites     int
 	RepairedWrites int
+	// BlackBoxChecks counts the rounds whose flight-recorder report was
+	// cross-checked against the recovered state; BlackBoxTorn totals the
+	// torn recorder slots those reports survived.
+	BlackBoxChecks int
+	BlackBoxTorn   int
 	// Phases records which persistence phase each kill landed in.
 	Phases *PhaseCoverage
 	// FinalLen is the log length of the final verify pass.
@@ -203,6 +256,13 @@ type workerState struct {
 	ackedLen      uint64
 	done          bool
 	failMsg       string
+
+	blackboxSeen bool
+	bbRecords    int
+	bbTorn       int
+	bbMaxBegun   uint64
+	bbMaxEnded   uint64
+	bbInFlight   int
 }
 
 func (s *workerState) Write(p []byte) (int, error) {
@@ -230,6 +290,10 @@ func (s *workerState) line(l string) {
 		s.recoveredSeen = true
 		fmt.Sscanf(l, "recovered len=%d ctr=%d torn=%d repaired=%d",
 			&s.recoveredLen, &s.recoveredCtr, &s.torn, &s.repaired)
+	case strings.HasPrefix(l, "blackbox "):
+		s.blackboxSeen = true
+		fmt.Sscanf(l, "blackbox records=%d torn=%d maxbegun=%d maxended=%d inflight=%d",
+			&s.bbRecords, &s.bbTorn, &s.bbMaxBegun, &s.bbMaxEnded, &s.bbInFlight)
 	case strings.HasPrefix(l, "len "):
 		fmt.Sscanf(l, "len %d", &s.ackedLen)
 	case l == "done":
@@ -292,8 +356,12 @@ func RunKillCampaign(cfg KillConfig) (*KillResult, error) {
 			Round: round, Killed: killed, Phase: st.lastPhase,
 			RecoveredLen: st.recoveredLen, RecoveredCtr: st.recoveredCtr,
 			AckedLen: st.ackedLen, Torn: st.torn, Repaired: st.repaired,
+			BBRecords: st.bbRecords, BBTorn: st.bbTorn,
+			BBMaxBegun: st.bbMaxBegun, BBMaxEnded: st.bbMaxEnded,
+			BBInFlight: st.bbInFlight,
 		}
 		recoveredSeen, doneSeen, failMsg := st.recoveredSeen, st.done, st.failMsg
+		blackboxSeen := st.blackboxSeen
 		st.mu.Unlock()
 		if waitErr != nil {
 			var ee *exec.ExitError
@@ -328,6 +396,27 @@ func RunKillCampaign(cfg KillConfig) (*KillResult, error) {
 			}
 			if kr.RecoveredCtr > kr.RecoveredLen {
 				fail(round, st, "counter %d ahead of log %d", kr.RecoveredCtr, kr.RecoveredLen)
+				continue
+			}
+			if blackboxSeen {
+				// Cross-check the flight-recorder story against the
+				// recovered state (see RunKillWorker's protocol doc).
+				if kr.BBMaxEnded > kr.RecoveredLen {
+					fail(round, st, "blackbox end %d past recovered len %d", kr.BBMaxEnded, kr.RecoveredLen)
+					continue
+				}
+				if kr.BBTorn == 0 && kr.BBRecords > 0 && kr.RecoveredLen > kr.BBMaxBegun {
+					fail(round, st, "blackbox max begun %d behind recovered len %d", kr.BBMaxBegun, kr.RecoveredLen)
+					continue
+				}
+				if kr.BBTorn == 0 && kr.BBInFlight > 1 {
+					fail(round, st, "blackbox reports %d in-flight appends from one process", kr.BBInFlight)
+					continue
+				}
+				res.BlackBoxChecks++
+				res.BlackBoxTorn += kr.BBTorn
+			} else if !killed {
+				fail(round, st, "clean exit without blackbox report")
 				continue
 			}
 			if kr.RecoveredLen > acked {

@@ -87,8 +87,11 @@ func TestKillCampaignSmoke(t *testing.T) {
 	if res.Kills+res.CleanExits != 12 {
 		t.Fatalf("rounds accounted = %d+%d, want 12", res.Kills, res.CleanExits)
 	}
-	t.Logf("smoke: kills=%d clean=%d finalLen=%d repaired=%d\n%s",
-		res.Kills, res.CleanExits, res.FinalLen, res.RepairedWrites, res.Phases)
+	if res.BlackBoxChecks == 0 {
+		t.Error("no round cross-checked the flight-recorder black box")
+	}
+	t.Logf("smoke: kills=%d clean=%d finalLen=%d repaired=%d bbchecks=%d\n%s",
+		res.Kills, res.CleanExits, res.FinalLen, res.RepairedWrites, res.BlackBoxChecks, res.Phases)
 }
 
 // TestKillCampaign200Rounds is the acceptance criterion: 200 seeded

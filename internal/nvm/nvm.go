@@ -94,6 +94,20 @@ type Memory struct {
 	// set once, before the memory is shared (see SetTracer), so the
 	// nil-check on the hot path needs no synchronisation.
 	trc trace.Tracer
+
+	// frec, when non-nil, receives one crash-surviving fence marker per
+	// drained fence (see SetRecorder). Same once-before-sharing contract
+	// as trc.
+	frec FenceRecorder
+}
+
+// FenceRecorder receives a durable fence marker every time a process's
+// flush set drains: p is the fencing process, words how many captured
+// words the fence made persistent. It is satisfied by
+// *flightrec.Recorder; depending on the interface keeps the memory
+// decoupled from the recorder's package.
+type FenceRecorder interface {
+	RecordFence(p int, words uint64)
 }
 
 // Option configures a Memory.
@@ -130,6 +144,14 @@ func (m *Memory) SetTracer(t trace.Tracer) { m.trc = trace.Active(t) }
 // Tracer returns the installed trace sink (nil if none, or if the
 // installed sink was trace.Nop).
 func (m *Memory) Tracer() trace.Tracer { return m.trc }
+
+// SetRecorder installs a flight recorder receiving one fence marker per
+// drained fence. Like SetTracer, it must be called before the memory is
+// shared (proc.NewSystem installs Config.FlightRec here).
+func (m *Memory) SetRecorder(r FenceRecorder) { m.frec = r }
+
+// Recorder returns the installed fence recorder (nil if none).
+func (m *Memory) Recorder() FenceRecorder { return m.frec }
 
 // emit sends one memory-primitive event. With no tracer installed it is
 // a single predictable branch — no event construction, no allocation —
@@ -475,6 +497,9 @@ func (m *Memory) drainFlushes(p int) error {
 		m.applyPersist(entries[0])
 		m.stats.fenceWords.Add(1)
 		fs.entries = entries[:0]
+		if m.frec != nil {
+			m.frec.RecordFence(p, 1)
+		}
 		return nil
 	}
 	// Deduplicate re-flushed words keeping the last capture (the batch
@@ -514,6 +539,9 @@ func (m *Memory) drainFlushes(p int) error {
 	banks.unlockAll(&m.shards)
 	m.stats.fenceWords.Add(uint64(len(batch)))
 	fs.entries = fs.entries[:0]
+	if m.frec != nil {
+		m.frec.RecordFence(p, uint64(len(batch)))
+	}
 	return nil
 }
 

@@ -15,6 +15,16 @@
 //	       images of every page a fence touched, and a trailing CRC
 //	       over the whole record.
 //
+// With Options.BlackBox set a third file joins them:
+//
+//	bbox — the flight recorder's ring (package flightrec): a
+//	       checksummed header plus per-record-checksummed 32-byte
+//	       op-lifecycle slots. Each commit rewrites the recorder's
+//	       dirty slots before the WAL fsync, so the black box obeys
+//	       the same flush-before-fence rules as the data, and Open
+//	       replays whatever survived back into the recorder (torn
+//	       slots are counted, not fatal — see RecoverInfo).
+//
 // # Commit protocol
 //
 // nvm.Memory hands the backend one Commit per fence, carrying the words

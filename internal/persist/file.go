@@ -17,6 +17,9 @@ import (
 const (
 	dataName = "data"
 	walName  = "wal"
+	// BlackBoxName is the flight-recorder region file inside a store
+	// directory (see Options.BlackBox).
+	BlackBoxName = "bbox"
 
 	headerSize  = PageSize
 	headerMagic = "NRLPERS1"
@@ -43,9 +46,9 @@ type Options struct {
 	Sleep func(time.Duration)
 	// Inject, when non-nil, is consulted before every physical I/O
 	// attempt with the operation name — "wal.append", "wal.fsync",
-	// "wal.truncate", "data.pwrite" or "data.fsync" — and a non-nil
-	// return fails that attempt. It is the failpoint hook the
-	// degradation tests drive.
+	// "wal.truncate", "data.pwrite", "data.fsync", "bbox.pwrite" or
+	// "bbox.fsync" — and a non-nil return fails that attempt. It is the
+	// failpoint hook the degradation tests drive.
 	Inject func(op string) error
 	// Tracer, when non-nil, receives one MemCommit event per commit
 	// (latency, batch size, retries) and one MemDegraded on
@@ -58,6 +61,29 @@ type Options struct {
 	// CheckpointBytes is the WAL size beyond which a commit checkpoints
 	// — fsync the data file, truncate the WAL (default 256 KiB).
 	CheckpointBytes int64
+	// BlackBox, when non-nil, attaches a flight recorder (package
+	// flightrec) to the store: Open feeds it the surviving bbox region
+	// for reconstruction, and every Commit rewrites its dirty slots into
+	// the region before the WAL fsync — flush before fence, so the ring
+	// is exactly as durable as the data it explains. The region is
+	// fsynced at every checkpoint. Damage to the region never fails
+	// Open; it shows up in RecoveryReport as torn black-box slots.
+	BlackBox BlackBox
+}
+
+// BlackBox is the persistence contract between the store and a flight
+// recorder. It is satisfied by *flightrec.Recorder; the store only
+// needs region geometry, crash reconstruction and dirty-slot syncing,
+// and depending on the interface keeps the packages decoupled.
+type BlackBox interface {
+	// SizeBytes is the full region size the recorder persists.
+	SizeBytes() int64
+	// Recover decodes a previous incarnation's region image; it reports
+	// intact and torn record counts and must not fail.
+	Recover(img []byte) (valid, torn int)
+	// Sync rewrites the slots dirtied since the last call through pw
+	// (write b at region offset off).
+	Sync(pw func(b []byte, off int64) error) error
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +124,13 @@ type RecoveryReport struct {
 	// Reinitialized reports that the store died before its header was
 	// durable and was re-created empty.
 	Reinitialized bool
+	// BlackBoxRecords and BlackBoxTorn report what survived in the
+	// flight-recorder region (when Options.BlackBox is set): records
+	// decoded intact and slots that failed their checksum. A torn black
+	// box degrades the reconstruction to a partial report; it never
+	// fails recovery of the data.
+	BlackBoxRecords int
+	BlackBoxTorn    int
 }
 
 // File is a file-backed nvm.Backend. Open one per store directory and
@@ -111,6 +144,7 @@ type File struct {
 	mu       sync.Mutex
 	data     *os.File
 	wal      *os.File
+	bbox     *os.File // flight-recorder region; nil without Options.BlackBox
 	img      []uint64 // current committed+growing word image
 	covered  []bool   // per page: a durable image exists (data or WAL)
 	seq      uint64   // last committed record sequence
@@ -145,9 +179,20 @@ func Open(dir string, opts Options) (*File, error) {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	f := &File{dir: dir, opts: opts, trc: trace.Active(opts.Tracer), data: data, wal: wal}
+	if opts.BlackBox != nil {
+		f.bbox, err = os.OpenFile(filepath.Join(dir, BlackBoxName), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			data.Close()
+			wal.Close()
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+	}
 	if err := f.recover(); err != nil {
 		data.Close()
 		wal.Close()
+		if f.bbox != nil {
+			f.bbox.Close()
+		}
 		return nil, err
 	}
 	return f, nil
@@ -225,6 +270,12 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 	retriesBefore := f.retries
 
 	f.seq++
+	// The commit marker rides the very fence it describes: it is in the
+	// ring before the region sync below, which lands before the WAL
+	// fsync that makes this commit durable.
+	if cr, ok := f.opts.BlackBox.(interface{ RecordCommit(seq, words uint64) }); ok {
+		cr.RecordCommit(f.seq, uint64(len(batch)))
+	}
 	pages := map[uint32]bool{}
 	for _, u := range batch {
 		f.growLocked(int(u.Addr))
@@ -242,6 +293,12 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 		_, err := f.wal.WriteAt(rec, f.walSize)
 		return err
 	}); err != nil {
+		return f.degradeLocked(err)
+	}
+	// Flush before fence: the flight-recorder region must be in the page
+	// cache before the fsync that commits this record, so the box always
+	// explains at least as much history as the data carries.
+	if err := f.syncBlackBox(); err != nil {
 		return f.degradeLocked(err)
 	}
 	if err := f.retry("wal.fsync", f.wal.Sync); err != nil {
@@ -277,6 +334,20 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 	return nil
 }
 
+// syncBlackBox rewrites the recorder's dirty slots into the bbox file
+// under the I/O retry budget. No-op without a black box.
+func (f *File) syncBlackBox() error {
+	if f.bbox == nil {
+		return nil
+	}
+	return f.opts.BlackBox.Sync(func(b []byte, off int64) error {
+		return f.retry("bbox.pwrite", func() error {
+			_, err := f.bbox.WriteAt(b, off)
+			return err
+		})
+	})
+}
+
 // Close releases the file handles. It does not flush: anything
 // committed is already durable, and anything else never was.
 func (f *File) Close() error {
@@ -284,6 +355,9 @@ func (f *File) Close() error {
 	defer f.mu.Unlock()
 	werr := f.wal.Close()
 	derr := f.data.Close()
+	if f.bbox != nil {
+		f.bbox.Close()
+	}
 	if werr != nil {
 		return werr
 	}
@@ -337,6 +411,14 @@ func (f *File) encodeRecord(idxs []uint32) []byte {
 func (f *File) checkpointLocked() error {
 	if err := f.retry("data.fsync", f.data.Sync); err != nil {
 		return err
+	}
+	// The black box gets the same power-failure durability as the data:
+	// whatever the commits pwrote since the last checkpoint is fenced
+	// here.
+	if f.bbox != nil {
+		if err := f.retry("bbox.fsync", f.bbox.Sync); err != nil {
+			return err
+		}
 	}
 	if err := f.retry("wal.truncate", func() error { return f.wal.Truncate(0) }); err != nil {
 		return err

@@ -118,6 +118,19 @@ func (f *File) recover() error {
 	f.report.WALRecords = len(recs)
 	f.report.WALDiscarded = discarded
 
+	// Revive the flight recorder from the surviving bbox region first:
+	// whatever the data scan below concludes — including unrepairable
+	// corruption — the black box's story is already reconstructed, and
+	// damage to the region itself can only shrink that story, never
+	// fail recovery of the data (the region's records are individually
+	// checksummed; torn ones are dropped as a partial report).
+	if f.opts.BlackBox != nil {
+		img, rerr := os.ReadFile(filepath.Join(f.dir, BlackBoxName))
+		if rerr == nil {
+			f.report.BlackBoxRecords, f.report.BlackBoxTorn = f.opts.BlackBox.Recover(img)
+		}
+	}
+
 	// Header. A fresh store has none; a store that died before its
 	// header fsync (it cannot have committed anything yet) is
 	// re-created; a damaged header over committed state is corruption.

@@ -3,6 +3,7 @@ package proc
 import (
 	"runtime"
 
+	"nrl/internal/flightrec"
 	"nrl/internal/history"
 	"nrl/internal/nvm"
 	"nrl/internal/trace"
@@ -68,6 +69,11 @@ func (c *Ctx) step(line int, updateLI bool) {
 	}
 	if updateLI {
 		fr.li = line
+		// LI_p checkpoints are deep-mode-only: the frecDeep guard keeps
+		// the shallow hot path at one predictable branch per step.
+		if p.sys.frecDeep {
+			p.recordFR(flightrec.KindCheckpoint, fr, 0)
+		}
 	}
 }
 
@@ -112,9 +118,11 @@ func (c *Ctx) Invoke(op Operation, args ...uint64) uint64 {
 	fr := p.push(op, cloneArgs(args))
 	p.record(history.Inv, fr, fr.args, 0)
 	p.emitOp(trace.Invoke, fr, fr.args, 0)
+	p.recordFR(flightrec.KindBegin, fr, firstArg(fr.args))
 	ret := op.Exec(c, op.Info().Entry)
 	p.record(history.Res, fr, nil, ret)
 	p.emitOp(trace.Response, fr, nil, ret)
+	p.recordFR(flightrec.KindEnd, fr, ret)
 	p.pop()
 	return ret
 }

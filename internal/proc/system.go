@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nrl/internal/flightrec"
 	"nrl/internal/history"
 	"nrl/internal/nvm"
 	"nrl/internal/trace"
@@ -25,6 +26,15 @@ type Config struct {
 	// operation. nil (or trace.Nop, which normalizes to nil) skips event
 	// construction entirely; see internal/trace for the sinks.
 	Tracer trace.Tracer
+	// FlightRec, if non-nil, receives a crash-surviving flight-recorder
+	// record for every operation lifecycle transition (begin/end at top
+	// level, crash, recovery entry/exit at any depth; nested begin/end
+	// and per-step LI checkpoints too when the recorder runs in deep
+	// mode) and — installed into Mem via nvm.Memory.SetRecorder — one
+	// fence marker per drained fence. Unlike Tracer, whose events die
+	// with the process, these records ride the durable store's commit
+	// fences when the recorder is also installed as persist.BlackBox.
+	FlightRec *flightrec.Recorder
 	// Injector decides crash points (default: Never).
 	Injector Injector
 	// Scheduler controls interleaving (default: Free).
@@ -54,6 +64,8 @@ type System struct {
 	mem           *nvm.Memory
 	rec           *history.Recorder
 	tracer        trace.Tracer
+	frec          *flightrec.Recorder
+	frecDeep      bool // cached FlightRec.DeepMode(): gates per-step checkpoints
 	inj           Injector
 	sched         Scheduler
 	procs         []*Proc
@@ -94,10 +106,15 @@ func NewSystem(cfg Config) *System {
 	if tracer != nil {
 		mem.SetTracer(tracer)
 	}
+	if cfg.FlightRec != nil {
+		mem.SetRecorder(cfg.FlightRec)
+	}
 	s := &System{
 		mem:           mem,
 		rec:           cfg.Recorder,
 		tracer:        tracer,
+		frec:          cfg.FlightRec,
+		frecDeep:      cfg.FlightRec != nil && cfg.FlightRec.DeepMode(),
 		inj:           inj,
 		sched:         sched,
 		awaitBudget:   budget,
@@ -221,7 +238,14 @@ type crashSignal struct{ proc int }
 type frame struct {
 	op   Operation
 	opID int64
-	args []uint64
+	// fref is the flight-recorder attribution (interned obj/op name ids),
+	// resolved lazily by the frame's first record that survives the
+	// shallow-mode drop — in shallow mode a nested frame usually never
+	// resolves one. Like the rest of the frame it is system state:
+	// recovery records reuse it.
+	fref   flightrec.Ref
+	frefOK bool
+	args   []uint64
 	li   int // last instruction begun (0 before the first step)
 	// attempts counts how many times this frame's recovery function has
 	// been entered (0 for an operation that never crashed).
@@ -251,6 +275,15 @@ type Proc struct {
 	// awaiting is only touched by the process's own goroutine; it flags
 	// steps taken inside an Await loop for CrashPoint.Awaiting.
 	awaiting bool
+
+	// frefObj/frefOp/frefCache are a one-entry flight-recorder Ref cache
+	// (own-goroutine only): a process typically invokes the same operation
+	// in a loop, and Refs are stable, so push usually skips the interning
+	// tables entirely. The string compares hit the pointer-equality fast
+	// path when the names come from the same OpInfo.
+	frefObj   string
+	frefOp    string
+	frefCache flightrec.Ref
 }
 
 // ID returns the process id (1-based).
@@ -310,16 +343,58 @@ func (p *Proc) emitOp(k trace.Kind, fr *frame, args []uint64, ret uint64) {
 	})
 }
 
+// recordFR writes one flight-recorder record for fr. Unlike emitOp's
+// trace events, these survive the process: the recorder's ring rides
+// the durable backend's commit fences. The first operation argument
+// (begin) or the response (end/recover-exit) travels in Val — it is
+// what lets the kill harness line surviving records up against
+// recovered state.
+func (p *Proc) recordFR(kind flightrec.Kind, fr *frame, val uint64) {
+	r := p.sys.frec
+	if r == nil {
+		return
+	}
+	depth := len(p.stack)
+	// Mirror the recorder's shallow-mode drop before resolving the
+	// attribution: a nested begin/end that will be dropped anyway should
+	// not pay (or trigger) name interning.
+	if !p.sys.frecDeep && depth > 1 &&
+		(kind == flightrec.KindBegin || kind == flightrec.KindEnd) {
+		return
+	}
+	if !fr.frefOK {
+		info := fr.op.Info()
+		if info.Obj != p.frefObj || info.Op != p.frefOp {
+			p.frefCache = r.Ref(info.Obj, info.Op)
+			p.frefObj, p.frefOp = info.Obj, info.Op
+		}
+		fr.fref, fr.frefOK = p.frefCache, true
+	}
+	r.RecordOp(kind, p.id, depth, fr.fref,
+		fr.li, fr.attempts, val, p.sys.globalSteps.Load())
+}
+
+// firstArg is the begin record's payload: the operation's first
+// argument, or zero for a no-argument operation.
+func firstArg(args []uint64) uint64 {
+	if len(args) == 0 {
+		return 0
+	}
+	return args[0]
+}
+
 // call runs a top-level operation to completion, surviving any number of
 // crashes. It is the system's resurrection loop.
 func (p *Proc) call(op Operation, args []uint64) uint64 {
 	fr := p.push(op, args)
 	p.record(history.Inv, fr, fr.args, 0)
 	p.emitOp(trace.Invoke, fr, fr.args, 0)
+	p.recordFR(flightrec.KindBegin, fr, firstArg(fr.args))
 	ret, ok := p.attempt(func() uint64 {
 		r := op.Exec(p.ctx, op.Info().Entry)
 		p.record(history.Res, fr, nil, r)
 		p.emitOp(trace.Response, fr, nil, r)
+		p.recordFR(flightrec.KindEnd, fr, r)
 		p.pop()
 		return r
 	})
@@ -349,6 +424,7 @@ func (p *Proc) onCrash() {
 	p.crashes.Add(1)
 	p.record(history.Crash, p.top(), nil, 0)
 	p.emitOp(trace.Crash, p.top(), nil, 0)
+	p.recordFR(flightrec.KindCrash, p.top(), 0)
 	for _, fr := range p.stack {
 		fr.childValid = false
 	}
@@ -386,9 +462,11 @@ func (p *Proc) resume() uint64 {
 		fr := p.top()
 		fr.attempts++
 		p.emitOp(trace.Recover, fr, nil, 0)
+		p.recordFR(flightrec.KindRecoverEnter, fr, 0)
 		ret = fr.op.Exec(p.ctx, fr.op.Info().RecoverEntry)
 		p.record(history.Res, fr, nil, ret)
 		p.emitOp(trace.RecoverDone, fr, nil, ret)
+		p.recordFR(flightrec.KindRecoverExit, fr, ret)
 		p.pop()
 		if len(p.stack) == 0 {
 			return ret

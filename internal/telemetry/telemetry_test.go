@@ -1,0 +1,121 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nrl/internal/flightrec"
+	"nrl/internal/nvm"
+	"nrl/internal/telemetry"
+	"nrl/internal/trace"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestMetricsEndpoint: the flat document is well-formed JSON carrying
+// every registered group's keys with live values.
+func TestMetricsEndpoint(t *testing.T) {
+	mem := nvm.New()
+	rec := flightrec.NewRecorder(flightrec.Options{Slots: 64})
+	ring := trace.NewRing(128)
+
+	reg := telemetry.NewRegistry()
+	reg.Register("nvm", telemetry.Memory(mem))
+	reg.Register("flightrec", telemetry.Recorder(rec))
+	reg.Register("trace", telemetry.Ring(ring))
+
+	a := mem.Alloc("x", 0)
+	mem.Write(a, 1)
+	mem.Read(a)
+	mem.Read(a)
+	rec.Record(flightrec.Rec{Kind: flightrec.KindBegin, P: 1, Depth: 1, Obj: "o", Op: "Op"})
+
+	srv := httptest.NewServer(reg.Mux())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(body, &flat); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if got := flat["nvm.reads"]; got != float64(2) {
+		t.Errorf("nvm.reads = %v, want 2", got)
+	}
+	if got := flat["nvm.writes"]; got != float64(1) {
+		t.Errorf("nvm.writes = %v, want 1", got)
+	}
+	if got := flat["flightrec.seq"]; got != float64(3) { // begin + 2 name records
+		t.Errorf("flightrec.seq = %v, want 3", got)
+	}
+	if _, ok := flat["trace.events_total"]; !ok {
+		t.Error("trace group missing")
+	}
+	if flat["nvm.mode"] != "ADR" {
+		t.Errorf("nvm.mode = %v", flat["nvm.mode"])
+	}
+}
+
+// TestHealthEndpoint: ok while checks pass, 503 naming the failure
+// after one fails.
+func TestHealthEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	bad := false
+	reg.RegisterHealth("store", func() error {
+		if bad {
+			return errors.New("degraded to read-only")
+		}
+		return nil
+	})
+	srv := httptest.NewServer(reg.Mux())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthy = %d %s", code, body)
+	}
+	bad = true
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded status = %d", code)
+	}
+	var doc struct {
+		Status   string            `json:"status"`
+		Failures map[string]string `json:"failures"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if doc.Status != "degraded" || !strings.Contains(doc.Failures["store"], "read-only") {
+		t.Errorf("degraded doc = %+v", doc)
+	}
+}
+
+// TestPprofWired: the pprof family is mounted on the plane's own mux.
+func TestPprofWired(t *testing.T) {
+	srv := httptest.NewServer(telemetry.NewRegistry().Mux())
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index = %d %.80s", code, body)
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadJSONL parses a JSONL event stream back into events. It is the
+// inverse of the JSONL sink with one deliberate asymmetry: a process
+// killed mid-write (the whole point of crash tracing) leaves a torn
+// final line — truncated JSON, or a line with no trailing newline — and
+// that tail must not poison the events that did land. The final line is
+// therefore allowed to be damaged: it is dropped and described in the
+// returned note ("" when the stream ends cleanly). Damage anywhere
+// before the final line is real corruption and returns an error.
+func ReadJSONL(r io.Reader) (events []Event, note string, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	// A pending line is only parsed once the NEXT line proves it was not
+	// the stream's damaged tail.
+	var pending []byte
+	hasPending := false
+	line := 0
+	flush := func() error {
+		line++
+		var e Event
+		if err := json.Unmarshal(pending, &e); err != nil {
+			return fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, e)
+		return nil
+	}
+	for sc.Scan() {
+		if hasPending {
+			if err := flush(); err != nil {
+				return events, "", err
+			}
+		}
+		pending = append(pending[:0], sc.Bytes()...)
+		hasPending = true
+	}
+	if err := sc.Err(); err != nil {
+		return events, "", fmt.Errorf("trace: read: %w", err)
+	}
+	if hasPending {
+		var e Event
+		if uerr := json.Unmarshal(pending, &e); uerr != nil {
+			note = fmt.Sprintf("final line %d truncated (%d bytes dropped)", line+1, len(pending))
+			return events, note, nil
+		}
+		events = append(events, e)
+	}
+	return events, "", nil
+}

@@ -1,0 +1,54 @@
+package trace
+
+import "sync/atomic"
+
+// Swappable is a tracer whose sink can be replaced while emitters are
+// running: a long campaign can rotate JSONL segments or drop to a Nop
+// sink mid-run without re-plumbing the system (installation points like
+// nvm.Memory.SetTracer are set-once-before-sharing). Emit dispatches
+// through one atomic load; Swap publishes the new sink with a single
+// atomic store, so an event is delivered entirely to the old sink or
+// entirely to the new one, never split.
+//
+// Note that Active does NOT normalize a Swappable away even when it
+// currently wraps Nop — the wrapper must stay installed to make a later
+// Swap visible — so a Swappable-traced system pays event construction
+// even while discarding. That is the price of swappability.
+type Swappable struct {
+	sink atomic.Pointer[sinkBox]
+}
+
+// sinkBox boxes the Tracer interface so it can live behind an
+// atomic.Pointer.
+type sinkBox struct{ t Tracer }
+
+// NewSwappable returns a Swappable dispatching to t (which may be nil
+// or Nop to start discarding).
+func NewSwappable(t Tracer) *Swappable {
+	s := &Swappable{}
+	s.Swap(t)
+	return s
+}
+
+// Emit implements Tracer.
+func (s *Swappable) Emit(e Event) {
+	if t := s.sink.Load().t; t != nil {
+		t.Emit(e)
+	}
+}
+
+// Swap installs t as the sink and returns the previous one (nil if the
+// tracer was discarding). Nil and Nop both mean "discard"; they are
+// normalized via Active so Emit keeps its single nil check.
+func (s *Swappable) Swap(t Tracer) Tracer {
+	old := s.sink.Swap(&sinkBox{t: Active(t)})
+	if old == nil {
+		return nil
+	}
+	return old.t
+}
+
+// Current returns the active sink (nil while discarding).
+func (s *Swappable) Current() Tracer {
+	return s.sink.Load().t
+}
