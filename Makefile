@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet nrlvet doclint lint bench bench-check microbench golden chaos crash
+.PHONY: all build test race vet nrlvet doclint lint bench bench-check microbench golden chaos crash replchaos
 
 all: lint build test
 
@@ -33,9 +33,10 @@ doclint: vet
 lint: vet nrlvet race
 
 # Regenerate the committed performance baselines (BENCH_nvm.json,
-# BENCH_objects.json — schema nrl-bench/1, see internal/bench). Run on a
-# quiet machine and commit the result when performance changes on
-# purpose; CI gates against these files via bench-check.
+# BENCH_objects.json, BENCH_persist.json — schema nrl-bench/1, see
+# internal/bench). Run on a quiet machine and commit the result when
+# performance changes on purpose; CI gates against these files via
+# bench-check.
 bench:
 	$(GO) run ./cmd/nrlbench -json .
 
@@ -48,6 +49,7 @@ bench-check:
 	$(GO) run ./cmd/nrlbench -json bench-out
 	$(GO) run ./cmd/nrlbench -compare BENCH_nvm.json bench-out/BENCH_nvm.json
 	$(GO) run ./cmd/nrlbench -compare BENCH_objects.json bench-out/BENCH_objects.json
+	$(GO) run ./cmd/nrlbench -compare BENCH_persist.json bench-out/BENCH_persist.json
 	$(GO) run ./cmd/nrlbench -overhead bench-out/BENCH_objects.json
 
 # The raw go-test microbenchmarks (bench_test.go) for interactive work;
@@ -72,3 +74,14 @@ chaos:
 # CI uploads it when the campaign fails.
 crash:
 	$(GO) run ./cmd/nrlchaos -real -rounds 25 -seed 1 -dir crash-artifacts/store
+
+# Seeded replica-fault kill campaign: a three-member replica set driven
+# by SIGKILLed workers, one replica directory wiped, corrupted, or
+# disk-faulted per round, every recovery verified and failovers
+# required to promote (the CI smoke; the 200-round acceptance run is
+# TestReplKillCampaign200Rounds). The set root survives in
+# repl-artifacts/ for inspection — `nrlstat forensics
+# repl-artifacts/set` decodes it — and CI uploads it on failure.
+replchaos:
+	mkdir -p repl-artifacts
+	$(GO) run ./cmd/nrlrepl chaos -rounds 25 -seed 1 -root repl-artifacts/set -keep

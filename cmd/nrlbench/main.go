@@ -140,13 +140,16 @@ func runSuites(dir, suite string, benchOps int) error {
 		for _, name := range strings.Split(suite, ",") {
 			name = strings.TrimSpace(name)
 			if _, ok := suites[name]; !ok {
-				return fmt.Errorf("unknown suite %q (have: nvm, objects)", name)
+				return fmt.Errorf("unknown suite %q (have: nvm, objects, persist)", name)
 			}
 			names = append(names, name)
 		}
 	}
-	opts := bench.Options{Ops: benchOps}
+	defer bench.CleanupDirs()
 	for _, name := range names {
+		// Per-suite defaults: the file-backed persist suite fsyncs on
+		// every op and cannot run at the in-memory suites' counts.
+		opts := bench.SuiteOptions(name, bench.Options{Ops: benchOps})
 		report := bench.RunSuite(name, suites[name], opts)
 		path := filepath.Join(dir, "BENCH_"+name+".json")
 		if err := report.WriteFile(path); err != nil {

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"nrl/internal/chaos"
+)
+
+// chaosDoc is the JSON document of the chaos subcommand.
+type chaosDoc struct {
+	Rounds     int            `json:"rounds"`
+	Kills      int            `json:"kills"`
+	CleanExits int            `json:"clean_exits"`
+	Promotions uint64         `json:"promotions"`
+	Heals      uint64         `json:"heals"`
+	Faults     map[string]int `json:"faults"`
+	// LeaderFaults counts the rounds whose injury targeted the serving
+	// leader's directory.
+	LeaderFaults int `json:"leader_faults"`
+	// Phases maps each persistence phase to how many kills landed in it.
+	Phases     map[string]int `json:"phases"`
+	FinalLen   uint64         `json:"final_len"`
+	FinalEpoch uint64         `json:"final_epoch"`
+	OK         bool           `json:"ok"`
+	Failures   []string       `json:"failures,omitempty"`
+}
+
+// runChaos runs the replica-fault SIGKILL campaign against -root:
+// workers are this binary re-executed as "nrlrepl chaosworker", each
+// incarnation killed at a seeded random point with one replica
+// directory wiped, corrupted, or disk-faulted.
+func runChaos(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	root, replicas := setFlags(fs)
+	rounds := fs.Int("rounds", 25, "worker incarnations to run (kills included)")
+	seed := fs.Int64("seed", 1, "fault and kill-delay schedule seed")
+	appends := fs.Int("appends", 20, "log appends per incarnation")
+	capacity := fs.Int("capacity", 1<<14, "log capacity in records")
+	maxDelay := fs.Duration("maxdelay", 60*time.Millisecond, "upper bound on the random kill delay")
+	keep := fs.Bool("keep", false, "keep the root directory even on success")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	madeTemp := false
+	if *root == "" {
+		d, err := os.MkdirTemp("", "nrlrepl-chaos-")
+		if err != nil {
+			fmt.Fprintln(errOut, "nrlrepl chaos:", err)
+			return exitUsage
+		}
+		*root = d
+		madeTemp = true
+	}
+	if !checkSetFlags(fs, errOut, *root, *replicas) {
+		return exitUsage
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlrepl chaos:", err)
+		return exitUsage
+	}
+	worker := func(verify bool, faultDir, faultAfter, faultFor int) *exec.Cmd {
+		wargs := []string{"chaosworker",
+			"-root", *root,
+			"-replicas", strconv.Itoa(*replicas),
+			"-appends", strconv.Itoa(*appends),
+			"-capacity", strconv.Itoa(*capacity),
+			"-faultdir", strconv.Itoa(faultDir),
+			"-faultafter", strconv.Itoa(faultAfter),
+			"-faultfor", strconv.Itoa(faultFor),
+		}
+		if verify {
+			wargs = append(wargs, "-verify")
+		}
+		return exec.Command(exe, wargs...)
+	}
+
+	res, err := chaos.RunReplKillCampaign(chaos.ReplKillConfig{
+		Rounds:       *rounds,
+		Seed:         *seed,
+		MaxKillDelay: *maxDelay,
+		Root:         *root,
+		Replicas:     *replicas,
+		Appends:      *appends,
+		Worker:       worker,
+	})
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlrepl chaos:", err)
+		return exitUsage
+	}
+
+	doc := chaosDoc{
+		Rounds:     *rounds,
+		Kills:      res.Kills,
+		CleanExits: res.CleanExits,
+		Promotions: res.Promotions,
+		Heals:      res.Heals,
+		Faults:     res.Faults,
+
+		LeaderFaults: res.LeaderFaults,
+		Phases:       map[string]int{},
+		FinalLen:     res.FinalLen,
+		FinalEpoch:   res.FinalEpoch,
+		OK:           len(res.Failures) == 0,
+		Failures:     res.Failures,
+	}
+	for _, row := range res.Phases.Rows() {
+		doc.Phases[row.Phase] = int(row.Kills)
+	}
+	emit(out, doc)
+	if !doc.OK {
+		for _, tr := range res.Transcripts {
+			fmt.Fprintln(errOut, tr)
+		}
+		fmt.Fprintf(errOut, "root kept for inspection: %s\n", *root)
+		return exitViolation
+	}
+	if madeTemp && !*keep {
+		os.RemoveAll(*root)
+	} else {
+		fmt.Fprintf(errOut, "root: %s\n", *root)
+	}
+	return exitClean
+}
+
+// runChaosWorker is the hidden worker mode: one incarnation of the
+// replica kill-harness workload. Its stdout is the worker line
+// protocol; its exit code one of the chaos.KillWorker codes.
+func runChaosWorker(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("chaosworker", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	root, replicas := setFlags(fs)
+	appends := fs.Int("appends", 20, "log appends to perform")
+	capacity := fs.Int("capacity", 1<<14, "log capacity in records")
+	faultDir := fs.Int("faultdir", -1, "replica index whose I/O is dead (-1 none)")
+	faultAfter := fs.Int("faultafter", 0, "append count after which the fault arms")
+	faultFor := fs.Int("faultfor", 0, "appends the fault stays armed (0 = forever)")
+	verify := fs.Bool("verify", false, "recover and verify only, no appends")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if !checkSetFlags(fs, errOut, *root, *replicas) {
+		return exitUsage
+	}
+	return chaos.RunReplKillWorker(chaos.ReplKillWorkerConfig{
+		Root:       *root,
+		Replicas:   *replicas,
+		Appends:    *appends,
+		Capacity:   *capacity,
+		FaultDir:   *faultDir,
+		FaultAfter: *faultAfter,
+		FaultFor:   *faultFor,
+		Verify:     *verify,
+	}, out)
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain doubles as the worker re-exec shim: the chaos subcommand
+// re-runs os.Executable() — in tests, this binary — so with the guard
+// set the test binary behaves exactly like nrlrepl.
+func TestMain(m *testing.M) {
+	if os.Getenv("NRLREPL_RUN_MAIN") != "" && len(os.Args) > 1 && os.Args[1] == "chaosworker" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+func mustJSON(t *testing.T, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b)
+	}
+}
+
+func TestInitStatusVerify(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "set")
+	var out, errOut bytes.Buffer
+
+	if code := run([]string{"init", "-root", root}, &out, &errOut); code != exitClean {
+		t.Fatalf("init exit %d: %s", code, errOut.String())
+	}
+	var st statusDoc
+	mustJSON(t, out.Bytes(), &st)
+	if st.Replicas != 3 || st.Quorum != 2 || len(st.Members) != 3 {
+		t.Fatalf("init doc = %+v", st)
+	}
+	elected := 0
+	for _, m := range st.Members {
+		if !m.ManifestOK || m.Err != "" {
+			t.Errorf("member %s not initialised: %+v", m.Dir, m)
+		}
+		if m.Elect {
+			elected++
+		}
+	}
+	if elected != 1 {
+		t.Errorf("%d members marked elect, want 1", elected)
+	}
+
+	out.Reset()
+	if code := run([]string{"status", "-root", root}, &out, &errOut); code != exitClean {
+		t.Fatalf("status exit %d: %s", code, errOut.String())
+	}
+	mustJSON(t, out.Bytes(), &st)
+	if len(st.Members) != 3 {
+		t.Fatalf("status members = %d, want 3", len(st.Members))
+	}
+
+	out.Reset()
+	if code := run([]string{"verify", "-root", root}, &out, &errOut); code != exitClean {
+		t.Fatalf("verify exit %d: %s", code, errOut.String())
+	}
+	var vd verifyDoc
+	mustJSON(t, out.Bytes(), &vd)
+	if !vd.OK || vd.Status.Quorum != 2 || len(vd.Status.Members) != 3 {
+		t.Fatalf("verify doc = %+v", vd)
+	}
+	if vd.Status.Members[0].Role != "leader" {
+		t.Errorf("first member role = %q, want leader", vd.Status.Members[0].Role)
+	}
+}
+
+// TestStatusSurvivesLostMember: status is read-only and must report a
+// wiped member rather than fail or repair it.
+func TestStatusSurvivesLostMember(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "set")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"init", "-root", root}, &out, &errOut); code != exitClean {
+		t.Fatalf("init exit %d: %s", code, errOut.String())
+	}
+	if err := os.RemoveAll(filepath.Join(root, "r2")); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"status", "-root", root}, &out, &errOut); code != exitClean {
+		t.Fatalf("status exit %d: %s", code, errOut.String())
+	}
+	var st statusDoc
+	mustJSON(t, out.Bytes(), &st)
+	if st.Members[2].ManifestOK {
+		t.Errorf("wiped member reported a manifest: %+v", st.Members[2])
+	}
+	if _, err := os.Stat(filepath.Join(root, "r2")); !os.IsNotExist(err) {
+		t.Error("status recreated the wiped member directory")
+	}
+	// Verify, by contrast, opens the set and heals the member back in.
+	out.Reset()
+	if code := run([]string{"verify", "-root", root}, &out, &errOut); code != exitClean {
+		t.Fatalf("verify exit %d: %s", code, errOut.String())
+	}
+	var vd verifyDoc
+	mustJSON(t, out.Bytes(), &vd)
+	if !vd.OK {
+		t.Fatalf("verify after wipe not ok: %+v", vd)
+	}
+}
+
+func TestChaosCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess campaign skipped in -short mode")
+	}
+	t.Setenv("NRLREPL_RUN_MAIN", "1")
+	root := filepath.Join(t.TempDir(), "set")
+	var out, errOut bytes.Buffer
+	code := run([]string{"chaos", "-root", root, "-rounds", "6", "-seed", "3"}, &out, &errOut)
+	if code != exitClean {
+		t.Fatalf("chaos exit %d:\n%s\n%s", code, out.String(), errOut.String())
+	}
+	var doc chaosDoc
+	mustJSON(t, out.Bytes(), &doc)
+	if !doc.OK {
+		t.Fatalf("chaos reported failures: %+v", doc.Failures)
+	}
+	if doc.Kills+doc.CleanExits != 6 {
+		t.Errorf("rounds accounted = %d+%d, want 6", doc.Kills, doc.CleanExits)
+	}
+	if len(doc.Faults) == 0 {
+		t.Error("no faults recorded")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"bogus"},
+		{"status"},
+		{"init", "-root", ""},
+		{"verify", "-root", "x", "-replicas", "0"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != exitUsage {
+			t.Errorf("run(%v) exit %d, want %d", args, code, exitUsage)
+		}
+	}
+}

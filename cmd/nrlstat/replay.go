@@ -41,13 +41,18 @@ func runFrom(path string, w io.Writer) error {
 
 // runForensics is the forensics subcommand: decode a flight-recorder
 // region — either a persist store directory (its bbox file) or the
-// region file itself — and print the reconstructed report.
+// region file itself — and print the reconstructed report. A replica-
+// set root (a directory holding r0, r1, ... member stores) gets the
+// per-member divergence report instead.
 func runForensics(args []string, w io.Writer) error {
 	if len(args) != 1 {
-		return fmt.Errorf("usage: nrlstat forensics <store-dir | bbox-file>")
+		return fmt.Errorf("usage: nrlstat forensics <replica-root | store-dir | bbox-file>")
 	}
 	path := args[0]
 	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		if isReplicaRoot(path) {
+			return runReplicaForensics(path, replicaMembers(path), w)
+		}
 		path = filepath.Join(path, persist.BlackBoxName)
 	}
 	img, err := os.ReadFile(path)

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nrl/internal/nvm"
+	"nrl/internal/replica"
+)
+
+// replicaFixture builds a deterministic three-member replica set with a
+// divergent member: the full set commits seqs 1..3, then r2 alone (a
+// partitioned stale leader) commits its own seq 4, then r0+r1 commit
+// the acknowledged seqs 4..5. r0 wins the next election and r2's seq 4
+// contradicts it — the stale suffix the report must pinpoint.
+func replicaFixture(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	ds := make([]string, 3)
+	for i := range ds {
+		ds[i] = filepath.Join(root, "r"+string(rune('0'+i)))
+	}
+	commit := func(s *replica.Set, v uint64) {
+		t.Helper()
+		if err := s.Commit([]nvm.WordUpdate{{Addr: 0, Val: v}}); err != nil {
+			t.Fatalf("Commit(%d): %v", v, err)
+		}
+	}
+	open := func(dirs ...string) *replica.Set {
+		t.Helper()
+		s, err := replica.Open(replica.Options{Dirs: dirs})
+		if err != nil {
+			t.Fatalf("replica.Open(%v): %v", dirs, err)
+		}
+		return s
+	}
+
+	s := open(ds...)
+	for v := uint64(1); v <= 3; v++ {
+		commit(s, v)
+	}
+	s.Close()
+
+	stale := open(ds[2])
+	commit(stale, 99)
+	stale.Close()
+
+	s = open(ds[0], ds[1])
+	commit(s, 4)
+	commit(s, 5)
+	s.Close()
+	return root
+}
+
+// TestReplicaForensicsGolden locks down the replica-set report: roles,
+// per-member durable credentials, and the divergence point of the stale
+// member.
+func TestReplicaForensicsGolden(t *testing.T) {
+	root := replicaFixture(t)
+	var out bytes.Buffer
+	if err := run([]string{"forensics", root}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.ReplaceAll(out.String(), root, "<root>")
+
+	golden := filepath.Join("testdata", "replicaset.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("report differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestReplicaForensicsLostMember: a wiped member must be reported, not
+// repaired or fatal.
+func TestReplicaForensicsLostMember(t *testing.T) {
+	root := replicaFixture(t)
+	if err := os.RemoveAll(filepath.Join(root, "r1")); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"forensics", root}, &out); err != nil {
+		t.Fatal(err)
+	}
+	o := out.String()
+	if !strings.Contains(o, "scan failed") {
+		t.Errorf("wiped member not reported:\n%s", o)
+	}
+	if !strings.Contains(o, "elect") {
+		t.Errorf("no electee despite two healthy members:\n%s", o)
+	}
+	if _, err := os.Stat(filepath.Join(root, "r1")); !os.IsNotExist(err) {
+		t.Error("forensics recreated the wiped member")
+	}
+}

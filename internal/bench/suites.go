@@ -200,5 +200,6 @@ func Suites() map[string][]Spec {
 	return map[string][]Spec{
 		"nvm":     NVMSuite(),
 		"objects": ObjectsSuite(),
+		"persist": PersistSuite(),
 	}
 }

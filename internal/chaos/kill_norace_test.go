@@ -12,3 +12,11 @@ const (
 	killMaxDelay         = 30 * time.Millisecond
 	killAssertPhases     = true
 )
+
+// Replica-campaign tuning: a replicated worker fsyncs three directories
+// per commit, so the kill window stretches a little relative to the
+// single-store campaign.
+const (
+	replAcceptanceRounds = 200
+	replKillMaxDelay     = 60 * time.Millisecond
+)

@@ -14,3 +14,10 @@ const (
 	killMaxDelay         = 250 * time.Millisecond
 	killAssertPhases     = false
 )
+
+// Replica-campaign tuning under the race detector: fewer rounds, wider
+// kill window, same invariants.
+const (
+	replAcceptanceRounds = 60
+	replKillMaxDelay     = 300 * time.Millisecond
+)

@@ -1,0 +1,137 @@
+package chaos_test
+
+import (
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+
+	"nrl/internal/chaos"
+)
+
+// TestReplKillWorkerProcess is not a test: it is the replica kill-
+// harness worker body, re-executed as a subprocess by the campaign
+// tests below. It does nothing unless the NRL_REPL_WORKER environment
+// guard is set.
+func TestReplKillWorkerProcess(t *testing.T) {
+	if os.Getenv("NRL_REPL_WORKER") == "" {
+		t.Skip("not a worker invocation")
+	}
+	atoi := func(k string, def int) int {
+		if v := os.Getenv(k); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				return n
+			}
+		}
+		return def
+	}
+	cfg := chaos.ReplKillWorkerConfig{
+		Root:       os.Getenv("NRL_REPL_ROOT"),
+		Replicas:   atoi("NRL_REPL_REPLICAS", 3),
+		Appends:    atoi("NRL_REPL_APPENDS", 3),
+		Capacity:   atoi("NRL_REPL_CAPACITY", 4096),
+		FaultDir:   atoi("NRL_REPL_FAULTDIR", -1),
+		FaultAfter: atoi("NRL_REPL_FAULTAFTER", 0),
+		FaultFor:   atoi("NRL_REPL_FAULTFOR", 0),
+		Verify:     os.Getenv("NRL_REPL_VERIFY") != "",
+	}
+	os.Exit(chaos.RunReplKillWorker(cfg, os.Stdout))
+}
+
+// selfReplWorker builds a Worker function that re-executes this test
+// binary as the replica kill worker.
+func selfReplWorker(t *testing.T, root string, replicas, appends, capacity int) func(bool, int, int, int) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	return func(verify bool, faultDir, faultAfter, faultFor int) *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run=TestReplKillWorkerProcess")
+		cmd.Env = append(os.Environ(),
+			"NRL_REPL_WORKER=1",
+			"NRL_REPL_ROOT="+root,
+			"NRL_REPL_REPLICAS="+strconv.Itoa(replicas),
+			"NRL_REPL_APPENDS="+strconv.Itoa(appends),
+			"NRL_REPL_CAPACITY="+strconv.Itoa(capacity),
+			"NRL_REPL_FAULTDIR="+strconv.Itoa(faultDir),
+			"NRL_REPL_FAULTAFTER="+strconv.Itoa(faultAfter),
+			"NRL_REPL_FAULTFOR="+strconv.Itoa(faultFor),
+		)
+		if verify {
+			cmd.Env = append(cmd.Env, "NRL_REPL_VERIFY=1")
+		}
+		return cmd
+	}
+}
+
+func runReplCampaign(t *testing.T, rounds, appends int, seed int64) *chaos.ReplKillResult {
+	t.Helper()
+	root := t.TempDir()
+	res, err := chaos.RunReplKillCampaign(chaos.ReplKillConfig{
+		Rounds:       rounds,
+		Seed:         seed,
+		MaxKillDelay: replKillMaxDelay,
+		Root:         root,
+		Replicas:     3,
+		Appends:      appends,
+		Worker:       selfReplWorker(t, root, 3, appends, 16384),
+	})
+	if err != nil {
+		t.Fatalf("RunReplKillCampaign: %v", err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("violation: %s", f)
+	}
+	if t.Failed() {
+		for _, tr := range res.Transcripts {
+			t.Logf("transcript:\n%s", tr)
+		}
+	}
+	return res
+}
+
+// TestReplKillCampaignSmoke is the always-on quick version of the
+// issue's 200-round replica-fault acceptance run.
+func TestReplKillCampaignSmoke(t *testing.T) {
+	res := runReplCampaign(t, 10, 8, 11)
+	if res.Kills+res.CleanExits != 10 {
+		t.Fatalf("rounds accounted = %d+%d, want 10", res.Kills, res.CleanExits)
+	}
+	if len(res.Faults) == 0 {
+		t.Error("no replica faults were injected")
+	}
+	t.Logf("smoke: kills=%d clean=%d finalLen=%d finalEpoch=%d promos=%d heals=%d faults=%v leaderFaults=%d\n%s",
+		res.Kills, res.CleanExits, res.FinalLen, res.FinalEpoch,
+		res.Promotions, res.Heals, res.Faults, res.LeaderFaults, res.Phases)
+}
+
+// TestReplKillCampaign200Rounds is the acceptance criterion: 200 seeded
+// rounds, each SIGKILLing the process and wiping, corrupting, or
+// disk-faulting one replica directory; every recovery lands on a
+// linearizable state containing every acked append, a degraded leader
+// always ends in a promoted follower that keeps accepting writes, and
+// no round ends sticky read-only while a healthy replica exists.
+func TestReplKillCampaign200Rounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-round replica campaign skipped in -short mode")
+	}
+	res := runReplCampaign(t, replAcceptanceRounds, 20, 1)
+	if res.Kills == 0 {
+		t.Fatalf("%d rounds produced no kills; campaign exercised nothing", replAcceptanceRounds)
+	}
+	for _, kind := range []string{"wipe", "corrupt", "disk"} {
+		if res.Faults[kind] == 0 {
+			t.Errorf("no round drew the %s fault; coverage hole", kind)
+		}
+	}
+	if res.Promotions == 0 {
+		t.Error("no incarnation promoted a follower; leader disk faults never ended in failover")
+	}
+	if res.Heals == 0 {
+		t.Error("no incarnation healed a follower back in")
+	}
+	t.Logf("%d rounds: kills=%d clean=%d finalLen=%d finalEpoch=%d promos=%d heals=%d faults=%v leaderFaults=%d\n%s",
+		replAcceptanceRounds, res.Kills, res.CleanExits, res.FinalLen, res.FinalEpoch,
+		res.Promotions, res.Heals, res.Faults, res.LeaderFaults, res.Phases)
+}

@@ -537,6 +537,24 @@ func (r *Recorder) Sync(pw func(b []byte, off int64) error) error {
 	return nil
 }
 
+// Resync marks the entire region dirty: the next Sync rewrites the
+// header and every live slot from scratch. A replica set calls it after
+// failing over to a promoted peer, whose store directory holds an empty
+// (or stale) region file — the live ring must be rewritten wholesale
+// into its new home before the incremental delta tracking is valid
+// again.
+func (r *Recorder) Resync() {
+	r.syncMu.Lock()
+	defer r.syncMu.Unlock()
+	r.headerSent = false
+	cur := r.seq.Load()
+	if cur >= r.nslots {
+		r.synced = cur - r.nslots
+	} else {
+		r.synced = 0
+	}
+}
+
 // syncRange writes slots [i, j) as one contiguous pwrite.
 func (r *Recorder) syncRange(pw func(b []byte, off int64) error, i, j int) error {
 	if i >= j {

@@ -81,6 +81,13 @@ const (
 	// crash here leaves torn pages that recovery must repair from the
 	// commit record.
 	PhaseMidCommit
+	// PhaseFailover: a failover-capable backend (a replica set) is
+	// replacing its degraded primary store with a promoted peer. The
+	// memory above never observes this as an error — the commit that
+	// triggered it completes on the new primary — but a crash here must
+	// elect the same winner again, which is why the new epoch is made
+	// durable on a quorum before the first post-failover ack.
+	PhaseFailover
 )
 
 // String returns the phase name used by the kill-harness coverage table.
@@ -96,6 +103,8 @@ func (p Phase) String() string {
 		return "fenced"
 	case PhaseMidCommit:
 		return "mid-commit"
+	case PhaseFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}

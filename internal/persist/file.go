@@ -16,7 +16,6 @@ import (
 
 const (
 	dataName = "data"
-	walName  = "wal"
 	// BlackBoxName is the flight-recorder region file inside a store
 	// directory (see Options.BlackBox).
 	BlackBoxName = "bbox"
@@ -46,9 +45,11 @@ type Options struct {
 	Sleep func(time.Duration)
 	// Inject, when non-nil, is consulted before every physical I/O
 	// attempt with the operation name — "wal.append", "wal.fsync",
-	// "wal.truncate", "data.pwrite", "data.fsync", "bbox.pwrite" or
-	// "bbox.fsync" — and a non-nil return fails that attempt. It is the
-	// failpoint hook the degradation tests drive.
+	// "seg.create", "seg.remove", "manifest.write", "manifest.rename",
+	// "data.pwrite", "data.fsync", "data.read", "snap.install",
+	// "bbox.pwrite" or "bbox.fsync" — and a non-nil return fails that
+	// attempt. It is the failpoint hook the degradation and replica
+	// fault tests drive.
 	Inject func(op string) error
 	// Tracer, when non-nil, receives one MemCommit event per commit
 	// (latency, batch size, retries) and one MemDegraded on
@@ -58,9 +59,20 @@ type Options struct {
 	// when a record's fsync lands (the atomic commit point) and
 	// MidCommit while data pages are rewritten in place.
 	PhaseHook func(nvm.Phase)
-	// CheckpointBytes is the WAL size beyond which a commit checkpoints
-	// — fsync the data file, truncate the WAL (default 256 KiB).
+	// SegmentBytes is the size beyond which the active WAL segment is
+	// rotated — fsynced, then succeeded by a fresh segment at the next
+	// index (default 64 KiB).
+	SegmentBytes int64
+	// CheckpointBytes is the total live WAL size beyond which a commit
+	// checkpoints — fsync the data file, persist the manifest, retire
+	// every old segment (default 256 KiB).
 	CheckpointBytes int64
+	// Shipper, when non-nil, observes the commit pipeline for
+	// replication (package replica wires the leader's store to its
+	// follower mirrors through it). Hooks are notifications: the
+	// shipper owns its own retry policy and error state, and can never
+	// fail or degrade the local store.
+	Shipper Shipper
 	// BlackBox, when non-nil, attaches a flight recorder (package
 	// flightrec) to the store: Open feeds it the surviving bbox region
 	// for reconstruction, and every Commit rewrites its dirty slots into
@@ -69,6 +81,21 @@ type Options struct {
 	// fsynced at every checkpoint. Damage to the region never fails
 	// Open; it shows up in RecoveryReport as torn black-box slots.
 	BlackBox BlackBox
+}
+
+// Shipper observes a store's commit pipeline for replication. All hooks
+// run under the store's lock, in commit order.
+type Shipper interface {
+	// Append delivers one committed record's encoded bytes right after
+	// the local segment append, before the local fsync.
+	Append(seq, epoch uint64, rec []byte)
+	// Fence runs after the local WAL fsync lands — the point where the
+	// record is durable on this store and a replica set may count it
+	// toward quorum.
+	Fence(seq uint64)
+	// Checkpoint runs after a checkpoint folds the log into the data
+	// file; snapshotSeq is the sequence the data file now carries.
+	Checkpoint(snapshotSeq uint64)
 }
 
 // BlackBox is the persistence contract between the store and a flight
@@ -99,10 +126,48 @@ func (o Options) withDefaults() Options {
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
 	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 10
+	}
 	if o.CheckpointBytes <= 0 {
 		o.CheckpointBytes = 256 << 10
 	}
 	return o
+}
+
+// retrier runs physical I/O under the capped-exponential-backoff
+// budget, consulting the failpoint hook before each attempt. It is
+// shared by the store, the manifest writer, and follower mirrors; each
+// owner holds its own so the lifetime retry counts stay attributable.
+type retrier struct {
+	opts    Options
+	retries uint64
+}
+
+func (r *retrier) run(op string, fn func() error) error {
+	delay := r.opts.BaseDelay
+	var err error
+	for attempt := 0; attempt <= r.opts.Retries; attempt++ {
+		if attempt > 0 {
+			r.retries++
+			r.opts.Sleep(delay)
+			delay *= 2
+			if delay > r.opts.MaxDelay {
+				delay = r.opts.MaxDelay
+			}
+		}
+		err = nil
+		if r.opts.Inject != nil {
+			err = r.opts.Inject(op)
+		}
+		if err == nil {
+			err = fn()
+		}
+		if err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s failed after %d attempts: %w", op, r.opts.Retries+1, err)
 }
 
 // RecoveryReport summarizes what Open's recovery scan found and did.
@@ -116,9 +181,11 @@ type RecoveryReport struct {
 	// with *CorruptError unless Repaired == Torn.
 	Torn     int
 	Repaired int
-	// WALRecords is the number of committed records replayed;
-	// WALDiscarded the trailing bytes discarded as an uncommitted
-	// (torn) tail.
+	// WALSegments is the number of segment files found; WALRecords the
+	// committed records replayed across the chain; WALDiscarded the
+	// bytes discarded as uncommitted (torn) tail or post-anomaly
+	// segments.
+	WALSegments  int
 	WALRecords   int
 	WALDiscarded int64
 	// Reinitialized reports that the store died before its header was
@@ -133,6 +200,13 @@ type RecoveryReport struct {
 	BlackBoxTorn    int
 }
 
+// ShipRec is one committed record as handed to a catching-up follower:
+// the raw segment-format bytes and the sequence they carry.
+type ShipRec struct {
+	Seq uint64
+	Rec []byte
+}
+
 // File is a file-backed nvm.Backend. Open one per store directory and
 // install it with nvm.WithBackend; see the package documentation for
 // the commit protocol and recovery semantics.
@@ -140,30 +214,35 @@ type File struct {
 	dir  string
 	opts Options
 	trc  trace.Tracer
+	ship Shipper
 
 	mu       sync.Mutex
 	data     *os.File
-	wal      *os.File
+	seg      *os.File // active WAL segment
+	segIndex uint32
+	segSize  int64    // active segment size, header included
+	logBytes int64    // total live chain size across segments
 	bbox     *os.File // flight-recorder region; nil without Options.BlackBox
 	img      []uint64 // current committed+growing word image
 	covered  []bool   // per page: a durable image exists (data or WAL)
 	seq      uint64   // last committed record sequence
-	walSize  int64
+	epoch    uint64   // replication epoch (manifest-backed)
+	snapSeq  uint64   // sequence the data file is checkpointed at
 	degraded error
 	report   RecoveryReport
+	ret      retrier
 
-	// commits/retries/checkpoints are lifetime totals, see Metrics.
+	// commits/checkpoints are lifetime totals, see Metrics.
 	commits     uint64
-	retries     uint64
 	checkpoints uint64
 }
 
 // Open opens (creating if absent) the store in dir and runs recovery:
-// page scan, WAL redo, torn-write repair, then a checkpoint that folds
-// the replayed WAL back into the data file. It returns a *CorruptError
-// (matching ErrCorrupt) if the store holds damage no committed record
-// can repair. I/O failures during the final checkpoint do not fail
-// Open; they leave the backend degraded (see Err).
+// page scan, segment-chain redo, torn-write repair, then a checkpoint
+// that folds the replayed WAL back into the data file. It returns a
+// *CorruptError (matching ErrCorrupt) if the store holds damage no
+// committed record can repair. I/O failures during the final checkpoint
+// do not fail Open; they leave the backend degraded (see Err).
 func Open(dir string, opts Options) (*File, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -173,28 +252,28 @@ func Open(dir string, opts Options) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		data.Close()
-		return nil, fmt.Errorf("persist: %w", err)
-	}
-	f := &File{dir: dir, opts: opts, trc: trace.Active(opts.Tracer), data: data, wal: wal}
+	f := &File{dir: dir, opts: opts, trc: trace.Active(opts.Tracer), data: data,
+		ret: retrier{opts: opts}}
 	if opts.BlackBox != nil {
 		f.bbox, err = os.OpenFile(filepath.Join(dir, BlackBoxName), os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			data.Close()
-			wal.Close()
 			return nil, fmt.Errorf("persist: %w", err)
 		}
 	}
 	if err := f.recover(); err != nil {
 		data.Close()
-		wal.Close()
+		if f.seg != nil {
+			f.seg.Close()
+		}
 		if f.bbox != nil {
 			f.bbox.Close()
 		}
 		return nil, err
 	}
+	// The shipper activates only after recovery: Open's internal fold
+	// checkpoint is local housekeeping, not replicated history.
+	f.ship = opts.Shipper
 	return f, nil
 }
 
@@ -217,11 +296,35 @@ func (f *File) Err() error {
 }
 
 // Metrics reports lifetime totals: commits completed, I/O retries
-// spent, and checkpoints taken.
+// spent, and checkpoints taken by the commit path (recovery's
+// housekeeping fold at Open is not counted).
 func (f *File) Metrics() (commits, retries, checkpoints uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.commits, f.retries, f.checkpoints
+	return f.commits, f.ret.retries, f.checkpoints
+}
+
+// Seq returns the last committed record sequence — the store's durable
+// prefix.
+func (f *File) Seq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// Epoch returns the replication epoch the store last served under.
+func (f *File) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// SnapshotSeq returns the sequence the data file is checkpointed at;
+// records at or below it have been folded out of the WAL.
+func (f *File) SnapshotSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snapSeq
 }
 
 // Recovered implements nvm.Backend: the durable value recovered for a,
@@ -259,7 +362,7 @@ func (f *File) growLocked(a int) {
 
 // Commit implements nvm.Backend: one WAL record append + fsync (the
 // atomic commit point), then in-place page rewrites, then a checkpoint
-// if the WAL has grown past the threshold.
+// or segment rotation if the log has grown past its thresholds.
 func (f *File) Commit(batch []nvm.WordUpdate) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -267,7 +370,7 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 		return f.degraded
 	}
 	start := time.Now()
-	retriesBefore := f.retries
+	retriesBefore := f.ret.retries
 
 	f.seq++
 	// The commit marker rides the very fence it describes: it is in the
@@ -289,11 +392,14 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 
 	rec := f.encodeRecord(idxs)
-	if err := f.retry("wal.append", func() error {
-		_, err := f.wal.WriteAt(rec, f.walSize)
+	if err := f.ret.run("wal.append", func() error {
+		_, err := f.seg.WriteAt(rec, f.segSize)
 		return err
 	}); err != nil {
 		return f.degradeLocked(err)
+	}
+	if f.ship != nil {
+		f.ship.Append(f.seq, f.epoch, rec)
 	}
 	// Flush before fence: the flight-recorder region must be in the page
 	// cache before the fsync that commits this record, so the box always
@@ -301,10 +407,14 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 	if err := f.syncBlackBox(); err != nil {
 		return f.degradeLocked(err)
 	}
-	if err := f.retry("wal.fsync", f.wal.Sync); err != nil {
+	if err := f.ret.run("wal.fsync", f.seg.Sync); err != nil {
 		return f.degradeLocked(err)
 	}
-	f.walSize += int64(len(rec))
+	f.segSize += int64(len(rec))
+	f.logBytes += int64(len(rec))
+	if f.ship != nil {
+		f.ship.Fence(f.seq)
+	}
 	f.hook(nvm.PhaseFenced)
 
 	f.hook(nvm.PhaseMidCommit)
@@ -315,8 +425,17 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 		f.covered[idx] = true
 	}
 
-	if f.walSize >= f.opts.CheckpointBytes {
+	switch {
+	case f.logBytes >= f.opts.CheckpointBytes:
 		if err := f.checkpointLocked(); err != nil {
+			return f.degradeLocked(err)
+		}
+		f.checkpoints++
+		if f.ship != nil {
+			f.ship.Checkpoint(f.snapSeq)
+		}
+	case f.segSize >= f.opts.SegmentBytes:
+		if err := f.rotateLocked(); err != nil {
 			return f.degradeLocked(err)
 		}
 	}
@@ -327,7 +446,7 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 			Kind:    trace.MemCommit,
 			Addr:    int32(nvm.InvalidAddr),
 			Ret:     uint64(len(batch)),
-			Attempt: int(f.retries - retriesBefore),
+			Attempt: int(f.ret.retries - retriesBefore),
 			DurUS:   uint64(time.Since(start).Microseconds()),
 		})
 	}
@@ -341,11 +460,93 @@ func (f *File) syncBlackBox() error {
 		return nil
 	}
 	return f.opts.BlackBox.Sync(func(b []byte, off int64) error {
-		return f.retry("bbox.pwrite", func() error {
+		return f.ret.run("bbox.pwrite", func() error {
 			_, err := f.bbox.WriteAt(b, off)
 			return err
 		})
 	})
+}
+
+// SetEpoch durably adopts a higher replication epoch: the manifest is
+// rewritten first (the epoch must be durable before any record is
+// committed under it — a promoted leader may only ack once no stale
+// peer can outrank its history), then the active segment is rotated so
+// every subsequent record lands under a header carrying the new epoch.
+func (f *File) SetEpoch(e uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.degraded != nil {
+		return f.degraded
+	}
+	if e <= f.epoch {
+		return fmt.Errorf("persist: epoch %d not above current %d", e, f.epoch)
+	}
+	if err := writeManifest(f.dir, manifest{epoch: e, snapshotSeq: f.snapSeq}, &f.ret); err != nil {
+		return f.degradeLocked(err)
+	}
+	f.epoch = e
+	if err := f.rotateLocked(); err != nil {
+		return f.degradeLocked(err)
+	}
+	return nil
+}
+
+// RecordsSince returns the committed records with sequences above
+// "after", for follower catch-up. ok is false when the store no longer
+// holds them (they were folded into a checkpoint) — the caller must
+// fall back to a snapshot transfer.
+func (f *File) RecordsSince(after uint64) (recs []ShipRec, ok bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if after < f.snapSeq {
+		return nil, false, nil
+	}
+	if after >= f.seq {
+		return nil, true, nil
+	}
+	ch, err := loadChain(f.dir)
+	if err != nil {
+		return nil, false, fmt.Errorf("persist: %w", err)
+	}
+	for _, r := range ch.recs {
+		if r.seq > after {
+			recs = append(recs, ShipRec{Seq: r.seq, Rec: r.raw})
+		}
+	}
+	if uint64(len(recs)) != f.seq-after {
+		// The on-disk chain no longer covers the range (it should —
+		// nothing below snapSeq was asked for); snapshot instead.
+		return nil, false, nil
+	}
+	return recs, true, nil
+}
+
+// Snapshot checkpoints the store and returns the data file's bytes —
+// the complete committed state at the returned sequence — for transfer
+// to a follower that is too far behind to catch up by records.
+func (f *File) Snapshot() (img []byte, seq uint64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.degraded != nil {
+		return nil, 0, f.degraded
+	}
+	if f.seq > f.snapSeq {
+		if err := f.checkpointLocked(); err != nil {
+			return nil, 0, f.degradeLocked(err)
+		}
+		f.checkpoints++
+		if f.ship != nil {
+			f.ship.Checkpoint(f.snapSeq)
+		}
+	}
+	if err := f.ret.run("data.read", func() error {
+		var rerr error
+		img, rerr = os.ReadFile(filepath.Join(f.dir, dataName))
+		return rerr
+	}); err != nil {
+		return nil, 0, f.degradeLocked(err)
+	}
+	return img, f.seq, nil
 }
 
 // Close releases the file handles. It does not flush: anything
@@ -353,7 +554,10 @@ func (f *File) syncBlackBox() error {
 func (f *File) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	werr := f.wal.Close()
+	var werr error
+	if f.seg != nil {
+		werr = f.seg.Close()
+	}
 	derr := f.data.Close()
 	if f.bbox != nil {
 		f.bbox.Close()
@@ -382,7 +586,7 @@ func (f *File) pageImage(idx uint32) []byte {
 
 func (f *File) writePage(idx uint32) error {
 	pg := f.pageImage(idx)
-	return f.retry("data.pwrite", func() error {
+	return f.ret.run("data.pwrite", func() error {
 		_, err := f.data.WriteAt(pg, headerSize+int64(idx)*PageSize)
 		return err
 	})
@@ -405,58 +609,72 @@ func (f *File) encodeRecord(idxs []uint32) []byte {
 	return rec
 }
 
-// checkpointLocked folds the WAL into the data file: data fsync, WAL
-// truncate, WAL fsync. After it, the data file alone carries the
-// committed state.
+// rotateLocked retires the active segment (already durable — every
+// record on it was fsynced by its commit) and opens a fresh one at the
+// next index, headed with the current epoch and sequence.
+func (f *File) rotateLocked() error {
+	next := f.segIndex + 1
+	seg, err := createSegment(f.dir, segHeader{index: next, epoch: f.epoch, baseSeq: f.seq}, &f.ret)
+	if err != nil {
+		return err
+	}
+	if f.seg != nil {
+		f.seg.Close()
+	}
+	f.seg = seg
+	f.segIndex = next
+	f.segSize = segHeaderSize
+	f.logBytes += segHeaderSize
+	return nil
+}
+
+// checkpointLocked folds the WAL into the data file: data fsync, then
+// the manifest records the new snapshot sequence, then a fresh active
+// segment is created and every old segment retired (ascending, so an
+// interrupted cleanup leaves a contiguous suffix). After it, the data
+// file alone carries the committed state.
 func (f *File) checkpointLocked() error {
-	if err := f.retry("data.fsync", f.data.Sync); err != nil {
+	if err := f.ret.run("data.fsync", f.data.Sync); err != nil {
 		return err
 	}
 	// The black box gets the same power-failure durability as the data:
 	// whatever the commits pwrote since the last checkpoint is fenced
 	// here.
 	if f.bbox != nil {
-		if err := f.retry("bbox.fsync", f.bbox.Sync); err != nil {
+		if err := f.ret.run("bbox.fsync", f.bbox.Sync); err != nil {
 			return err
 		}
 	}
-	if err := f.retry("wal.truncate", func() error { return f.wal.Truncate(0) }); err != nil {
+	if err := writeManifest(f.dir, manifest{epoch: f.epoch, snapshotSeq: f.seq}, &f.ret); err != nil {
 		return err
 	}
-	if err := f.retry("wal.fsync", f.wal.Sync); err != nil {
+	f.snapSeq = f.seq
+	old, err := listSegments(f.dir)
+	if err != nil {
 		return err
 	}
-	f.walSize = 0
-	f.checkpoints++
+	next := f.segIndex + 1
+	if f.seg == nil {
+		next = 0 // bootstrap: recovery checkpoints before any segment is open
+	}
+	if len(old) > 0 && old[len(old)-1].index >= next {
+		next = old[len(old)-1].index + 1
+	}
+	seg, err := createSegment(f.dir, segHeader{index: next, epoch: f.epoch, baseSeq: f.seq}, &f.ret)
+	if err != nil {
+		return err
+	}
+	if f.seg != nil {
+		f.seg.Close()
+	}
+	f.seg = seg
+	f.segIndex = next
+	f.segSize = segHeaderSize
+	if err := removeSegments(old, &f.ret); err != nil {
+		return err
+	}
+	f.logBytes = segHeaderSize
 	return nil
-}
-
-// retry runs one physical I/O under the capped-exponential-backoff
-// budget, consulting the failpoint hook before each attempt.
-func (f *File) retry(op string, fn func() error) error {
-	delay := f.opts.BaseDelay
-	var err error
-	for attempt := 0; attempt <= f.opts.Retries; attempt++ {
-		if attempt > 0 {
-			f.retries++
-			f.opts.Sleep(delay)
-			delay *= 2
-			if delay > f.opts.MaxDelay {
-				delay = f.opts.MaxDelay
-			}
-		}
-		err = nil
-		if f.opts.Inject != nil {
-			err = f.opts.Inject(op)
-		}
-		if err == nil {
-			err = fn()
-		}
-		if err == nil {
-			return nil
-		}
-	}
-	return fmt.Errorf("%s failed after %d attempts: %w", op, f.opts.Retries+1, err)
 }
 
 // degradeLocked sticks the degradation error and emits one MemDegraded

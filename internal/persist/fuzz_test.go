@@ -44,7 +44,7 @@ func TestStaleWALRecordDoesNotRollBack(t *testing.T) {
 	dir := t.TempDir()
 	want := buildStore(t, dir)
 
-	wal := filepath.Join(dir, "wal")
+	wal := activeSeg(t, dir)
 	b, err := os.ReadFile(wal)
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +65,136 @@ func TestStaleWALRecordDoesNotRollBack(t *testing.T) {
 			t.Fatalf("Recovered(%d) = %d,%v, want %d (rolled back by stale record?)", a, got, ok, w)
 		}
 	}
+}
+
+// buildSegmentedStore commits enough single-word batches under tiny
+// segments to spread the WAL over several rotated segment files (no
+// checkpoint folds any of it), returning the expected word values.
+func buildSegmentedStore(t *testing.T, dir string) map[nvm.Addr]uint64 {
+	t.Helper()
+	f, err := persist.Open(dir, tinySegOpts())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	want := map[nvm.Addr]uint64{}
+	for i := 0; i < 10; i++ {
+		a := nvm.Addr(i * 6)
+		u := nvm.WordUpdate{Addr: a, Val: uint64(1000 + i)}
+		f.Grow(a, 0)
+		if err := f.Commit([]nvm.WordUpdate{u}); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		want[a] = u.Val
+	}
+	if n := len(walSegs(t, dir)); n < 3 {
+		t.Fatalf("store has %d segments, want >= 3 (fuzz needs boundaries)", n)
+	}
+	return want
+}
+
+// FuzzSegmentedRecovery extends FuzzRecovery to multi-segment WALs: one
+// round of damage lands inside a chosen segment, at or across a segment
+// boundary (the tail of one file and the head of the next), or deletes
+// a whole segment, punching a hole in the chain. The data pages are
+// untouched and every record's effects were rewritten at commit, so any
+// successful open must surface the complete committed state — chain
+// trimming may discard log suffix, never durable words — and a failed
+// open must carry the typed persist.ErrCorrupt. Panics and silent
+// prefix loss are the bugs being fuzzed for.
+func FuzzSegmentedRecovery(f *testing.F) {
+	f.Add(uint8(0), uint16(0), uint8(8), uint8(0xff), false, false, false)  // head of oldest segment
+	f.Add(uint8(1), uint16(50), uint8(4), uint8(0xa5), false, false, false) // mid middle segment
+	f.Add(uint8(1), uint16(0), uint8(16), uint8(0x01), true, false, false)  // across a boundary
+	f.Add(uint8(2), uint16(40), uint8(0), uint8(0), false, true, false)     // truncate newest mid-record
+	f.Add(uint8(0), uint16(0), uint8(0), uint8(0), false, true, false)      // truncate oldest to zero
+	f.Add(uint8(1), uint16(0), uint8(0), uint8(0), false, false, true)      // delete a middle segment
+	f.Fuzz(func(t *testing.T, segSel uint8, off uint16, n uint8, mask uint8, cross, truncate, remove bool) {
+		dir := t.TempDir()
+		want := buildSegmentedStore(t, dir)
+		segs := walSegs(t, dir)
+		seg := int(segSel) % len(segs)
+
+		flip := func(path string, off int, n int, headOnly bool) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(b) == 0 {
+				return
+			}
+			m := mask
+			if m == 0 {
+				m = 0xff
+			}
+			for i := 0; i <= n; i++ {
+				p := off + i
+				if headOnly {
+					p = i
+				}
+				if p >= len(b) {
+					break
+				}
+				b[p] ^= m
+			}
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		switch {
+		case remove:
+			if err := os.Remove(segs[seg]); err != nil {
+				t.Fatal(err)
+			}
+		case truncate:
+			b, err := os.ReadFile(segs[seg])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(off) < len(b) {
+				b = b[:off]
+			}
+			if err := os.WriteFile(segs[seg], b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		case cross:
+			// Tail of segs[seg] and head of the following segment: the
+			// damage straddles a rotation boundary.
+			b, err := os.ReadFile(segs[seg])
+			if err != nil {
+				t.Fatal(err)
+			}
+			tail := len(b) - 1 - int(n)
+			if tail < 0 {
+				tail = 0
+			}
+			flip(segs[seg], tail, int(n), false)
+			if seg+1 < len(segs) {
+				flip(segs[seg+1], 0, int(n), true)
+			}
+		default:
+			flip(segs[seg], int(off), int(n), false)
+		}
+
+		g, err := persist.Open(dir, tinySegOpts())
+		if err != nil {
+			if !errors.Is(err, persist.ErrCorrupt) {
+				t.Fatalf("Open rejected with untyped error: %v", err)
+			}
+			return
+		}
+		defer g.Close()
+		for a, w := range want {
+			if got, ok := g.Recovered(a); !ok || got != w {
+				t.Fatalf("silent prefix loss: Recovered(%d) = %d,%v, want %d,true (seg=%d off=%d n=%d mask=%#x cross=%v trunc=%v rm=%v)",
+					a, got, ok, w, seg, off, n, mask, cross, truncate, remove)
+			}
+		}
+		if err := g.Commit([]nvm.WordUpdate{{Addr: 0, Val: 99}}); err != nil {
+			t.Fatalf("post-recovery Commit: %v", err)
+		}
+	})
 }
 
 // FuzzRecovery is the corruption fuzzer the issue asks for: it applies
@@ -88,11 +218,10 @@ func FuzzRecovery(f *testing.F) {
 		dir := t.TempDir()
 		want := buildStore(t, dir)
 
-		name := "data"
+		path := filepath.Join(dir, "data")
 		if inWAL {
-			name = "wal"
+			path = activeSeg(t, dir)
 		}
-		path := filepath.Join(dir, name)
 		b, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)

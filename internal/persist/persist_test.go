@@ -17,6 +17,26 @@ func fastOpts() persist.Options {
 	return persist.Options{Sleep: func(time.Duration) {}}
 }
 
+// walSegs returns the store's WAL segment files, oldest first.
+func walSegs(t *testing.T, dir string) []string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs
+}
+
+// activeSeg returns the newest (active) WAL segment file.
+func activeSeg(t *testing.T, dir string) string {
+	t.Helper()
+	segs := walSegs(t, dir)
+	if len(segs) == 0 {
+		t.Fatal("store has no WAL segments")
+	}
+	return segs[len(segs)-1]
+}
+
 func open(t *testing.T, dir string, opts persist.Options) *persist.File {
 	t.Helper()
 	f, err := persist.Open(dir, opts)
@@ -104,8 +124,10 @@ func TestTornPageRepairedFromWAL(t *testing.T) {
 	// The repair was checkpointed: a third open must be clean even with
 	// the WAL gone.
 	g.Close()
-	if err := os.Truncate(filepath.Join(dir, "wal"), 0); err != nil {
-		t.Fatal(err)
+	for _, seg := range walSegs(t, dir) {
+		if err := os.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
 	}
 	h := open(t, dir, fastOpts())
 	defer h.Close()
@@ -158,7 +180,7 @@ func TestWALTornTailDiscarded(t *testing.T) {
 	commit(t, f, nvm.WordUpdate{Addr: 0, Val: 42})
 	f.Close()
 
-	wal := filepath.Join(dir, "wal")
+	wal := activeSeg(t, dir)
 	b, err := os.ReadFile(wal)
 	if err != nil {
 		t.Fatal(err)
@@ -290,8 +312,14 @@ func TestCheckpointFoldsWAL(t *testing.T) {
 	}
 	f.Close()
 
-	if fi, err := os.Stat(filepath.Join(dir, "wal")); err != nil || fi.Size() != 0 {
-		t.Fatalf("wal not truncated by checkpoint: %v %d", err, fi.Size())
+	// Every checkpoint retires the old segments: a single fresh segment
+	// remains, holding nothing but its header.
+	segs := walSegs(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments after checkpoints = %v, want exactly one", segs)
+	}
+	if fi, err := os.Stat(segs[0]); err != nil || fi.Size() >= 64 {
+		t.Fatalf("active segment not emptied by checkpoint: %v %d", err, fi.Size())
 	}
 	g := open(t, dir, fastOpts())
 	defer g.Close()

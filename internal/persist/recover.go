@@ -46,77 +46,37 @@ type walPage struct {
 // claim marks the record (and everything after it) invalid.
 const maxRecPages = 1 << 16
 
-// parseWAL decodes the valid record prefix of a WAL image. Anything
-// after the first invalid byte — short record, bad magic, bad CRC,
-// non-increasing sequence, invalid embedded page — is an uncommitted or
-// damaged tail and is discarded; its length is returned.
-func parseWAL(b []byte) (recs []walRec, discarded int64) {
-	off := 0
-	for {
-		if len(b)-off < walRecHeaderSize+4 {
-			break
-		}
-		if binary.LittleEndian.Uint32(b[off:]) != walMagic {
-			break
-		}
-		seq := binary.LittleEndian.Uint64(b[off+4:])
-		n := binary.LittleEndian.Uint32(b[off+12:])
-		if n == 0 || n > maxRecPages {
-			break
-		}
-		total := walRecHeaderSize + int(n)*walEntrySize + 4
-		if len(b)-off < total {
-			break
-		}
-		body := b[off : off+total]
-		if binary.LittleEndian.Uint32(body[total-4:]) !=
-			crc32.Checksum(body[:total-4], castagnoli) {
-			break
-		}
-		if len(recs) > 0 && seq <= recs[len(recs)-1].seq {
-			break
-		}
-		rec := walRec{seq: seq}
-		valid := true
-		for i := 0; i < int(n); i++ {
-			e := body[walRecHeaderSize+i*walEntrySize:]
-			idx := binary.LittleEndian.Uint32(e)
-			words, _, zero, ok := parsePage(e[4:4+PageSize], idx)
-			if !ok || zero {
-				valid = false
-				break
-			}
-			rec.pages = append(rec.pages, walPage{idx: idx, words: words})
-		}
-		if !valid {
-			break
-		}
-		recs = append(recs, rec)
-		off += total
-	}
-	return recs, int64(len(b) - off)
-}
-
 // recover runs Open's scan-and-redo pass; see the package
 // documentation. It returns *CorruptError for unrepairable damage and
 // nil otherwise; I/O failures while re-initializing or checkpointing
 // degrade the backend instead of failing Open.
 func (f *File) recover() error {
 	dataPath := filepath.Join(f.dir, dataName)
-	walPath := filepath.Join(f.dir, walName)
 	dataBytes, err := os.ReadFile(dataPath)
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	walBytes, err := os.ReadFile(walPath)
+	man, manOK := readManifest(f.dir)
+	ch, err := loadChain(f.dir)
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 
-	recs, discarded := parseWAL(walBytes)
-	f.walSize = int64(len(walBytes))
-	f.report.WALRecords = len(recs)
-	f.report.WALDiscarded = discarded
+	f.report.WALSegments = ch.nsegs
+	f.report.WALRecords = len(ch.recs)
+	f.report.WALDiscarded = ch.discarded
+	if manOK {
+		f.epoch = man.epoch
+		f.snapSeq = man.snapshotSeq
+	}
+	// A crash between a SetEpoch manifest write and its segment rotation
+	// leaves the manifest ahead of the chain — the manifest rules. The
+	// reverse (a chained segment above the manifest's epoch) means the
+	// manifest write was lost to damage; honor the stamped history.
+	if ch.epoch > f.epoch {
+		f.epoch = ch.epoch
+	}
+	f.seq = f.snapSeq
 
 	// Revive the flight recorder from the surviving bbox region first:
 	// whatever the data scan below concludes — including unrepairable
@@ -134,19 +94,28 @@ func (f *File) recover() error {
 	// Header. A fresh store has none; a store that died before its
 	// header fsync (it cannot have committed anything yet) is
 	// re-created; a damaged header over committed state is corruption.
+	// Committed evidence is a chained record, discarded (damaged) log
+	// bytes, or a manifest witnessing an earlier checkpoint or epoch.
+	committedEvidence := len(ch.recs) > 0 || ch.discarded > 0 ||
+		(manOK && (man.epoch > 0 || man.snapshotSeq > 0))
 	switch {
-	case len(dataBytes) == 0 && len(recs) == 0:
+	case len(dataBytes) == 0 && f.snapSeq == 0 && ch.baseSeq == 0:
+		// Fresh store — or a follower dir whose chain runs complete from
+		// genesis (no checkpoint ever folded records away), where the
+		// log alone reconstructs every committed page: the last touch of
+		// any page is in some chained record. Materialize the header and
+		// let the redo below do the rest.
 		if err := f.initHeader(); err != nil {
 			f.degradeLocked(err)
 		}
 	case validHeader(dataBytes):
 		// Fine; scan below.
 	default:
-		if len(recs) > 0 || anyValidPage(dataBytes) {
+		if committedEvidence || anyValidPage(dataBytes) {
 			return &CorruptError{Path: dataPath, Page: -1, Reason: "damaged header over committed state"}
 		}
 		f.report.Reinitialized = true
-		if err := f.retry("data.pwrite", func() error { return f.data.Truncate(0) }); err != nil {
+		if err := f.ret.run("data.pwrite", func() error { return f.data.Truncate(0) }); err != nil {
 			f.degradeLocked(err)
 		} else if err := f.initHeader(); err != nil {
 			f.degradeLocked(err)
@@ -197,7 +166,8 @@ func (f *File) recover() error {
 	// completed, later commits moved the page on): redo must only roll
 	// forward, never back.
 	walPages := map[uint32]bool{}
-	for _, rec := range recs {
+	for _, cr := range ch.recs {
+		rec := cr.dec
 		for _, pg := range rec.pages {
 			walPages[pg.idx] = true
 			if rec.seq <= pageSeqs[pg.idx] {
@@ -220,10 +190,21 @@ func (f *File) recover() error {
 		f.report.Repaired++
 	}
 
+	if f.degraded != nil {
+		return nil
+	}
 	// Fold the replay back into the data file and start with an empty
-	// WAL. Failure degrades: the recovered image is intact in memory,
-	// so reads stay correct — there is just nothing durable to add.
-	if f.degraded == nil && (len(recs) > 0 || len(walBytes) > 0) {
+	// log (fresh stores bootstrap their manifest and first segment the
+	// same way). Failure degrades: the recovered image is intact in
+	// memory, so reads stay correct — there is just nothing durable to
+	// add. A clean, empty chain is reused as-is so reopening a quiet
+	// store rewrites nothing.
+	// A reusable tail must also end exactly at the recovered sequence: a
+	// stale chain (its end below the manifest's snapshot — an interrupted
+	// snapshot install or checkpoint cleanup) would accept appends whose
+	// sequences don't extend its header lineage, breaking the next
+	// recovery's continuity proof.
+	if len(ch.recs) > 0 || !ch.clean || ch.nsegs == 0 || !manOK || ch.end != f.seq {
 		var err error
 		for idx := range walPages {
 			if err = f.writePage(idx); err != nil {
@@ -236,19 +217,33 @@ func (f *File) recover() error {
 		if err != nil {
 			f.degradeLocked(err)
 		}
+		return nil
 	}
+	var seg *os.File
+	if err := f.ret.run("seg.create", func() error {
+		var oerr error
+		seg, oerr = os.OpenFile(filepath.Join(f.dir, segName(ch.tailIndex)), os.O_RDWR, 0o644)
+		return oerr
+	}); err != nil {
+		f.degradeLocked(err)
+		return nil
+	}
+	f.seg = seg
+	f.segIndex = ch.tailIndex
+	f.segSize = ch.tailSize
+	f.logBytes = ch.bytes
 	return nil
 }
 
 func (f *File) initHeader() error {
 	h := makeHeader()
-	if err := f.retry("data.pwrite", func() error {
+	if err := f.ret.run("data.pwrite", func() error {
 		_, err := f.data.WriteAt(h, 0)
 		return err
 	}); err != nil {
 		return err
 	}
-	return f.retry("data.fsync", f.data.Sync)
+	return f.ret.run("data.fsync", f.data.Sync)
 }
 
 // anyValidPage reports whether the body of a data image holds at least

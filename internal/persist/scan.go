@@ -1,0 +1,142 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// recFingerprint checksums a record's decoded content: sequence, page
+// indices and page words. It deliberately avoids the raw bytes — both
+// the record and each embedded page end with their own CRC, and a CRC
+// over any data-plus-its-own-CRC suffix collapses to the same fixed
+// residue for every valid record, which would make two replicas'
+// divergent records fingerprint as identical.
+func recFingerprint(r chainRec) uint32 {
+	h := crc32.New(castagnoli)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], r.seq)
+	h.Write(b[:])
+	for _, p := range r.dec.pages {
+		binary.LittleEndian.PutUint32(b[:4], p.idx)
+		h.Write(b[:4])
+		for _, w := range p.words {
+			binary.LittleEndian.PutUint64(b[:], w)
+			h.Write(b[:])
+		}
+	}
+	return h.Sum32()
+}
+
+// ScanReport is a read-only census of one store directory: what a
+// recovery of it would find, without writing a byte. Replica elections
+// rank candidates by (Epoch, Prefix); forensics tooling prints the rest.
+type ScanReport struct {
+	// Dir is the scanned directory.
+	Dir string
+	// ManifestOK reports a present, checksummed manifest; Epoch and
+	// SnapshotSeq come from it (Epoch also honors chained segment
+	// headers if they run higher).
+	ManifestOK  bool
+	Epoch       uint64
+	SnapshotSeq uint64
+	// Prefix is the durable committed prefix: the highest sequence
+	// provably durable in this directory — the max of the manifest's
+	// snapshot, the chained log's end, and the newest valid data page.
+	Prefix uint64
+	// Segments counts segment files on disk; Records the committed
+	// records in the valid chain; DiscardedBytes the log bytes a
+	// recovery would trim as torn tail or post-anomaly segments.
+	Segments       int
+	Records        int
+	DiscardedBytes int64
+	// FirstLogSeq is the first sequence the chain holds (0 when empty):
+	// catch-up by records is possible only from FirstLogSeq-1 onward.
+	FirstLogSeq uint64
+	// HeaderOK, PagesValid and PagesTorn summarize the data file.
+	HeaderOK   bool
+	PagesValid int
+	PagesTorn  int
+	// RecSums fingerprints each chained record (CRC-32C over its decoded
+	// content) so replicas can be compared seq-by-seq for divergence.
+	RecSums []RecSum
+}
+
+// RecSum is one chained record's identity: its sequence and a CRC-32C
+// over its decoded content (see recFingerprint). Two replicas diverge
+// at the first sequence where their sums differ.
+type RecSum struct {
+	Seq uint64
+	Sum uint32
+}
+
+// ScanDir reads one store directory — leader- or mirror-written — and
+// reports its durable prefix, epoch and log health. It never mutates
+// the directory; missing files read as empty, and damage shows up as
+// discarded bytes or torn pages rather than an error.
+func ScanDir(dir string) (ScanReport, error) {
+	rep := ScanReport{Dir: dir}
+	if fi, err := os.Stat(dir); err != nil {
+		return rep, fmt.Errorf("persist: %w", err)
+	} else if !fi.IsDir() {
+		return rep, fmt.Errorf("persist: %s is not a directory", dir)
+	}
+	man, manOK := readManifest(dir)
+	if manOK {
+		rep.ManifestOK = true
+		rep.Epoch = man.epoch
+		rep.SnapshotSeq = man.snapshotSeq
+		rep.Prefix = man.snapshotSeq
+	}
+	ch, err := loadChain(dir)
+	if err != nil {
+		return rep, fmt.Errorf("persist: %w", err)
+	}
+	rep.Segments = ch.nsegs
+	rep.Records = len(ch.recs)
+	rep.DiscardedBytes = ch.discarded
+	if ch.epoch > rep.Epoch {
+		rep.Epoch = ch.epoch
+	}
+	if len(ch.recs) > 0 {
+		rep.FirstLogSeq = ch.recs[0].seq
+		for _, r := range ch.recs {
+			rep.RecSums = append(rep.RecSums, RecSum{Seq: r.seq, Sum: recFingerprint(r)})
+		}
+	}
+	if ch.end > rep.Prefix {
+		rep.Prefix = ch.end
+	}
+	// Data pages: any valid page proves its sequence was committed (the
+	// record is durable before the page rewrite starts), so the newest
+	// page extends the durable prefix even when the log that carried it
+	// is gone or damaged.
+	if dataBytes, err := os.ReadFile(filepath.Join(dir, dataName)); err == nil && len(dataBytes) > 0 {
+		rep.HeaderOK = validHeader(dataBytes)
+		if len(dataBytes) > headerSize {
+			body := dataBytes[headerSize:]
+			npages := (len(body) + PageSize - 1) / PageSize
+			for i := 0; i < npages; i++ {
+				lo := i * PageSize
+				hi := lo + PageSize
+				if hi > len(body) {
+					hi = len(body)
+				}
+				_, seq, zero, ok := parsePage(body[lo:hi], uint32(i))
+				switch {
+				case !ok:
+					rep.PagesTorn++
+				case zero:
+				default:
+					rep.PagesValid++
+					if seq > rep.Prefix {
+						rep.Prefix = seq
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}
