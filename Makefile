@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet nrlvet doclint lint bench bench-check microbench golden chaos crash replchaos
+.PHONY: all build test race vet nrlvet doclint lint bench bench-check microbench golden chaos crash replchaos replay
 
 all: lint build test
 
@@ -70,10 +70,13 @@ chaos:
 # Seeded real-crash campaign: worker processes over the file-backed
 # store, SIGKILLed at random points, every restart verified (the CI
 # smoke; the 200-round acceptance run is TestKillCampaign200Rounds).
-# The store directory survives in crash-artifacts/ for inspection —
-# CI uploads it when the campaign fails.
+# The store directory and the campaign's schedule trace survive in
+# crash-artifacts/ for inspection — CI uploads both when the campaign
+# fails, and `nrlchaos -real -replaytrace crash-artifacts/schedule.jsonl`
+# re-executes the exact kill schedule.
 crash:
-	$(GO) run ./cmd/nrlchaos -real -rounds 25 -seed 1 -dir crash-artifacts/store
+	mkdir -p crash-artifacts
+	$(GO) run ./cmd/nrlchaos -real -rounds 25 -seed 1 -dir crash-artifacts/store -record crash-artifacts/schedule.jsonl
 
 # Seeded replica-fault kill campaign: a three-member replica set driven
 # by SIGKILLed workers, one replica directory wiped, corrupted, or
@@ -84,4 +87,13 @@ crash:
 # repl-artifacts/set` decodes it — and CI uploads it on failure.
 replchaos:
 	mkdir -p repl-artifacts
-	$(GO) run ./cmd/nrlrepl chaos -rounds 25 -seed 1 -root repl-artifacts/set -keep
+	$(GO) run ./cmd/nrlrepl chaos -rounds 25 -seed 1 -root repl-artifacts/set -keep -record repl-artifacts/schedule.jsonl
+
+# Replay the committed crash-regression corpus
+# (internal/chaos/testdata/regressions/*.jsonl): every minimized
+# schedule trace is re-executed in-process and must reproduce its
+# recorded verdict exactly. `go test ./...` runs this too
+# (TestRegressionCorpus); this is the explicit loop for bisecting a
+# drifted trace.
+replay:
+	$(GO) test ./internal/chaos -run 'TestRegressionCorpus|TestReplayTrace' -count=1 -v

@@ -9,11 +9,20 @@
 //
 //	nrlchaos [-workload NAME|all] [-runs N] [-seed S] [-procs N] [-ops N]
 //	         [-rate R] [-boost B] [-maxcrashes N] [-target EXPR]
-//	         [-shrink] [-coverage]
+//	         [-shrink] [-coverage] [-record trace.jsonl]
 //	nrlchaos -workload NAME -replay SITES -seed RUNSEED [-procs N] [-ops N]
 //	         [-trace out.jsonl]
+//	nrlchaos -replaytrace trace.jsonl
 //	nrlchaos -real [-rounds N] [-seed S] [-appends N] [-dir DIR] [-keep]
-//	         [-maxdelay D]
+//	         [-maxdelay D] [-record trace.jsonl] [-replaytrace trace.jsonl]
+//
+// -record writes the campaign's schedule trace — the checksummed JSONL
+// of every seeded choice and verdict — and, when shrinking finds a
+// violation, the minimized reproducer next to it (.min.jsonl), ready to
+// commit under internal/chaos/testdata/regressions. -replaytrace
+// re-executes a recorded trace and exits 0 only if the fresh run
+// matches the recording round for round; the first divergence is
+// printed as a structured round/field/recorded/replay diff.
 //
 // -real switches from simulated crashes to real ones: worker processes
 // (this binary re-executed with -realworker) run a durable counter/log
@@ -38,8 +47,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"nrl/internal/chaos"
+	schedtrace "nrl/internal/chaos/trace"
 	"nrl/internal/harness"
 	"nrl/internal/proc"
 	"nrl/internal/trace"
@@ -83,8 +94,13 @@ func run(args []string, out, errOut io.Writer) int {
 	coverage := fs.Bool("coverage", false, "print the full coverage table per workload")
 	replay := fs.String("replay", "", "replay crash sites (p1@12,p2@40) instead of campaigning")
 	traceOut := fs.String("trace", "", "replay only: write the run's event stream to this JSONL file")
+	record := fs.String("record", "", "write the campaign's schedule trace to this JSONL file (single workload)")
+	replayTrace := fs.String("replaytrace", "", "re-execute a recorded schedule trace and diff against it")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+	if *replayTrace != "" {
+		return runReplayTrace(out, errOut, *replayTrace)
 	}
 	if *replay != "" {
 		return runReplay(out, errOut, *workload, *replay, *seed, *procs, *ops, *traceOut)
@@ -100,6 +116,10 @@ func run(args []string, out, errOut io.Writer) int {
 			return exitUsage
 		}
 		loads = []harness.Workload{w}
+	}
+	if *record != "" && len(loads) != 1 {
+		fmt.Fprintf(errOut, "nrlchaos: -record needs a single -workload (got %d)\n", len(loads))
+		return exitUsage
 	}
 
 	code := exitClean
@@ -119,6 +139,11 @@ func run(args []string, out, errOut io.Writer) int {
 		if *coverage {
 			printCoverage(out, res.Coverage)
 		}
+		if *record != "" {
+			if err := recordTraces(out, errOut, w, res, *procs, *ops, *record); err != nil {
+				return exitUsage
+			}
+		}
 		if res.Failure != nil {
 			code = exitViolation
 		} else if res.Stuck > 0 && code == exitClean {
@@ -126,6 +151,53 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 	return code
+}
+
+// recordTraces writes the campaign schedule trace and, when shrinking
+// produced a reproducer, the minimized regression trace next to it.
+func recordTraces(out, errOut io.Writer, w harness.Workload, res *chaos.Result, procs, ops int, path string) error {
+	if err := res.Trace.WriteFile(path); err != nil {
+		fmt.Fprintln(errOut, "nrlchaos:", err)
+		return err
+	}
+	fmt.Fprintf(out, "  schedule trace: %s (%d rounds)\n", path, len(res.Trace.Rounds))
+	if res.Failure == nil {
+		return nil
+	}
+	minPath := strings.TrimSuffix(path, ".jsonl") + ".min.jsonl"
+	tr := chaos.RegressionTrace(w, procs, ops, res.Failure,
+		fmt.Sprintf("minimized from campaign seed %d run %d", res.Trace.Header.Seed, res.Failure.Run))
+	if err := tr.WriteFile(minPath); err != nil {
+		fmt.Fprintln(errOut, "nrlchaos:", err)
+		return err
+	}
+	fmt.Fprintf(out, "  minimized regression trace: %s\n", minPath)
+	return nil
+}
+
+// runReplayTrace re-executes a recorded simulated-campaign trace and
+// reports the first divergence. Exit codes: 0 the replay matched the
+// recording, 1 it diverged (the code's behavior has drifted), 3 the
+// trace is unreadable or needs a live harness.
+func runReplayTrace(out, errOut io.Writer, path string) int {
+	rec, err := schedtrace.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlchaos:", err)
+		return exitUsage
+	}
+	_, div, err := chaos.ReplayTrace(rec)
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlchaos:", err)
+		return exitUsage
+	}
+	fmt.Fprintf(out, "replaytrace %s: kind %s, workload %s, seed %d, %d rounds\n",
+		path, rec.Header.Kind, rec.Header.Workload, rec.Header.Seed, len(rec.Rounds))
+	if div != nil {
+		fmt.Fprintf(out, "DIVERGED: %v\n", div)
+		return exitViolation
+	}
+	fmt.Fprintln(out, "replay matched the recording")
+	return exitClean
 }
 
 func printSummary(out io.Writer, w harness.Workload, res *chaos.Result, procs, ops int) {

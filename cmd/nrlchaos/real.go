@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nrl/internal/chaos"
+	schedtrace "nrl/internal/chaos/trace"
 )
 
 // runReal is the -real campaign: instead of simulated crashes inside
@@ -31,6 +32,8 @@ func runReal(args []string, out, errOut io.Writer) int {
 	// pipeline: long enough to get past process startup and the
 	// open-time checkpoint, short enough that most rounds still die.
 	maxDelay := fs.Duration("maxdelay", 120*time.Millisecond, "upper bound on the random kill delay")
+	record := fs.String("record", "", "write the campaign's schedule trace to this JSONL file")
+	replayTrace := fs.String("replaytrace", "", "re-execute a recorded kill trace and diff its schedule")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -62,15 +65,39 @@ func runReal(args []string, out, errOut io.Writer) int {
 		return exec.Command(exe, wargs...)
 	}
 
-	res, err := chaos.RunKillCampaign(chaos.KillConfig{
-		Rounds:       *rounds,
-		Seed:         *seed,
-		MaxKillDelay: *maxDelay,
-		Worker:       worker,
-	})
+	var res *chaos.KillResult
+	var div *schedtrace.Divergence
+	if *replayTrace != "" {
+		// Replay: the recorded header carries the campaign shape; the
+		// worker flags (-appends, -capacity, -dir) still shape the
+		// incarnations, which must match the recording's to reproduce.
+		rec, rerr := schedtrace.ReadFile(*replayTrace)
+		if rerr != nil {
+			fmt.Fprintln(errOut, "nrlchaos:", rerr)
+			return exitUsage
+		}
+		res, div, err = chaos.ReplayKillTrace(rec, worker)
+		if err == nil {
+			*rounds = rec.Header.Rounds
+		}
+	} else {
+		res, err = chaos.RunKillCampaign(chaos.KillConfig{
+			Rounds:       *rounds,
+			Seed:         *seed,
+			MaxKillDelay: *maxDelay,
+			Worker:       worker,
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(errOut, "nrlchaos:", err)
 		return exitUsage
+	}
+	if *record != "" {
+		if werr := res.Trace.WriteFile(*record); werr != nil {
+			fmt.Fprintln(errOut, "nrlchaos:", werr)
+			return exitUsage
+		}
+		fmt.Fprintf(out, "schedule trace: %s (%d rounds)\n", *record, len(res.Trace.Rounds))
 	}
 
 	fmt.Fprintf(out, "real-crash    %d rounds, %d kills, %d clean exits, final log length %d",
@@ -98,6 +125,13 @@ func runReal(args []string, out, errOut io.Writer) int {
 		}
 		fmt.Fprintf(out, "store kept for inspection: %s\n", storeDir)
 		return exitViolation
+	}
+	if div != nil {
+		fmt.Fprintf(out, "schedule DIVERGED from %s: %v\n", *replayTrace, div)
+		return exitViolation
+	}
+	if *replayTrace != "" {
+		fmt.Fprintf(out, "schedule matched the recording %s\n", *replayTrace)
 	}
 	if *keep || *dir != "" {
 		fmt.Fprintf(out, "store: %s\n", storeDir)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"nrl/internal/chaos"
+	schedtrace "nrl/internal/chaos/trace"
 )
 
 // chaosDoc is the JSON document of the chaos subcommand.
@@ -45,6 +46,8 @@ func runChaos(args []string, out, errOut io.Writer) int {
 	capacity := fs.Int("capacity", 1<<14, "log capacity in records")
 	maxDelay := fs.Duration("maxdelay", 60*time.Millisecond, "upper bound on the random kill delay")
 	keep := fs.Bool("keep", false, "keep the root directory even on success")
+	record := fs.String("record", "", "write the campaign's schedule trace to this JSONL file")
+	replay := fs.String("replay", "", "re-execute a recorded replica-fault trace and diff its schedule")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -66,7 +69,7 @@ func runChaos(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "nrlrepl chaos:", err)
 		return exitUsage
 	}
-	worker := func(verify bool, faultDir, faultAfter, faultFor int) *exec.Cmd {
+	worker := func(verify bool, faultDir, faultAfter, faultFor int, wseed int64) *exec.Cmd {
 		wargs := []string{"chaosworker",
 			"-root", *root,
 			"-replicas", strconv.Itoa(*replicas),
@@ -75,6 +78,7 @@ func runChaos(args []string, out, errOut io.Writer) int {
 			"-faultdir", strconv.Itoa(faultDir),
 			"-faultafter", strconv.Itoa(faultAfter),
 			"-faultfor", strconv.Itoa(faultFor),
+			"-seed", strconv.FormatInt(wseed, 10),
 		}
 		if verify {
 			wargs = append(wargs, "-verify")
@@ -82,18 +86,48 @@ func runChaos(args []string, out, errOut io.Writer) int {
 		return exec.Command(exe, wargs...)
 	}
 
-	res, err := chaos.RunReplKillCampaign(chaos.ReplKillConfig{
-		Rounds:       *rounds,
-		Seed:         *seed,
-		MaxKillDelay: *maxDelay,
-		Root:         *root,
-		Replicas:     *replicas,
-		Appends:      *appends,
-		Worker:       worker,
-	})
+	var res *chaos.ReplKillResult
+	var div *schedtrace.Divergence
+	if *replay != "" {
+		// Replay: the recorded header fixes rounds, seed, replicas,
+		// appends and the kill window; the root is fresh.
+		rec, rerr := schedtrace.ReadFile(*replay)
+		if rerr != nil {
+			fmt.Fprintln(errOut, "nrlrepl chaos:", rerr)
+			return exitUsage
+		}
+		// The worker closure reads these through the flag pointers, so
+		// the incarnations are shaped by the recording, not the flags.
+		*rounds = rec.Header.Rounds
+		*replicas = rec.Header.Replicas
+		*appends = rec.Header.Appends
+		res, div, err = chaos.ReplayReplKillTrace(rec, *root, worker)
+	} else {
+		res, err = chaos.RunReplKillCampaign(chaos.ReplKillConfig{
+			Rounds:       *rounds,
+			Seed:         *seed,
+			MaxKillDelay: *maxDelay,
+			Root:         *root,
+			Replicas:     *replicas,
+			Appends:      *appends,
+			Worker:       worker,
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(errOut, "nrlrepl chaos:", err)
 		return exitUsage
+	}
+	if *record != "" {
+		if werr := res.Trace.WriteFile(*record); werr != nil {
+			fmt.Fprintln(errOut, "nrlrepl chaos:", werr)
+			return exitUsage
+		}
+		fmt.Fprintf(errOut, "schedule trace: %s (%d rounds)\n", *record, len(res.Trace.Rounds))
+	}
+	if div != nil {
+		res.Failures = append(res.Failures, "schedule divergence: "+div.Error())
+	} else if *replay != "" {
+		fmt.Fprintf(errOut, "schedule matched the recording %s\n", *replay)
 	}
 
 	doc := chaosDoc{
@@ -142,6 +176,7 @@ func runChaosWorker(args []string, out, errOut io.Writer) int {
 	faultDir := fs.Int("faultdir", -1, "replica index whose I/O is dead (-1 none)")
 	faultAfter := fs.Int("faultafter", 0, "append count after which the fault arms")
 	faultFor := fs.Int("faultfor", 0, "appends the fault stays armed (0 = forever)")
+	seed := fs.Int64("seed", 0, "replica-set jitter seed for this incarnation")
 	verify := fs.Bool("verify", false, "recover and verify only, no appends")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -157,6 +192,7 @@ func runChaosWorker(args []string, out, errOut io.Writer) int {
 		FaultDir:   *faultDir,
 		FaultAfter: *faultAfter,
 		FaultFor:   *faultFor,
+		Seed:       *seed,
 		Verify:     *verify,
 	}, out)
 }

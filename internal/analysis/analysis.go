@@ -65,6 +65,7 @@ func Analyzers() []*Analyzer {
 		WitnessOrder,
 		TraceAttr,
 		CheckConv,
+		DetClock,
 		DocComment,
 		Ignore,
 	}

@@ -54,6 +54,11 @@ func TestCheckConv(t *testing.T) {
 		analysis.CheckConv)
 }
 
+func TestDetClock(t *testing.T) {
+	analysis.RunGolden(t, moduleRoot, "testdata/src/detclock",
+		analysis.DetClock)
+}
+
 func TestIgnoreEngine(t *testing.T) {
 	// The full suite runs here: the golden package asserts both that
 	// reasoned ignores suppress persistorder findings and that the

@@ -1,0 +1,80 @@
+package analysis
+
+import "go/ast"
+
+// DetClock enforces the deterministic-timebase discipline of the chaos,
+// replica and persist layers (DESIGN.md §11): every delay, timestamp
+// and random draw on a production path must flow through the
+// internal/vclock primitives — an injectable sleeper/clock, or a
+// vclock.Rand stream split from the campaign seed — so a recorded
+// campaign schedule is a pure function of its seed and replays
+// bit-for-bit.
+//
+//   - wall-clock: scoped code calls a runtime clock primitive
+//     (time.Now, time.Sleep, time.After, …) directly. Route the delay
+//     through an injectable Sleep hook (persist.Options.Sleep,
+//     replica.Options.Sleep) or a vclock.Clock; genuine wall-clock
+//     needs (bench timing, telemetry timestamps, racing a live SIGKILL
+//     target) take a reasoned `//nrl:ignore`.
+//   - global-rand: scoped code draws from math/rand — the global
+//     source or a raw *rand.Rand. Use a vclock.Rand stream
+//     (vclock.NewRand / vclock.NewSeeded / vclock.FromSource) so the
+//     draw sequence is seeded, lockable, and recorded.
+//
+// The vclock package itself is the one sanctioned wall-clock entry and
+// is outside the scope; test files are never loaded by the driver.
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc:  "chaos/replica/persist schedules must flow through the virtual timebase",
+	Run:  runDetClock,
+}
+
+// detClockScope is the set of packages under the discipline. The
+// "detclock" entry is the golden testdata package, whose import path is
+// its base directory name.
+var detClockScope = map[string]bool{
+	"nrl/internal/chaos":       true,
+	"nrl/internal/chaos/trace": true,
+	"nrl/internal/replica":     true,
+	"nrl/internal/persist":     true,
+	"detclock":                 true,
+}
+
+// wallClockFuncs are the time-package primitives that read or wait on
+// the runtime clock. Conversions (time.Duration) and constants
+// (time.Millisecond) are not calls and pass freely.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Since": true, "Until": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runDetClock(p *Pass) error {
+	if !detClockScope[p.Pkg.Path()] {
+		return nil
+	}
+	for _, fd := range funcDecls(p) {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					p.Reportf(call.Pos(), "wall-clock",
+						"time.%s reads the runtime clock on a deterministic path; route it through an injectable Sleep hook or vclock (WallSleep/WallNow with a reasoned //nrl:ignore for genuine wall-clock needs)", fn.Name())
+				}
+			case "math/rand":
+				p.Reportf(call.Pos(), "global-rand",
+					"math/rand.%s draws outside the seeded streams; use a vclock.Rand split from the campaign seed (vclock.NewRand/NewSeeded/FromSource)", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Golden package for the detclock analyzer: production paths in the
+// chaos/replica/persist layers must draw every delay, timestamp and
+// random choice through the internal/vclock primitives, so recorded
+// campaign schedules replay bit-for-bit.
+package detclock
+
+import (
+	"math/rand"
+	"time"
+
+	"nrl/internal/vclock"
+)
+
+// rawClock reads and waits on the runtime clock directly.
+func rawClock() time.Duration {
+	start := time.Now()            // want "wall-clock"
+	time.Sleep(time.Millisecond)   // want "wall-clock"
+	<-time.After(time.Millisecond) // want "wall-clock"
+	return time.Since(start)       // want "wall-clock"
+}
+
+// rawRand draws from the global source and from a raw generator.
+func rawRand() int {
+	n := rand.Intn(10)               // want "global-rand"
+	r := rand.New(rand.NewSource(1)) // want "global-rand" "global-rand"
+	return n + r.Intn(10)            // want "global-rand"
+}
+
+// viaTimebase is the conforming shape: virtual clock, seeded stream,
+// injectable sleeper defaulted to the sanctioned wall wrapper.
+func viaTimebase(sleep func(time.Duration)) time.Duration {
+	if sleep == nil {
+		sleep = vclock.WallSleep
+	}
+	clk := vclock.NewClock()
+	rng := vclock.NewRand(42, 0)
+	sleep(rng.Jitter(time.Millisecond))
+	clk.Sleep(rng.Duration(time.Millisecond))
+	return clk.Elapsed()
+}
+
+// benchTiming is a genuine wall-clock need, suppressed with a reason.
+func benchTiming() time.Duration {
+	start := time.Now() //nrl:ignore bench timing: measures real elapsed time for a throughput report, never a scheduling input
+	viaTimebase(nil)
+	return time.Since(start) //nrl:ignore bench timing: measures real elapsed time for a throughput report, never a scheduling input
+}
+
+// durationArith shows that time conversions and constants are not
+// clock reads: only the listed runtime-clock calls are flagged.
+func durationArith(us int64) time.Duration {
+	return time.Duration(us) * time.Microsecond
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	schedtrace "nrl/internal/chaos/trace"
 	"nrl/internal/harness"
 	"nrl/internal/history"
 	"nrl/internal/linearize"
@@ -85,6 +86,11 @@ type Result struct {
 	Coverage *Coverage
 	// Failure is the first NRL violation (nil if the campaign is clean).
 	Failure *Failure
+	// Trace is the campaign's schedule trace: one round record per run
+	// (derived seed, fired sites, verdict). chaos.Run is deterministic,
+	// so re-running the same Config yields a byte-identical encoding —
+	// ReplayTrace re-executes a recorded trace and diffs against it.
+	Trace *schedtrace.Trace
 }
 
 // Run executes a campaign. A returned error means the campaign itself
@@ -120,7 +126,16 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Coverage: NewCoverage()}
+	res := &Result{
+		Coverage: NewCoverage(),
+		Trace: &schedtrace.Trace{Header: schedtrace.Header{
+			Kind:     schedtrace.KindCampaign,
+			Workload: cfg.Workload.Name,
+			Procs:    procs, Ops: ops, Runs: cfg.Runs, Seed: cfg.Seed,
+			Rate: cfg.Rate, Boost: cfg.Boost, MaxCrashes: cfg.MaxCrashes,
+			Target: cfg.Target,
+		}},
+	}
 	for i := 0; i < cfg.Runs; i++ {
 		runSeed := proc.SplitSeed(cfg.Seed, i)
 		g := NewGuided(res.Coverage, proc.SplitSeed(runSeed, 1<<20), cfg.Rate, cfg.Boost, maxCrashes, target)
@@ -141,6 +156,15 @@ func Run(cfg Config) (*Result, error) {
 		if partial {
 			res.Partial++
 		}
+		round := schedtrace.Round{
+			Round: i, Seed: runSeed,
+			Sites: FormatSites(g.Sites()), Crashes: g.Crashes(),
+			Stuck: stuck != nil, Partial: partial,
+		}
+		if verdict != nil {
+			round.Violation = verdict.Error()
+		}
+		res.Trace.Rounds = append(res.Trace.Rounds, round)
 		if verdict != nil && res.Failure == nil {
 			f := &Failure{
 				Run: i, RunSeed: runSeed,

@@ -1,10 +1,10 @@
 package chaos
 
 import (
-	"math/rand"
 	"sync"
 
 	"nrl/internal/proc"
+	"nrl/internal/vclock"
 )
 
 // Default bias parameters for the guided injector.
@@ -37,7 +37,7 @@ type Guided struct {
 	target     Predicate
 
 	mu      sync.Mutex
-	rng     *rand.Rand
+	rng     *vclock.Rand
 	crashes int
 	sites   []CrashSite
 }
@@ -59,7 +59,7 @@ func NewGuided(cov *Coverage, seed int64, rate, boost float64, maxCrashes int, t
 		boost:      boost,
 		maxCrashes: maxCrashes,
 		target:     target,
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        vclock.NewSeeded(seed),
 	}
 }
 

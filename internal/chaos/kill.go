@@ -12,17 +12,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"os/exec"
 	"strings"
 	"sync"
 	"time"
 
+	schedtrace "nrl/internal/chaos/trace"
 	"nrl/internal/durable"
 	"nrl/internal/flightrec"
 	"nrl/internal/flightrec/forensics"
 	"nrl/internal/nvm"
 	"nrl/internal/persist"
+	"nrl/internal/vclock"
 )
 
 // Kill-worker exit codes, above the nrlchaos CLI's own 0..3 range.
@@ -237,6 +238,10 @@ type KillResult struct {
 	// Transcripts holds the failing rounds' worker output for
 	// artifacts.
 	Transcripts []string
+	// Trace is the campaign's schedule trace (KindKill): the seeded
+	// kill-delay choices gate replay; the observed kill phases and
+	// recovery reports ride along for forensics.
+	Trace *schedtrace.Trace
 }
 
 // workerState parses a worker's line protocol as it streams in. It is
@@ -318,8 +323,19 @@ func RunKillCampaign(cfg KillConfig) (*KillResult, error) {
 	if cfg.MaxKillDelay <= 0 {
 		cfg.MaxKillDelay = 30 * time.Millisecond
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &KillResult{Phases: NewPhaseCoverage()}
+	// Stream 0 of the campaign seed is the kill-delay schedule; the
+	// virtual clock accumulates the scheduled delays so the trace's
+	// vtime is a pure function of the seed even though the real waits
+	// below run on the wall clock.
+	jit := vclock.NewRand(cfg.Seed, 0)
+	clk := vclock.NewClock()
+	res := &KillResult{
+		Phases: NewPhaseCoverage(),
+		Trace: &schedtrace.Trace{Header: schedtrace.Header{
+			Kind: schedtrace.KindKill, Seed: cfg.Seed, Rounds: cfg.Rounds,
+			MaxDelayUS: cfg.MaxKillDelay.Microseconds(),
+		}},
+	}
 	var acked uint64 // high-water mark of acknowledged state
 
 	fail := func(round int, st *workerState, format string, args ...any) {
@@ -340,12 +356,13 @@ func RunKillCampaign(cfg KillConfig) (*KillResult, error) {
 		done := make(chan error, 1)
 		go func() { done <- cmd.Wait() }()
 
-		delay := time.Duration(rng.Int63n(int64(cfg.MaxKillDelay))) + time.Millisecond
+		delay := jit.Duration(cfg.MaxKillDelay) + time.Millisecond
+		clk.Advance(delay)
 		killed := false
 		var waitErr error
 		select {
 		case waitErr = <-done:
-		case <-time.After(delay):
+		case <-time.After(delay): //nrl:ignore real SIGKILL harness: the wait must elapse on the wall clock to race a live process; the delay itself is drawn from the seeded stream above
 			killed = true
 			_ = cmd.Process.Kill()
 			waitErr = <-done
@@ -372,6 +389,12 @@ func RunKillCampaign(cfg KillConfig) (*KillResult, error) {
 			}
 		}
 		res.Rounds = append(res.Rounds, kr)
+		res.Trace.Rounds = append(res.Trace.Rounds, schedtrace.Round{
+			Round: round, DelayUS: delay.Microseconds(),
+			VTimeUS: clk.Elapsed().Microseconds(),
+			Killed:  killed, Phase: kr.Phase, Exit: kr.ExitCode,
+			Recovered: kr.RecoveredLen, Acked: kr.AckedLen,
+		})
 		res.TornWrites += kr.Torn
 		res.RepairedWrites += kr.Repaired
 

@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -24,10 +23,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	schedtrace "nrl/internal/chaos/trace"
 	"nrl/internal/durable"
 	"nrl/internal/nvm"
 	"nrl/internal/persist"
+	"nrl/internal/proc"
 	"nrl/internal/replica"
+	"nrl/internal/vclock"
 )
 
 // ReplicaFault names the per-round replica-directory injury.
@@ -82,6 +84,11 @@ type ReplKillWorkerConfig struct {
 	FaultDir   int
 	FaultAfter int
 	FaultFor   int
+	// Seed seeds the incarnation's replica-set jitter streams (ship
+	// retry and heal backoff). The campaign derives one per round from
+	// its master seed, so every incarnation's backoff schedule is a
+	// recorded, replayable choice instead of an ad-hoc constant.
+	Seed int64
 	// Verify makes the incarnation recover, verify and exit without
 	// appending (the campaign's final no-kill check, never faulted).
 	Verify bool
@@ -135,7 +142,7 @@ func RunReplKillWorker(cfg ReplKillWorkerConfig, out io.Writer) int {
 		},
 		ShipBaseDelay: 200 * time.Microsecond,
 		ShipMaxDelay:  2 * time.Millisecond,
-		Seed:          int64(cfg.Appends)*7919 + int64(cfg.FaultDir),
+		Seed:          cfg.Seed,
 	}
 	if cfg.FaultDir >= 0 {
 		opts.InjectFor = func(i int) func(op string) error {
@@ -261,10 +268,10 @@ type ReplKillConfig struct {
 	Appends int
 	// Worker builds the command for one incarnation: a process that
 	// runs RunReplKillWorker against Root, with the round's disk fault
-	// (faultDir < 0 for none, faultFor > 0 for a transient window) and
-	// Verify for the final check. Its stdout must be the worker's line
-	// protocol.
-	Worker func(verify bool, faultDir, faultAfter, faultFor int) *exec.Cmd
+	// (faultDir < 0 for none, faultFor > 0 for a transient window), the
+	// round's derived jitter seed, and Verify for the final check. Its
+	// stdout must be the worker's line protocol.
+	Worker func(verify bool, faultDir, faultAfter, faultFor int, seed int64) *exec.Cmd
 }
 
 // ReplKillRound records one incarnation of the replica campaign.
@@ -314,6 +321,10 @@ type ReplKillResult struct {
 	// rounds' worker output for artifacts.
 	Failures    []string
 	Transcripts []string
+	// Trace is the campaign's schedule trace (KindReplKill): the seeded
+	// fault/delay/jitter choices gate replay; the observed outcomes ride
+	// along for forensics.
+	Trace *schedtrace.Trace
 }
 
 // replWorkerState extends the kill.go line parser with the set-status
@@ -352,7 +363,7 @@ func (s *replWorkerState) Write(p []byte) (int, error) {
 
 // corruptReplicaDir flips a burst of random bytes in every file of one
 // replica directory (seeded). Missing or empty directories are a no-op.
-func corruptReplicaDir(dir string, rng *rand.Rand) error {
+func corruptReplicaDir(dir string, rng *vclock.Rand) error {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -407,10 +418,27 @@ func RunReplKillCampaign(cfg ReplKillConfig) (*ReplKillResult, error) {
 	if cfg.Appends <= 0 {
 		cfg.Appends = 20
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Stream 0 of the campaign seed drives the schedule choices of the
+	// campaign loop (fault kind, target, arming window, kill delay) —
+	// and nothing else: the per-round draw count must be a constant so
+	// the schedule is a pure function of the seed. Corruption byte
+	// flips consume a state-dependent number of draws (they walk
+	// whatever files the previous incarnation left), so each corrupting
+	// round gets its own derived stream; each round's worker likewise
+	// gets a split seed for the replica-set jitter inside the
+	// incarnation. The virtual clock accumulates the scheduled delays
+	// for the trace's vtime.
+	rng := vclock.NewRand(cfg.Seed, 0)
+	clk := vclock.NewClock()
 	res := &ReplKillResult{
 		Phases: NewPhaseCoverage(),
 		Faults: map[string]int{},
+		Trace: &schedtrace.Trace{Header: schedtrace.Header{
+			Kind: schedtrace.KindReplKill, Seed: cfg.Seed,
+			Rounds: cfg.Rounds, Appends: cfg.Appends,
+			Replicas:   cfg.Replicas,
+			MaxDelayUS: cfg.MaxKillDelay.Microseconds(),
+		}},
 	}
 	dirs := ReplicaDirs(cfg.Root, cfg.Replicas)
 	var acked uint64 // high-water mark of acknowledged appends
@@ -448,7 +476,7 @@ func RunReplKillCampaign(cfg ReplKillConfig) (*ReplKillResult, error) {
 				return res, fmt.Errorf("harness: wipe %s: %w", dirs[faultDir], err)
 			}
 		case FaultCorrupt:
-			if err := corruptReplicaDir(dirs[faultDir], rng); err != nil {
+			if err := corruptReplicaDir(dirs[faultDir], vclock.NewRand(cfg.Seed, 1<<20|round)); err != nil {
 				return res, fmt.Errorf("harness: corrupt %s: %w", dirs[faultDir], err)
 			}
 		}
@@ -459,7 +487,8 @@ func RunReplKillCampaign(cfg ReplKillConfig) (*ReplKillResult, error) {
 		if fault == FaultDisk {
 			diskDir = faultDir
 		}
-		cmd := cfg.Worker(false, diskDir, faultAfter, faultFor)
+		workerSeed := proc.SplitSeed(cfg.Seed, round+1)
+		cmd := cfg.Worker(false, diskDir, faultAfter, faultFor, workerSeed)
 		cmd.Stdout = st
 		cmd.Stderr = &stderr
 		if err := cmd.Start(); err != nil {
@@ -468,12 +497,13 @@ func RunReplKillCampaign(cfg ReplKillConfig) (*ReplKillResult, error) {
 		done := make(chan error, 1)
 		go func() { done <- cmd.Wait() }()
 
-		delay := time.Duration(rng.Int63n(int64(cfg.MaxKillDelay))) + time.Millisecond
+		delay := rng.Duration(cfg.MaxKillDelay) + time.Millisecond
+		clk.Advance(delay)
 		killed := false
 		var waitErr error
 		select {
 		case waitErr = <-done:
-		case <-time.After(delay):
+		case <-time.After(delay): //nrl:ignore real SIGKILL harness: the wait must elapse on the wall clock to race a live process; the delay itself is drawn from the seeded stream above
 			killed = true
 			_ = cmd.Process.Kill()
 			waitErr = <-done
@@ -499,6 +529,16 @@ func RunReplKillCampaign(cfg ReplKillConfig) (*ReplKillResult, error) {
 			}
 		}
 		res.Rounds = append(res.Rounds, kr)
+		tr := schedtrace.Round{
+			Round: round, Seed: workerSeed,
+			Fault: fault.String(), FaultDir: faultDir,
+			FaultAfter: faultAfter, FaultFor: faultFor,
+			DelayUS: delay.Microseconds(),
+			VTimeUS: clk.Elapsed().Microseconds(),
+			Killed:  killed, Phase: kr.Phase, Exit: kr.ExitCode,
+			Recovered: kr.RecoveredLen, Acked: kr.AckedLen,
+		}
+		res.Trace.Rounds = append(res.Trace.Rounds, tr)
 
 		if killed {
 			res.Kills++
@@ -551,7 +591,7 @@ func RunReplKillCampaign(cfg ReplKillConfig) (*ReplKillResult, error) {
 	if len(res.Failures) == 0 {
 		st := &replWorkerState{}
 		var stderr bytes.Buffer
-		cmd := cfg.Worker(true, -1, 0, 0)
+		cmd := cfg.Worker(true, -1, 0, 0, proc.SplitSeed(cfg.Seed, 0))
 		cmd.Stdout = st
 		cmd.Stderr = &stderr
 		err := cmd.Run()

@@ -25,6 +25,10 @@ func TestReplKillWorkerProcess(t *testing.T) {
 		}
 		return def
 	}
+	var seed int64
+	if v := os.Getenv("NRL_REPL_SEED"); v != "" {
+		seed, _ = strconv.ParseInt(v, 10, 64)
+	}
 	cfg := chaos.ReplKillWorkerConfig{
 		Root:       os.Getenv("NRL_REPL_ROOT"),
 		Replicas:   atoi("NRL_REPL_REPLICAS", 3),
@@ -33,6 +37,7 @@ func TestReplKillWorkerProcess(t *testing.T) {
 		FaultDir:   atoi("NRL_REPL_FAULTDIR", -1),
 		FaultAfter: atoi("NRL_REPL_FAULTAFTER", 0),
 		FaultFor:   atoi("NRL_REPL_FAULTFOR", 0),
+		Seed:       seed,
 		Verify:     os.Getenv("NRL_REPL_VERIFY") != "",
 	}
 	os.Exit(chaos.RunReplKillWorker(cfg, os.Stdout))
@@ -40,13 +45,13 @@ func TestReplKillWorkerProcess(t *testing.T) {
 
 // selfReplWorker builds a Worker function that re-executes this test
 // binary as the replica kill worker.
-func selfReplWorker(t *testing.T, root string, replicas, appends, capacity int) func(bool, int, int, int) *exec.Cmd {
+func selfReplWorker(t *testing.T, root string, replicas, appends, capacity int) func(bool, int, int, int, int64) *exec.Cmd {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatalf("os.Executable: %v", err)
 	}
-	return func(verify bool, faultDir, faultAfter, faultFor int) *exec.Cmd {
+	return func(verify bool, faultDir, faultAfter, faultFor int, seed int64) *exec.Cmd {
 		cmd := exec.Command(exe, "-test.run=TestReplKillWorkerProcess")
 		cmd.Env = append(os.Environ(),
 			"NRL_REPL_WORKER=1",
@@ -57,6 +62,7 @@ func selfReplWorker(t *testing.T, root string, replicas, appends, capacity int) 
 			"NRL_REPL_FAULTDIR="+strconv.Itoa(faultDir),
 			"NRL_REPL_FAULTAFTER="+strconv.Itoa(faultAfter),
 			"NRL_REPL_FAULTFOR="+strconv.Itoa(faultFor),
+			"NRL_REPL_SEED="+strconv.FormatInt(seed, 10),
 		)
 		if verify {
 			cmd.Env = append(cmd.Env, "NRL_REPL_VERIFY=1")

@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	schedtrace "nrl/internal/chaos/trace"
+)
+
+// brokenConfig is the seeded campaign every schedule-trace test records:
+// the broken strawman, so the trace carries violation rounds too.
+func brokenConfig(t *testing.T) Config {
+	return Config{
+		Workload: workload(t, "broken"),
+		Procs:    1, Ops: 2,
+		Runs: 30, Seed: 42,
+		Shrink: true,
+	}
+}
+
+// TestCampaignTraceDoubleRun is the determinism acceptance test: the
+// same seeded campaign run twice must produce byte-identical encoded
+// schedule traces — same derived seeds, same fired sites, same verdicts,
+// round by round.
+func TestCampaignTraceDoubleRun(t *testing.T) {
+	var encs [2][]byte
+	for i := range encs {
+		res, err := Run(brokenConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Trace.Rounds) != 30 {
+			t.Fatalf("trace has %d rounds, want 30", len(res.Trace.Rounds))
+		}
+		enc, err := res.Trace.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs[i] = enc
+	}
+	if !bytes.Equal(encs[0], encs[1]) {
+		t.Error("two runs of the same seeded campaign encoded different traces")
+	}
+}
+
+// TestReplayTraceMatches records a campaign, round-trips the trace
+// through its JSONL encoding, replays it, and requires zero divergence.
+func TestReplayTraceMatches(t *testing.T) {
+	res, err := Run(brokenConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := res.Trace.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := schedtrace.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, div, err := ReplayTrace(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		t.Fatalf("replay of a fresh recording diverged: %v", div)
+	}
+}
+
+// TestReplayTraceNamesFirstDivergence injects a deliberate behavioral
+// change into a recording (as if the code under replay had drifted) and
+// requires the diff to name the first divergent round and field.
+func TestReplayTraceNamesFirstDivergence(t *testing.T) {
+	res, err := Run(brokenConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Trace
+
+	// Tamper with two rounds; the diff must report the earlier one.
+	rec.Rounds[7].Crashes++
+	rec.Rounds[12].Seed++
+	_, div, err := ReplayTrace(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("tampered recording replayed clean")
+	}
+	if div.Round != 7 || div.Field != "crashes" {
+		t.Fatalf("divergence = round %d field %q, want round 7 field \"crashes\"", div.Round, div.Field)
+	}
+	if !strings.Contains(div.Error(), "round 7") {
+		t.Errorf("divergence error %q does not name the round", div.Error())
+	}
+}
+
+// TestRegressionTraceRoundTrip minimizes a campaign failure into a
+// regression trace, writes and re-reads it, and replays it clean.
+func TestRegressionTraceRoundTrip(t *testing.T) {
+	res, err := Run(brokenConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure == nil {
+		t.Fatal("campaign found no violation in the broken counter")
+	}
+	tr := RegressionTrace(workload(t, "broken"), 1, 2, res.Failure, "test round-trip")
+	path := filepath.Join(t.TempDir(), "broken.trace.jsonl")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := schedtrace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, div, err := ReplayTrace(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		t.Fatalf("fresh regression trace diverged on replay: %v", div)
+	}
+}
+
+// TestRegressionCorpus replays every committed trace under
+// testdata/regressions as an ordinary test case: a chaos-found,
+// minimized crash stays reproducible forever. Regenerate a trace whose
+// violation wording legitimately changed with:
+//
+//	NRL_UPDATE_CORPUS=1 go test ./internal/chaos -run TestRegressionCorpus
+func TestRegressionCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "regressions")
+	if os.Getenv("NRL_UPDATE_CORPUS") != "" {
+		updateRegressionCorpus(t, dir)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no committed regression traces under %s", dir)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			rec, err := schedtrace.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Header.Kind != schedtrace.KindRegression {
+				t.Fatalf("corpus trace kind %q, want %q", rec.Header.Kind, schedtrace.KindRegression)
+			}
+			_, div, err := ReplayTrace(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if div != nil {
+				t.Errorf("replay diverged from the recording: %v", div)
+			}
+		})
+	}
+}
+
+// updateRegressionCorpus re-mines the committed corpus from the broken
+// strawman: one seeded campaign, first failure shrunk and written out.
+func updateRegressionCorpus(t *testing.T, dir string) {
+	t.Helper()
+	res, err := Run(brokenConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure == nil {
+		t.Fatal("campaign found no violation to mine")
+	}
+	tr := RegressionTrace(workload(t, "broken"), 1, 2, res.Failure,
+		"minimized from: nrlchaos -workload broken -procs 1 -ops 2 -runs 30 -seed 42 -shrink")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteFile(filepath.Join(dir, "broken-counter-lost-inc.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("corpus updated: %s", filepath.Join(dir, "broken-counter-lost-inc.jsonl"))
+}

@@ -12,6 +12,7 @@ import (
 
 	"nrl/internal/nvm"
 	"nrl/internal/trace"
+	"nrl/internal/vclock"
 )
 
 const (
@@ -124,7 +125,7 @@ func (o Options) withDefaults() Options {
 		o.MaxDelay = 50 * time.Millisecond
 	}
 	if o.Sleep == nil {
-		o.Sleep = time.Sleep
+		o.Sleep = vclock.WallSleep
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 10
@@ -369,7 +370,7 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 	if f.degraded != nil {
 		return f.degraded
 	}
-	start := time.Now()
+	start := time.Now() //nrl:ignore telemetry timestamp: commit latency for the MemCommit trace event, never a scheduling input
 	retriesBefore := f.ret.retries
 
 	f.seq++
@@ -447,7 +448,7 @@ func (f *File) Commit(batch []nvm.WordUpdate) error {
 			Addr:    int32(nvm.InvalidAddr),
 			Ret:     uint64(len(batch)),
 			Attempt: int(f.ret.retries - retriesBefore),
-			DurUS:   uint64(time.Since(start).Microseconds()),
+			DurUS:   uint64(time.Since(start).Microseconds()), //nrl:ignore telemetry timestamp: trace-event latency attribution only
 		})
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 
 	"nrl/internal/nvm"
 	"nrl/internal/persist"
+	"nrl/internal/vclock"
 )
 
 // ErrNoQuorum reports that fewer than a majority of the replica
@@ -49,6 +50,18 @@ type Options struct {
 	// Seed seeds the jitter source, making retry and heal schedules
 	// reproducible.
 	Seed int64
+	// Source, when non-nil, replaces the Seed-derived jitter stream
+	// outright: ship-retry spreading and heal-backoff jitter draw from
+	// it and nothing else, so a campaign can hand every Set a stream
+	// split from its own master seed (vclock.NewRand / proc.SplitSeed)
+	// and replay heal timing bit-for-bit.
+	Source rand.Source
+	// Sleep, when non-nil, replaces the sleeper used between ship
+	// retries (default: Persist.Sleep, else the wall clock). A virtual
+	// clock's Sleep makes retry backoff free and deterministic under
+	// test; heal backoff needs no sleeper at all — it is measured in
+	// commits by design.
+	Sleep func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -96,7 +109,7 @@ type Set struct {
 	leaderDir string
 	followers []*follower
 	epoch     uint64
-	rng       *rand.Rand
+	rng       *vclock.Rand
 	// grows shadows every Grow since Open: words allocated above but
 	// not yet committed exist in no durable page, so a promoted leader
 	// must have them replayed before the in-flight batch lands.
@@ -123,12 +136,21 @@ func Open(opts Options) (*Set, error) {
 		opts:   opts,
 		quorum: len(opts.Dirs)/2 + 1,
 		dirIdx: make(map[string]int, len(opts.Dirs)),
-		rng:    rand.New(rand.NewSource(opts.Seed + 1)),
 		grows:  make(map[nvm.Addr]uint64),
 	}
-	s.sleep = opts.Persist.Sleep
+	// Jitter stream: an injected Source wins; otherwise stream 1 of the
+	// Set's seed (stream 0 is reserved for a campaign's own choices).
+	if opts.Source != nil {
+		s.rng = vclock.FromSource(opts.Source)
+	} else {
+		s.rng = vclock.NewRand(opts.Seed, 1)
+	}
+	s.sleep = opts.Sleep
 	if s.sleep == nil {
-		s.sleep = time.Sleep
+		s.sleep = opts.Persist.Sleep
+	}
+	if s.sleep == nil {
+		s.sleep = vclock.WallSleep
 	}
 	for i, d := range opts.Dirs {
 		if _, dup := s.dirIdx[d]; dup {

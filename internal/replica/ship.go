@@ -2,7 +2,6 @@ package replica
 
 import (
 	"errors"
-	"time"
 
 	"nrl/internal/persist"
 )
@@ -53,8 +52,11 @@ func (fn *fanout) Checkpoint(snapshotSeq uint64) {
 
 // shipTry runs one follower operation under the ship retry budget:
 // exponential backoff with jitter (half fixed, half random, so retry
-// storms across followers decorrelate). A sequence gap aborts
-// immediately — retrying cannot fix it; only catch-up can.
+// storms across followers decorrelate). Both halves are deterministic:
+// the random half draws from the Set's seeded stream and the wait runs
+// through the injectable sleeper, so a replayed campaign retries on
+// the same schedule. A sequence gap aborts immediately — retrying
+// cannot fix it; only catch-up can.
 func (s *Set) shipTry(op func() error) bool {
 	delay := s.opts.ShipBaseDelay
 	for attempt := 0; ; attempt++ {
@@ -65,7 +67,7 @@ func (s *Set) shipTry(op func() error) bool {
 		if errors.Is(err, persist.ErrSeqGap) || attempt >= s.opts.ShipRetries {
 			return false
 		}
-		s.sleep(delay/2 + time.Duration(s.rng.Int63n(int64(delay/2)+1)))
+		s.sleep(s.rng.Jitter(delay))
 		delay *= 2
 		if delay > s.opts.ShipMaxDelay {
 			delay = s.opts.ShipMaxDelay

@@ -1,0 +1,167 @@
+// Package vclock is the virtual timebase behind deterministic chaos:
+// a monotonic logical clock whose time advances only when someone
+// sleeps on it, plus seeded jitter streams split from one campaign
+// seed via proc.SplitSeed. Every nondeterminism site in the chaos,
+// replica and persist layers draws its delays and random choices
+// through these two primitives, so a recorded campaign schedule is a
+// pure function of its seed and replays bit-for-bit (DESIGN.md §11).
+//
+// The package exposes both regimes behind the same shapes:
+//
+//   - Clock.Sleep / Clock.Now satisfy the persist.Options.Sleep and
+//     replica backoff hooks with virtual time — Sleep never blocks, it
+//     advances the logical clock and counts the advance, so a test or
+//     replay runs at full speed and still observes identical backoff
+//     arithmetic.
+//   - WallSleep / WallNow are the production defaults: thin wrappers
+//     over the runtime clock, kept here so the detclock analyzer can
+//     hold the chaos/replica/persist packages to zero raw time calls
+//     (the one place the wall clock enters is this package).
+//
+// Rand wraps a seeded math/rand source and is the only randomness the
+// deterministic paths consume; NewRand derives uncorrelated streams
+// from (seed, stream) pairs so concurrent consumers never share or
+// race a generator.
+package vclock
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"nrl/internal/proc"
+)
+
+// Clock is a monotonic virtual clock. The zero value starts at the
+// virtual epoch (zero elapsed time); it is safe for concurrent use.
+type Clock struct {
+	mu      sync.Mutex
+	elapsed time.Duration
+	sleeps  uint64
+}
+
+// NewClock returns a virtual clock started at the virtual epoch.
+func NewClock() *Clock { return &Clock{} }
+
+// Sleep advances the virtual clock by d without blocking. Non-positive
+// durations still count as a sleep but advance nothing, mirroring the
+// runtime's time.Sleep contract.
+func (c *Clock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps++
+	if d > 0 {
+		c.elapsed += d
+	}
+}
+
+// Advance moves the clock forward by d without counting a sleep (the
+// campaign layer uses it to account time that elapsed outside any
+// Sleep hook, e.g. a recorded kill delay).
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.elapsed += d
+}
+
+// Now returns the current virtual instant: the virtual epoch plus the
+// elapsed virtual time. The epoch is time.Time{}'s zero instant, so
+// two clocks that slept the same schedule report equal instants.
+func (c *Clock) Now() time.Time {
+	return time.Time{}.Add(c.Elapsed())
+}
+
+// Elapsed returns the total virtual time the clock has advanced.
+func (c *Clock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
+
+// Sleeps returns how many times Sleep has been called — the virtual
+// schedule's retry/backoff count, recorded into schedule traces.
+func (c *Clock) Sleeps() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sleeps
+}
+
+// WallSleep is the production sleeper: the runtime clock. It exists so
+// packages under the detclock discipline can default their injectable
+// Sleep hooks without touching the time package themselves.
+func WallSleep(d time.Duration) { time.Sleep(d) }
+
+// WallNow is the production clock read, the Nower counterpart of
+// WallSleep, for telemetry timestamps outside the deterministic paths.
+func WallNow() time.Time { return time.Now() }
+
+// Rand is a seeded, mutex-guarded random stream: the only randomness
+// the deterministic chaos/replica paths consume. The lock makes the
+// draw sequence a pure function of the arrival order of draws, which
+// is itself deterministic under the controlled schedulers.
+type Rand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRand derives stream `stream` of master seed `seed` via
+// proc.SplitSeed, so nearby stream indices yield uncorrelated
+// generators and every consumer can own its stream without sharing.
+func NewRand(seed int64, stream int) *Rand {
+	return FromSource(rand.NewSource(proc.SplitSeed(seed, stream)))
+}
+
+// FromSource wraps an explicit source (replica.Options.Source and
+// tests inject through it).
+func FromSource(src rand.Source) *Rand {
+	return &Rand{rng: rand.New(src)}
+}
+
+// NewSeeded wraps a stream seeded directly with seed — for call sites
+// whose seed was already split from a master (chaos derives one
+// injector seed per run via proc.SplitSeed before constructing it).
+func NewSeeded(seed int64) *Rand {
+	return FromSource(rand.NewSource(seed))
+}
+
+// Int63n returns a uniform int64 in [0, n). n <= 0 returns 0 rather
+// than panicking: jitter call sites pass half-delays that can round to
+// zero, and "no jitter" is the right degenerate answer.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Int63n(n)
+}
+
+// Intn returns a uniform int in [0, n); n <= 0 returns 0.
+func (r *Rand) Intn(n int) int {
+	return int(r.Int63n(int64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}
+
+// Duration returns a uniform duration in [0, max); max <= 0 returns 0.
+func (r *Rand) Duration(max time.Duration) time.Duration {
+	return time.Duration(r.Int63n(int64(max)))
+}
+
+// Jitter returns d/2 plus a uniform draw from [0, d/2], the
+// half-fixed/half-random spreading both the replica ship retry and the
+// persist backoff use to decorrelate retry storms.
+func (r *Rand) Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(r.Int63n(int64(d/2)+1))
+}
