@@ -11,14 +11,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
-# The repo's own static-discipline suite (DESIGN.md §8): persist/fence
-# ordering, recovery purity, nrl:persist-before lattices, trace
-# attribution, budgeted-checker conventions.
+# The repo's own static-discipline suite (DESIGN.md §8, §12):
+# persist/fence ordering, recovery purity, nrl:persist-before lattices,
+# nesting-safe recovery-state access, the zero-alloc hot-path gate,
+# trace attribution, budgeted-checker conventions.
 nrlvet:
 	$(GO) run ./cmd/nrlvet ./...
 
@@ -29,7 +30,7 @@ doclint: vet
 	$(GO) run ./cmd/nrlvet -a doccomment ./...
 
 # Everything CI's lint job runs: go vet, the nrlvet suite, and the race
-# detector over the internal packages.
+# detector over the whole module.
 lint: vet nrlvet race
 
 # Regenerate the committed performance baselines (BENCH_nvm.json,

@@ -6,14 +6,22 @@
 //
 // Usage:
 //
-//	nrlvet [-json] [-a names] [-list] [packages...]
-//	nrlvet [-json] [-a names] -dir path
+//	nrlvet [-json|-sarif] [-a names] [-list] [packages...]
+//	nrlvet [-json|-sarif] [-a names] -dir path
+//	nrlvet -summary [packages...]
+//	nrlvet -ignores [packages...]
 //
 // Packages are go-list patterns (default "./..."); -dir analyzes a
 // single directory as one package, which also reaches testdata trees
 // that package patterns cannot name. Findings are suppressed by an
 // `//nrl:ignore <reason>` comment on the same line or the line above;
 // a reason-less ignore suppresses nothing and is itself a finding.
+//
+// -sarif emits findings as a SARIF 2.1.0 log for code-scanning upload;
+// -summary dumps the interprocedural persist-effect summaries the
+// analyzers run on (one line per function with effects); -ignores
+// inventories every nrl:ignore suppression in the tree with its reason,
+// so the escape hatch stays reviewable.
 //
 // Exit codes: 0 no findings, 1 findings reported, 3 usage or load error
 // (shared convention with nrlcheck and nrlchaos).
@@ -45,6 +53,9 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("nrlvet", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log instead of text lines")
+	summaryOut := fs.Bool("summary", false, "dump per-function persist-effect summaries and exit")
+	ignoresOut := fs.Bool("ignores", false, "inventory every nrl:ignore suppression and exit")
 	names := fs.String("a", "", "comma-separated analyzer subset (default: the whole suite)")
 	list := fs.Bool("list", false, "list the suite's analyzers and exit")
 	dir := fs.String("dir", "", "analyze a single directory as one package (reaches testdata trees)")
@@ -94,18 +105,42 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 
+	if *summaryOut {
+		analysis.BuildProgram(pkgs).Dump(out)
+		return exitClean
+	}
+	if *ignoresOut {
+		for _, s := range analysis.IgnoreSites(pkgs) {
+			reason := s.Reason
+			if reason == "" {
+				reason = "(no reason)"
+			}
+			fmt.Fprintf(out, "%s:%d: %s\n", relPath(s.Pos.Filename), s.Pos.Line, reason)
+		}
+		return exitClean
+	}
+
 	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(errOut, "nrlvet:", err)
 		return exitUsage
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut && *sarifOut:
+		fmt.Fprintln(errOut, "nrlvet: -json and -sarif are mutually exclusive")
+		return exitUsage
+	case *jsonOut:
 		if err := writeJSON(out, diags); err != nil {
 			fmt.Fprintln(errOut, "nrlvet:", err)
 			return exitUsage
 		}
-	} else {
+	case *sarifOut:
+		if err := writeSARIF(out, diags); err != nil {
+			fmt.Fprintln(errOut, "nrlvet:", err)
+			return exitUsage
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintf(out, "%s:%d:%d: [%s/%s] %s\n",
 				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
@@ -161,6 +196,101 @@ func writeJSON(out io.Writer, diags []analysis.Diagnostic) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(findings)
+}
+
+// ---- SARIF 2.1.0 (minimal subset for code-scanning upload) ----
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF emits diags as one SARIF run, rule ids "analyzer/rule",
+// deduplicated in first-seen order so the log is stable.
+func writeSARIF(out io.Writer, diags []analysis.Diagnostic) error {
+	var rules []sarifRule
+	seen := map[string]bool{}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		id := d.Analyzer + "/" + d.Rule
+		if !seen[id] {
+			seen[id] = true
+			doc := id
+			if a := analysis.AnalyzerByName(d.Analyzer); a != nil {
+				doc = a.Doc
+			}
+			rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+		}
+		results = append(results, sarifResult{
+			RuleID:  id,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relPath(d.Pos.Filename))},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "nrlvet", InformationURI: "https://pkg.go.dev/nrl/cmd/nrlvet", Rules: rules}},
+			Results: results,
+		}},
+	})
 }
 
 // relPath renders a position path relative to the working directory so

@@ -79,10 +79,91 @@ func TestCleanGolden(t *testing.T) {
 // TestListGolden: -list names every analyzer in the suite.
 func TestListGolden(t *testing.T) {
 	o := golden(t, "list", exitClean, "-list")
-	for _, name := range []string{"persistorder", "recoverypure", "witnessorder", "traceattr", "checkconv", "ignore"} {
+	for _, name := range []string{"persistorder", "recoverypure", "witnessorder", "nestsafe", "allocfree", "traceattr", "checkconv", "ignore"} {
 		if !strings.Contains(o, name) {
 			t.Errorf("-list output missing %q:\n%s", name, o)
 		}
+	}
+}
+
+// TestSARIFGolden: -sarif renders the seeded findings as a SARIF 2.1.0
+// log with one rule per analyzer/rule id and one result per finding.
+func TestSARIFGolden(t *testing.T) {
+	o := golden(t, "sarif", exitFindings, "-sarif", "-dir", "testdata/src/seeded")
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(o), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, o)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("not a single-run SARIF 2.1.0 log: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "nrlvet" || len(run.Tool.Driver.Rules) == 0 || len(run.Results) == 0 {
+		t.Fatalf("driver/rules/results malformed:\n%s", o)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, r := range run.Results {
+		if !ruleIDs[r.RuleID] {
+			t.Errorf("result rule %q missing from driver rules", r.RuleID)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" {
+			t.Errorf("result %q lacks a physical location", r.RuleID)
+		}
+	}
+}
+
+// TestSummaryGolden: -summary dumps the persist-effect summaries of the
+// fixture's helper chain — propagated flushes, fences, hidden stores,
+// volatile chains, and allocation counts.
+func TestSummaryGolden(t *testing.T) {
+	o := golden(t, "summary", exitClean, "-summary", "-dir", "testdata/src/summary")
+	for _, want := range []string{"flushes", "fences", "writes", "time.Now", "allocs"} {
+		if !strings.Contains(o, want) {
+			t.Errorf("-summary output missing %q:\n%s", want, o)
+		}
+	}
+}
+
+// TestIgnoresGolden: -ignores inventories every suppression with its
+// reason, including the reason-less one the ignore analyzer flags.
+func TestIgnoresGolden(t *testing.T) {
+	o := golden(t, "ignores", exitClean, "-ignores", "-dir", "testdata/src/seeded")
+	if !strings.Contains(o, "(no reason)") {
+		t.Errorf("-ignores output missing the reason-less entry:\n%s", o)
+	}
+}
+
+// TestJSONAndSARIFConflict: asking for both wire formats is a usage
+// error.
+func TestJSONAndSARIFConflict(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "-sarif", "-dir", "testdata/src/seeded"}, &out, &errOut); code != exitUsage {
+		t.Errorf("exit %d, want %d", code, exitUsage)
 	}
 }
 

@@ -1,0 +1,54 @@
+// Fixture for the -summary dump: a helper chain exercising each
+// summarized effect — parameter flushes, fences, hidden stores, the
+// variadic persist idiom, wall clock, and allocation sites.
+package summary
+
+import (
+	"time"
+
+	"nrl/internal/nvm"
+)
+
+type rec struct{ v uint64 }
+
+// persistOne flushes and fences its address parameter on every path.
+func persistOne(m *nvm.Memory, a nvm.Addr) {
+	m.Flush(a)
+	m.Fence()
+}
+
+// syncAll is the variadic flush-all-then-fence idiom.
+func syncAll(m *nvm.Memory, addrs ...nvm.Addr) {
+	for _, a := range addrs {
+		m.Flush(a)
+	}
+	m.Fence()
+}
+
+// stash writes through its address parameter.
+func stash(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+}
+
+// stamp reaches wall clock.
+func stamp() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+// stampTwice reaches it through one more hop.
+func stampTwice() uint64 {
+	return stamp() + stamp()
+}
+
+// build allocates an escaping record.
+func build(v uint64) *rec {
+	return &rec{v: v}
+}
+
+// commit composes the helpers so the dump shows propagated effects.
+func commit(m *nvm.Memory, a, b nvm.Addr, v uint64) *rec {
+	stash(m, a, v)
+	syncAll(m, a, b)
+	persistOne(m, a)
+	return build(stampTwice())
+}

@@ -1,0 +1,53 @@
+package analysis
+
+// AllocFree is the static half of ROADMAP item 1 (the zero-alloc
+// recoverable-op hot path): no heap allocation is allowed in any
+// function reachable from a hot-path root. Roots are declared with an
+// `//nrl:hotpath` line in a function's doc comment (proc's op
+// lifecycle, nvm's primitives) — and every recoverable op machine's
+// Exec method roots implicitly, since each step of an operation runs
+// through it. The closure is intra-package: a cross-package callee is
+// hot only if its own package roots it, which keeps the gate explicit
+// instead of leaking into tracer/recorder sinks that carry their own
+// zero-alloc gates.
+//
+// Allocation classes flagged (summary.collectAllocs): address-taken
+// composite literals (the escaping op-descriptor class), make/new,
+// append growth, closure literals and method values (environment/
+// receiver capture), and concrete-to-interface boxing — call
+// arguments including variadic ...any fan-in (the trace-attr boxing
+// class), conversions, assignments, and returns. Pointer-shaped values
+// box without allocating and are exempt; so is anything inside a panic
+// argument, since a dying path owes no allocation budget.
+//
+// Known-hot sites that await the arena refactor carry a reasoned
+// `//nrl:ignore`, which the `nrlvet -ignores` inventory keeps
+// reviewable.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "the recoverable-op hot path must not allocate",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(p *Pass) error {
+	if p.Prog == nil {
+		return nil
+	}
+	for _, fn := range funcDecls(p) {
+		key := declKey(p.Info, fn)
+		root, hot := p.Prog.hot[key]
+		if !hot {
+			continue
+		}
+		sum := p.Prog.summaries[key]
+		if sum == nil {
+			continue
+		}
+		for _, a := range sum.allocs {
+			p.Reportf(a.pos, "heap-alloc",
+				"%s; %s is on the recoverable-op hot path (root: %s) and must stay allocation-free — restructure, or carry a reasoned //nrl:ignore until the arena refactor (ROADMAP item 1)",
+				a.desc, fn.Name.Name, root)
+		}
+	}
+	return nil
+}

@@ -34,6 +34,11 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	// Prog is the interprocedural view shared by every pass of one
+	// RunAnalyzers invocation: call graph, persist-effect summaries,
+	// annotation registries, hot-path closure.
+	Prog *Program
+
 	analyzer string
 	report   func(Diagnostic)
 }
@@ -63,6 +68,8 @@ func Analyzers() []*Analyzer {
 		PersistOrder,
 		RecoveryPure,
 		WitnessOrder,
+		NestSafe,
+		AllocFree,
 		TraceAttr,
 		CheckConv,
 		DetClock,
@@ -85,12 +92,14 @@ func AnalyzerByName(name string) *Analyzer {
 // results through `//nrl:ignore` comments, and returns the surviving
 // diagnostics sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := BuildProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ig := collectIgnores(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info,
+				Prog:     prog,
 				analyzer: a.Name,
 				report: func(d Diagnostic) {
 					if a.Name != ignoreName && ig.suppressed(d.Pos) {
@@ -127,12 +136,13 @@ type EventKind int
 
 const (
 	EvNone            EventKind = iota // not discipline-relevant
-	EvWrite                     // Memory.Write/WriteAt, Ctx.Write
-	EvRMW                       // CAS/TAS/FAA and their *At forms
-	EvFlush                     // Flush/FlushAt
-	EvFence                     // Fence/FenceAt
-	EvPersist                   // Persist/PersistAt (flush+fence of one word)
-	EvPersistBuffered           // persistBuffered(c, addrs...): flush each + fence
+	EvWrite                            // Memory.Write/WriteAt, Ctx.Write
+	EvRMW                              // CAS/TAS/FAA and their *At forms
+	EvFlush                            // Flush/FlushAt
+	EvFence                            // Fence/FenceAt
+	EvPersist                          // Persist/PersistAt (flush+fence of one word)
+	EvPersistBuffered                  // persistBuffered(c, addrs...): flush each + fence
+	EvHelper                           // summarized helper call: effects per flags
 )
 
 // Event is one discipline-relevant call.
@@ -141,6 +151,11 @@ type Event struct {
 	Call  *ast.CallExpr
 	Addrs []ast.Expr // the address operand(s); empty for fences
 	Pos   token.Pos
+
+	// EvHelper events carry the summarized callee's effects: whether
+	// it flushes Addrs on all eventful paths and whether it fences.
+	helperFlush bool
+	helperFence bool
 }
 
 // Flushes reports whether the event initiates persistence of an address.
@@ -148,6 +163,8 @@ func (e *Event) Flushes() bool {
 	switch e.Kind {
 	case EvFlush, EvPersist, EvPersistBuffered:
 		return true
+	case EvHelper:
+		return e.helperFlush
 	}
 	return false
 }
@@ -157,6 +174,8 @@ func (e *Event) Fences() bool {
 	switch e.Kind {
 	case EvFence, EvPersist, EvPersistBuffered:
 		return true
+	case EvHelper:
+		return e.helperFence
 	}
 	return false
 }
@@ -264,6 +283,131 @@ func exprText(fset *token.FileSet, e ast.Expr) string {
 	return buf.String()
 }
 
+// collectAliases maps fn's single-assignment locals whose initializer
+// is a pure path expression (idents, field selections, indexing,
+// address-of) to that initializer, so addrKey can see through `r :=
+// o.res; m.Flush(r[p])`. A local assigned more than once, or from a
+// computed value, is opaque.
+func collectAliases(info *types.Info, fn *ast.FuncDecl) map[types.Object]ast.Expr {
+	counts := map[types.Object]int{}
+	rhs := map[types.Object]ast.Expr{}
+	bump := func(id *ast.Ident, n int, r ast.Expr) {
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		counts[obj] += n
+		if r != nil {
+			rhs[obj] = r
+		}
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range s.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if len(s.Lhs) == len(s.Rhs) {
+					bump(id, 1, s.Rhs[i])
+				} else {
+					bump(id, 2, nil) // multi-value unpack: opaque
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if len(s.Values) == len(s.Names) {
+					bump(name, 1, s.Values[i])
+				} else if len(s.Values) > 0 {
+					bump(name, 2, nil)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok {
+				bump(id, 2, nil)
+			}
+		case *ast.RangeStmt:
+			for _, v := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := v.(*ast.Ident); ok {
+					bump(id, 2, nil)
+				}
+			}
+		}
+		return true
+	})
+	out := map[types.Object]ast.Expr{}
+	for obj, c := range counts {
+		if c == 1 && isPathExpr(rhs[obj]) {
+			out[obj] = rhs[obj]
+		}
+	}
+	return out
+}
+
+// isPathExpr reports whether e is a pure address path: no calls, no
+// arithmetic, just navigation.
+func isPathExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return isPathExpr(x.X)
+	case *ast.IndexExpr:
+		return isPathExpr(x.X)
+	case *ast.UnaryExpr:
+		return x.Op == token.AND && isPathExpr(x.X)
+	}
+	return false
+}
+
+// addrKey renders an address expression as a semantic identity:
+// resolved root object plus field path, with single-assignment local
+// aliases substituted (depth-capped), constants folded in index
+// position, and source text only as the fallback for dynamic pieces.
+// Two addrKey-equal expressions name the same address; the old
+// source-text identity treated `o.res[p]` and `r[p]` (after `r :=
+// o.res`) as different addresses.
+func (p *Pass) addrKey(aliases map[types.Object]ast.Expr, e ast.Expr) string {
+	return p.addrKeyDepth(aliases, e, 0)
+}
+
+func (p *Pass) addrKeyDepth(aliases map[types.Object]ast.Expr, e ast.Expr, depth int) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(x)
+		if obj == nil {
+			return "t:" + exprText(p.Fset, e)
+		}
+		if r, ok := aliases[obj]; ok && depth < 4 {
+			return p.addrKeyDepth(aliases, r, depth+1)
+		}
+		return fmt.Sprintf("o:%d", obj.Pos())
+	case *ast.SelectorExpr:
+		obj := p.Info.ObjectOf(x.Sel)
+		if obj == nil {
+			return "t:" + exprText(p.Fset, e)
+		}
+		return p.addrKeyDepth(aliases, x.X, depth) + fmt.Sprintf(".f:%d", obj.Pos())
+	case *ast.IndexExpr:
+		idx := "t:" + exprText(p.Fset, x.Index)
+		if tv, ok := p.Info.Types[x.Index]; ok && tv.Value != nil {
+			idx = "c:" + tv.Value.ExactString()
+		} else if id, ok := ast.Unparen(x.Index).(*ast.Ident); ok {
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				idx = fmt.Sprintf("o:%d", obj.Pos())
+			}
+		}
+		return p.addrKeyDepth(aliases, x.X, depth) + "[" + idx + "]"
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return "&" + p.addrKeyDepth(aliases, x.X, depth)
+		}
+	}
+	return "t:" + exprText(p.Fset, e)
+}
+
 // addrField resolves an address expression to the struct field it is
 // rooted at: `o.obj.val[idx]` yields the `val` field. Index expressions
 // are peeled so per-element addresses match field-level annotations.
@@ -297,18 +441,28 @@ type blockEvents struct {
 	events map[*cfg.Block][]*Event
 }
 
-// functionEvents builds the CFG for fn and places its events.
-func functionEvents(info *types.Info, fn *ast.FuncDecl) *blockEvents {
+// functionEvents builds the CFG for fn and places its events,
+// interprocedurally: helper calls with persist-effect summaries appear
+// as synthesized write/flush/fence events at the call site.
+func functionEvents(p *Pass, fn *ast.FuncDecl) *blockEvents {
+	return buildEvents(p.Info, p.Prog, fn)
+}
+
+// buildEvents is functionEvents against an explicit Program (possibly
+// mid-construction, for the summary fixed point). Closure bodies are
+// skipped: their events run at call time, not where the literal sits.
+func buildEvents(info *types.Info, prog *Program, fn *ast.FuncDecl) *blockEvents {
 	g := cfg.Build(fn, info)
 	be := &blockEvents{graph: g, events: map[*cfg.Block][]*Event{}}
 	for _, blk := range g.Blocks {
 		var evs []*Event
 		for _, n := range blk.Nodes {
 			ast.Inspect(n, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
 				if call, ok := n.(*ast.CallExpr); ok {
-					if e := classify(info, call); e != nil {
-						evs = append(evs, e)
-					}
+					evs = append(evs, classifyCalls(info, prog, call)...)
 				}
 				return true
 			})

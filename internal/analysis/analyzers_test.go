@@ -22,6 +22,16 @@ func TestRecoveryPure(t *testing.T) {
 		analysis.RecoveryPure)
 }
 
+func TestNestSafe(t *testing.T) {
+	analysis.RunGolden(t, moduleRoot, "testdata/src/nestsafe",
+		analysis.NestSafe)
+}
+
+func TestAllocFree(t *testing.T) {
+	analysis.RunGolden(t, moduleRoot, "testdata/src/allocfree",
+		analysis.AllocFree)
+}
+
 func TestWitnessOrder(t *testing.T) {
 	analysis.RunGolden(t, moduleRoot, "testdata/src/witnessorder",
 		analysis.WitnessOrder)

@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide interprocedural view the analyzers
+// share: a call graph over every function declared in the loaded
+// packages, strongly-connected components in bottom-up order, the
+// `//nrl:hotpath` and `nrl:recovery-state` annotation registries, and
+// the hot-path reachability closure consumed by the allocfree gate.
+// The per-function persist-effect summaries computed over this graph
+// live in summary.go.
+
+// Program is the interprocedural view over one RunAnalyzers invocation:
+// every function declaration of every loaded package, call edges
+// between them, per-function persist-effect summaries, and the
+// annotation registries (recovery-state fields, hot-path roots) the
+// nestsafe and allocfree analyzers consume. Cross-package function
+// identity is by canonical symbol key, not *types.Func pointer: the
+// loader typechecks each package from source but resolves its imports
+// from export data, so the same function has distinct objects in
+// different packages' views.
+type Program struct {
+	fns  map[string]*progFunc
+	keys []string // sorted, for deterministic iteration
+
+	summaries map[string]*summary
+
+	// stateFields registers every `nrl:recovery-state` struct-field
+	// annotation, keyed "pkgpath.Struct.field".
+	stateFields map[string]token.Position
+
+	// hot maps function keys reachable from a hot-path root (within the
+	// root's package) to a human-readable root label for diagnostics.
+	hot map[string]string
+}
+
+// progFunc is one function declaration registered in the Program.
+type progFunc struct {
+	pkg     *Package
+	decl    *ast.FuncDecl
+	key     string
+	callees []string // keys of statically-resolved callees with declarations
+	hotRoot string   // non-empty label when this function roots the hot path
+}
+
+// hotpathMarker in a function's doc comment roots the allocfree gate:
+// everything statically reachable from the function within its package
+// must not allocate. Op-machine Exec methods are implicit roots.
+const hotpathMarker = "nrl:hotpath"
+
+// recoveryStateMarker on a struct field declares it per-process
+// recovery state (the paper's Res_p/S_p/LI_p class): nestsafe forbids
+// recovery arms of other objects' operations from touching it.
+const recoveryStateMarker = "nrl:recovery-state"
+
+// funcKey returns the canonical cross-package symbol key for fn:
+// "(pkgpath.Type).Name" for methods, "pkgpath.Name" for functions, ""
+// when the function cannot be keyed (builtins, instantiated generics
+// without an origin package).
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Name() == "" {
+		return ""
+	}
+	if r := recvNamed(fn); r != "" {
+		return "(" + r + ")." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// declKey returns the symbol key of a function declaration in p, or "".
+func declKey(info *types.Info, fd *ast.FuncDecl) string {
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	return funcKey(fn)
+}
+
+// BuildProgram assembles the interprocedural view over pkgs: the call
+// graph, the annotation registries, bottom-up persist-effect summaries
+// (fixed point over recursion cycles), and the hot-path closure.
+// RunAnalyzers calls it once per invocation and exposes the result on
+// every Pass; drivers may call it directly for `nrlvet -summary`.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		fns:         map[string]*progFunc{},
+		summaries:   map[string]*summary{},
+		stateFields: map[string]token.Position{},
+		hot:         map[string]string{},
+	}
+	for _, pkg := range pkgs {
+		prog.registerPackage(pkg)
+	}
+	for _, pf := range prog.fns {
+		prog.resolveCallees(pf)
+	}
+	for key := range prog.fns {
+		prog.keys = append(prog.keys, key)
+	}
+	sort.Strings(prog.keys)
+	prog.computeSummaries()
+	prog.computeHot()
+	return prog
+}
+
+// registerPackage records pkg's function declarations, hot-path roots,
+// and recovery-state field annotations.
+func (prog *Program) registerPackage(pkg *Package) {
+	execRoots := opMachineExecs(pkg)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := declKey(pkg.Info, fd)
+			if key == "" {
+				continue
+			}
+			pf := &progFunc{pkg: pkg, decl: fd, key: key}
+			if docHasMarker(fd.Doc, hotpathMarker) {
+				pf.hotRoot = fd.Name.Name
+			} else if execRoots[fd] {
+				pf.hotRoot = receiverTypeName(fd) + ".Exec"
+			}
+			prog.fns[key] = pf
+		}
+	}
+	prog.collectStateFields(pkg)
+}
+
+// docHasMarker reports whether any line of a doc comment carries the
+// given nrl marker.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectStateFields parses `nrl:recovery-state` field comments on
+// top-level struct type declarations into the stateFields registry.
+func (prog *Program) collectStateFields(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				owner := pkg.Pkg.Path() + "." + ts.Name.Name
+				for _, fld := range st.Fields.List {
+					if fld.Comment == nil {
+						continue
+					}
+					for _, c := range fld.Comment.List {
+						text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+						if !strings.HasPrefix(text, recoveryStateMarker) {
+							continue
+						}
+						for _, name := range fld.Names {
+							prog.stateFields[owner+"."+name.Name] = pkg.Fset.Position(fld.Pos())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// resolveCallees records pf's statically-resolved call edges to other
+// registered functions. Calls through interfaces or func values have no
+// static callee and produce no edge; the analyzers treat dynamic
+// dispatch (nested op invocation via Ctx.Invoke) as a sanctioned
+// boundary rather than guessing targets.
+func (prog *Program) resolveCallees(pf *progFunc) {
+	seen := map[string]bool{}
+	ast.Inspect(pf.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key := funcKey(calleeFunc(pf.pkg.Info, call))
+		if key == "" || key == pf.key || seen[key] {
+			return true
+		}
+		if _, have := prog.fns[key]; have {
+			seen[key] = true
+			pf.callees = append(pf.callees, key)
+		}
+		return true
+	})
+	sort.Strings(pf.callees)
+}
+
+// sccs returns the strongly-connected components of the call graph in
+// bottom-up (callee-before-caller) order, via Tarjan's algorithm.
+func (prog *Program) sccs() [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range prog.fns[v].callees {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			out = append(out, comp)
+		}
+	}
+	for _, key := range prog.keys {
+		if _, seen := index[key]; !seen {
+			strongconnect(key)
+		}
+	}
+	return out
+}
+
+// computeHot closes each package's hot-path roots over intra-package
+// call edges. The closure deliberately stops at package boundaries: a
+// cross-package callee is on the hot path only if its own package roots
+// it (proc and nvm each annotate their primitives), which keeps the
+// allocfree gate explicit and reviewable instead of leaking through
+// tracer and recorder sinks that carry their own zero-alloc gates.
+func (prog *Program) computeHot() {
+	var queue []string
+	for _, key := range prog.keys {
+		if pf := prog.fns[key]; pf.hotRoot != "" {
+			prog.hot[key] = pf.hotRoot
+			queue = append(queue, key)
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		pf := prog.fns[key]
+		for _, callee := range pf.callees {
+			cf := prog.fns[callee]
+			if cf.pkg != pf.pkg {
+				continue
+			}
+			if _, done := prog.hot[callee]; done {
+				continue
+			}
+			prog.hot[callee] = prog.hot[key]
+			queue = append(queue, callee)
+		}
+	}
+}
+
+// opMachineExecs returns the Exec methods of pkg that form recoverable
+// op state machines (a sibling Info() method on the same receiver
+// declares a RecoverEntry past the Entry). They root the hot path
+// implicitly: every step of a recoverable operation runs through them.
+func opMachineExecs(pkg *Package) map[*ast.FuncDecl]bool {
+	type entries struct{ entry, recover int64 }
+	infoByRecv := map[string]entries{}
+	var execs []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverTypeName(fd)
+			if recv == "" {
+				continue
+			}
+			if e, r, ok := opInfoEntries(pkg.Info, fd); ok {
+				infoByRecv[recv] = entries{e, r}
+				continue
+			}
+			if fd.Name.Name == "Exec" {
+				execs = append(execs, fd)
+			}
+		}
+	}
+	out := map[*ast.FuncDecl]bool{}
+	for _, fd := range execs {
+		if ent, ok := infoByRecv[receiverTypeName(fd)]; ok && ent.recover > ent.entry {
+			out[fd] = true
+		}
+	}
+	return out
+}

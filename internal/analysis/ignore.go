@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -16,11 +17,14 @@ const ignoreName = "ignore"
 const ignorePrefix = "nrl:ignore"
 
 // ignoreComment extracts the reason of an nrl:ignore comment, with
-// ok=false when the comment is not an nrl:ignore at all.
+// ok=false when the comment is not an nrl:ignore at all. The marker
+// must be attached to the comment opener (`//nrl:ignore`, directive
+// style): prose that merely mentions the marker mid-sentence — or with
+// a space, like this doc comment — neither suppresses findings nor
+// pollutes the -ignores inventory.
 func ignoreComment(text string) (reason string, ok bool) {
 	text = strings.TrimPrefix(text, "//")
-	text = strings.TrimPrefix(text, "/*")
-	text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+	text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
 	if !strings.HasPrefix(text, ignorePrefix) {
 		return "", false
 	}
@@ -84,4 +88,36 @@ var Ignore = &Analyzer{
 		}
 		return nil
 	},
+}
+
+// IgnoreSite is one nrl:ignore comment in the tree — reasoned or not —
+// for the `nrlvet -ignores` inventory that keeps the escape hatch
+// reviewable.
+type IgnoreSite struct {
+	Pos    token.Position
+	Reason string
+}
+
+// IgnoreSites inventories every nrl:ignore comment across pkgs, in
+// file/line order.
+func IgnoreSites(pkgs []*Package) []IgnoreSite {
+	var out []IgnoreSite
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if reason, ok := ignoreComment(c.Text); ok {
+						out = append(out, IgnoreSite{Pos: pkg.Fset.Position(c.Pos()), Reason: reason})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/constant"
+	"go/types"
 
 	"nrl/internal/analysis/cfg"
 )
@@ -64,7 +65,7 @@ func receiverTypeName(fn *ast.FuncDecl) string {
 
 // opInfoEntries extracts the Entry and RecoverEntry constants from an
 // Info() method returning a proc.OpInfo composite literal.
-func opInfoEntries(p *Pass, fn *ast.FuncDecl) (entry, recover int64, ok bool) {
+func opInfoEntries(info *types.Info, fn *ast.FuncDecl) (entry, recover int64, ok bool) {
 	if fn.Name.Name != "Info" || fn.Body == nil {
 		return 0, 0, false
 	}
@@ -87,7 +88,7 @@ func opInfoEntries(p *Pass, fn *ast.FuncDecl) (entry, recover int64, ok bool) {
 			if !isIdent {
 				continue
 			}
-			tv, found := p.Info.Types[kv.Value]
+			tv, found := info.Types[kv.Value]
 			if !found || tv.Value == nil || tv.Value.Kind() != constant.Int {
 				continue
 			}
@@ -122,7 +123,7 @@ func findOpMachines(p *Pass) []*opMachine {
 		if recv == "" {
 			continue
 		}
-		if e, r, ok := opInfoEntries(p, fn); ok {
+		if e, r, ok := opInfoEntries(p.Info, fn); ok {
 			infoByRecv[recv] = entries{e, r}
 			continue
 		}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nrl/internal/analysis/cfg"
+)
+
+// NestSafe enforces the paper's nesting-safety rule for recovery code
+// (Definition 6's composition discipline): the recovery function of an
+// operation at depth k may consult only its own per-process recovery
+// state and its ancestors' — never a descendant's or a sibling's.
+// Descendant recovery is reached exclusively by *invoking* the nested
+// operation (Ctx.Invoke re-runs the child's RECOVER arm, which owns its
+// own LI_p/Res_p), so a parent reading a child's checkpoint directly
+// would couple the two recovery functions and break the modular
+// composition the paper proves correct.
+//
+// The per-process recovery state is declared where it lives, with a
+// struct-field comment:
+//
+//	res []nvm.Addr // nrl:recovery-state Res_p response area
+//
+// Within a recovery arm of an op machine (cfg recovery-arm geometry),
+// any mention of an annotated field — read, address computation, or
+// store target — whose declaring struct is neither the op's own struct
+// nor the object it directly operates on (the receiver's direct
+// pointer-to-struct fields) is a descendant-state violation. The check
+// is interprocedural: a helper whose summary reaches such a field is
+// flagged at the call site with the chain named. Framework internals
+// (nrl/internal/proc) are the trusted composition boundary.
+var NestSafe = &Analyzer{
+	Name: "nestsafe",
+	Doc:  "recovery arms must not touch descendant or sibling recovery state",
+	Run:  runNestSafe,
+}
+
+func runNestSafe(p *Pass) error {
+	if p.Prog == nil || len(p.Prog.stateFields) == 0 {
+		return nil
+	}
+	for _, m := range findOpMachines(p) {
+		own := ownStateTypes(p, m.fn)
+		for _, arm := range m.machine.Arms {
+			if !m.recoveryArm(arm) {
+				continue
+			}
+			checkArmStateAccess(p, arm, own)
+		}
+	}
+	return nil
+}
+
+// checkArmStateAccess walks one recovery arm for direct mentions of
+// foreign annotated state and for helper calls that reach it.
+func checkArmStateAccess(p *Pass, arm *cfg.Arm, own map[string]bool) {
+	ast.Inspect(arm.Clause, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			key, ok := stateFieldOf(p.Info, x)
+			if !ok {
+				return true
+			}
+			if _, annotated := p.Prog.stateFields[key]; !annotated || own[ownerOf(key)] {
+				return true
+			}
+			p.Reportf(x.Pos(), "descendant-state",
+				"recovery arm %s touches %s, the per-process recovery state of %s — not this operation's own object; nesting-safety allows a recovery function only its own and its ancestors' state (invoke the nested operation to recover it)",
+				armLabel(arm), key, ownerOf(key))
+		case *ast.CallExpr:
+			fn := calleeFunc(p.Info, x)
+			if fn == nil || p.Prog == nil {
+				return true
+			}
+			key := funcKey(fn)
+			cf := p.Prog.fns[key]
+			sum := p.Prog.summaries[key]
+			if cf == nil || sum == nil || trustedFramework(cf) {
+				return true
+			}
+			for _, v := range sum.stateReads {
+				if own[ownerOf(v.name)] {
+					continue
+				}
+				p.Reportf(x.Pos(), "descendant-state",
+					"recovery arm %s calls %s, which touches %s (via %s) — descendant/sibling per-process recovery state; nesting-safety requires recovering it through its own operation",
+					armLabel(arm), cf.decl.Name.Name, v.name, chain(cf.decl.Name.Name, v.via))
+			}
+		}
+		return true
+	})
+}
+
+// ownerOf strips the field segment of a state-field key, leaving the
+// declaring struct's "pkgpath.Type".
+func ownerOf(fieldKey string) string {
+	if i := strings.LastIndex(fieldKey, "."); i >= 0 {
+		return fieldKey[:i]
+	}
+	return fieldKey
+}
+
+// ownStateTypes returns the type keys ("pkgpath.Type") whose annotated
+// state the op machine legitimately owns: the Exec receiver's struct
+// and the objects it directly operates on — the receiver's direct
+// pointer-to-struct (or embedded struct) fields, the op-descriptor →
+// object link. Collections (slices, maps) of structs are deliberately
+// excluded: they hold descendants, which must be recovered through
+// their own operations.
+func ownStateTypes(p *Pass, fn *ast.FuncDecl) map[string]bool {
+	own := map[string]bool{}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return own
+	}
+	recvType := p.Info.TypeOf(fn.Recv.List[0].Type)
+	named := namedOf(recvType)
+	if named == nil {
+		return own
+	}
+	own[typeKey(named)] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return own
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if fieldNamed := namedOf(st.Field(i).Type()); fieldNamed != nil {
+			if _, isStruct := fieldNamed.Underlying().(*types.Struct); isStruct {
+				own[typeKey(fieldNamed)] = true
+			}
+		}
+	}
+	return own
+}
+
+// namedOf unwraps pointers to a named type, nil otherwise.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typeKey renders a named type as "pkgpath.Type".
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -27,6 +27,13 @@ import (
 //     wall-clock and process-randomness primitives (time.Now, math/rand,
 //     os.Getpid) diverge across incarnations and are banned in recovery
 //     arms.
+//   - impure-helper: the same bans, interprocedurally — a recovery arm
+//     calling a helper whose persist-effect summary reaches a volatile
+//     primitive or Ctx.Step through any call chain is flagged at the
+//     call site, with the chain named. Framework internals
+//     (nrl/internal/proc) are a trusted boundary: invoking a nested
+//     operation through Ctx is the sanctioned composition mechanism,
+//     not an impurity.
 //
 // Arms serving both regimes (`case 10, 18:`) are exempt: they dispatch
 // on the live line value and are re-entrant by construction.
@@ -203,11 +210,36 @@ func checkRecoveryCalls(p *Pass, m *opMachine) {
 					if banned == nil || banned[fn.Name()] {
 						p.Reportf(call.Pos(), "nonrecoverable-call",
 							"recovery arm %s calls %s.%s, which diverges across crash incarnations; recovery must be a deterministic function of persistent state", armLabel(arm), fn.Pkg().Path(), fn.Name())
+						return true
 					}
 				}
 			}
+			checkHelperPurity(p, arm, call, fn)
 			return true
 		})
+	}
+}
+
+// checkHelperPurity flags recovery-arm calls whose callee summary
+// reaches a volatile primitive or Ctx.Step through any helper chain.
+func checkHelperPurity(p *Pass, arm *cfg.Arm, call *ast.CallExpr, fn *types.Func) {
+	if p.Prog == nil {
+		return
+	}
+	key := funcKey(fn)
+	cf := p.Prog.fns[key]
+	sum := p.Prog.summaries[key]
+	if cf == nil || sum == nil || trustedFramework(cf) {
+		return
+	}
+	name := cf.decl.Name.Name
+	for _, v := range sum.volatile {
+		p.Reportf(call.Pos(), "impure-helper",
+			"recovery arm %s calls %s, which reaches %s (via %s); recovery must be a deterministic function of persistent state", armLabel(arm), name, v.name, chain(name, v.via))
+	}
+	for _, v := range sum.steps {
+		p.Reportf(call.Pos(), "impure-helper",
+			"recovery arm %s calls %s, which advances the LI checkpoint through %s (via %s); use RecStep-based helpers in recovery", armLabel(arm), name, v.name, chain(name, v.via))
 	}
 }
 

@@ -1,0 +1,59 @@
+// Golden package for the allocfree analyzer: every allocation class on
+// a hot path, plus the cold twin and the exemptions.
+package allocfree
+
+import "fmt"
+
+type opDesc struct {
+	v    uint64
+	next *opDesc
+}
+
+var global *opDesc
+
+// logit boxes its argument; the allocation belongs to the caller.
+func logit(x any) { _ = x }
+
+// grow is hot only because commit calls it (intra-package closure).
+func grow(s []uint64, v uint64) []uint64 {
+	return append(s, v) // want "heap-alloc"
+}
+
+// commit is a declared hot-path root: every allocation class fires.
+//
+//nrl:hotpath golden root
+func commit(v uint64, s []uint64) []uint64 {
+	d := &opDesc{v: v} // want "heap-alloc"
+	global = d
+	logit(v)                          // want "heap-alloc"
+	f := func() uint64 { return d.v } // want "heap-alloc"
+	_ = f()
+	return grow(s, v)
+}
+
+// coldCommit allocates identically but roots nothing and is called by
+// nothing hot: no findings.
+func coldCommit(v uint64, s []uint64) []uint64 {
+	d := &opDesc{v: v}
+	global = d
+	logit(v)
+	return append(s, v)
+}
+
+// dying paths owe no allocation budget: panic arguments are exempt.
+//
+//nrl:hotpath golden root
+func mustCommit(v uint64) {
+	if v == 0 {
+		panic(fmt.Sprintf("allocfree: bad op %d", v))
+	}
+	global.v = v
+}
+
+// A reasoned ignore suppresses the finding and lands in the -ignores
+// inventory instead.
+//
+//nrl:hotpath golden root
+func ignoredCommit(v uint64) *opDesc {
+	return &opDesc{v: v} //nrl:ignore golden: awaiting arena refactor
+}

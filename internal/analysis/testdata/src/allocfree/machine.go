@@ -1,0 +1,31 @@
+// Implicit roots: a recoverable op machine's Exec method is hot without
+// any annotation — each step of the operation runs through it.
+package allocfree
+
+import "nrl/internal/proc"
+
+type obj struct{ name string }
+
+type installOp struct {
+	o *obj
+	d *opDesc
+}
+
+func (o *installOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.o.name, Op: "INST", Entry: 1, RecoverEntry: 10}
+}
+
+func (o *installOp) Exec(c *proc.Ctx, line int) uint64 {
+	for {
+		switch line {
+		case 1:
+			c.Step(1)
+			o.d = &opDesc{v: 1} // want "heap-alloc"
+			return 0
+		case 10:
+			return o.d.v
+		default:
+			panic("allocfree: bad line")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Golden package for the nestsafe analyzer: a parent operation whose
+// recovery arm reaches into a descendant's per-process recovery state,
+// directly and through a helper, next to the conforming accesses.
+package nestsafe
+
+import (
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// child is a nested recoverable object; its checkpoint and response
+// area belong to its own recovery function.
+type child struct {
+	name string
+	v    nvm.Addr
+	res  []nvm.Addr // nrl:recovery-state Res_p of the child
+}
+
+// parent composes children. Its own response area is its to recover;
+// the children's are not.
+type parent struct {
+	name string
+	kid  *child
+	sibs []*child
+	res  []nvm.Addr // nrl:recovery-state Res_p of the parent
+}
+
+type parentOp struct{ o *parent }
+
+func (o *parentOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.o.name, Op: "PAR", Entry: 1, RecoverEntry: 10}
+}
+
+// peekChild reads the child's response area on the parent's behalf —
+// the same violation, one call away.
+func (o *parentOp) peekChild(c *proc.Ctx, p int) uint64 {
+	return c.Read(o.o.kid.res[p])
+}
+
+func (o *parentOp) Exec(c *proc.Ctx, line int) uint64 {
+	p := 0
+	for {
+		switch line {
+		case 1:
+			c.Step(1)
+			c.Write(o.o.kid.v, 1) // normal arms may touch children
+			return c.Read(o.o.kid.res[p])
+		case 10:
+			_ = c.Read(o.o.res[p])         // own Res_p: conforming
+			_ = c.Read(o.o.kid.res[p])     // want "descendant-state"
+			_ = c.Read(o.o.sibs[1].res[p]) // want "descendant-state"
+			_ = o.peekChild(c, p)          // want "descendant-state"
+			return 0
+		default:
+			panic("bad line")
+		}
+	}
+}
+
+// childOp recovers the child's own state — conforming from the child's
+// point of view, since the annotated struct is its own object.
+type childOp struct{ o *child }
+
+func (o *childOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.o.name, Op: "KID", Entry: 1, RecoverEntry: 20}
+}
+
+func (o *childOp) Exec(c *proc.Ctx, line int) uint64 {
+	p := 0
+	for {
+		switch line {
+		case 1:
+			c.Step(1)
+			c.Write(o.o.res[p], c.Read(o.o.v))
+			return 0
+		case 20:
+			return c.Read(o.o.res[p]) // own state: conforming
+		default:
+			panic("bad line")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Semantic-address regressions: the analyzer matches addresses by
+// resolved object and field path, not source text, so aliases and
+// folded constants cannot hide a persistence obligation.
+package persistorder
+
+import "nrl/internal/nvm"
+
+type area struct {
+	res []nvm.Addr
+	w   nvm.Addr
+}
+
+// Violation the old source-text matcher missed: the store goes through
+// an alias of o.res[p], the persist names the path directly, and only
+// one branch persists.
+func aliasHidesObligation(m *nvm.Memory, o *area, p int, v uint64, commit bool) {
+	r := o.res[p]
+	m.Write(r, v) // want "missed-flush"
+	if commit {
+		m.Persist(o.res[p])
+	}
+}
+
+// Conforming: alias store, full-path persist on every path — the two
+// spellings are the same address.
+func aliasConforming(m *nvm.Memory, o *area, p int, v uint64) {
+	r := o.res[p]
+	m.Write(r, v)
+	m.Flush(o.res[p])
+	m.Fence()
+}
+
+// Violation the old matcher missed: a named constant and its value
+// index the same element.
+func constantFoldedIndex(m *nvm.Memory, o *area, v uint64, commit bool) {
+	const slot = 2
+	m.Write(o.res[slot], v) // want "missed-flush"
+	if commit {
+		m.Persist(o.res[2])
+	}
+}
+
+// Conforming: distinct objects stay distinct even when the field path
+// reads the same — persisting b.w says nothing about a.w, so the store
+// to a.w carries no obligation here.
+func distinctRoots(m *nvm.Memory, a, b *area, v uint64) {
+	m.Write(a.w, v)
+	m.Persist(b.w)
+}

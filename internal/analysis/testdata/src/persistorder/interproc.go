@@ -1,0 +1,81 @@
+// Interprocedural cases: persist-effect summaries lift helper calls
+// into flush/fence/store events at the call site.
+package persistorder
+
+import "nrl/internal/nvm"
+
+// syncOne flushes and fences its address parameter on every path: a
+// call to it discharges both the flush and the fence obligation.
+func syncOne(m *nvm.Memory, a nvm.Addr) {
+	m.Flush(a)
+	m.Fence()
+}
+
+// syncAll is a variadic persist helper under a name the analyzer does
+// not special-case, so only its summary can vouch for it.
+func syncAll(m *nvm.Memory, addrs ...nvm.Addr) {
+	for _, a := range addrs {
+		m.Flush(a)
+	}
+	m.Fence()
+}
+
+// flushOnly schedules write-back but never orders it; the fence
+// obligation stays with the caller — and with flushOnly itself.
+func flushOnly(m *nvm.Memory, a nvm.Addr) {
+	m.Flush(a) // want "flush-no-fence"
+}
+
+// barrier fences on all paths without flushing anything.
+func barrier(m *nvm.Memory) {
+	m.Fence()
+}
+
+// stash writes through its address parameter: the caller inherits the
+// same persistence obligation a direct store would create.
+func stash(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+}
+
+// Conforming: the helper persists the store completely.
+func helperPersists(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+	syncOne(m, a)
+}
+
+// Conforming: the variadic helper covers both stores.
+func helperPersistsAll(m *nvm.Memory, a, b nvm.Addr, v uint64) {
+	m.Write(a, v)
+	m.Write(b, v+1)
+	syncAll(m, a, b)
+}
+
+// Violation: the helper flush leaves the fence with this caller, who
+// can return without one.
+func helperFlushNoFence(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+	flushOnly(m, a) // want "flush-no-fence"
+}
+
+// Conforming: a fence-only helper discharges the fence obligation left
+// by the flushing helper.
+func helperFenceDischarges(m *nvm.Memory, a nvm.Addr, v uint64) {
+	m.Write(a, v)
+	flushOnly(m, a)
+	barrier(m)
+}
+
+// Violation: the store hidden inside stash persists on one branch only;
+// the obligation surfaces at the call site.
+func hiddenStoreBranch(m *nvm.Memory, a nvm.Addr, v uint64, commit bool) {
+	stash(m, a, v) // want "missed-flush"
+	if commit {
+		m.Persist(a)
+	}
+}
+
+// Conforming: the hidden store is persisted on every path.
+func hiddenStorePersisted(m *nvm.Memory, a nvm.Addr, v uint64) {
+	stash(m, a, v)
+	m.Persist(a)
+}

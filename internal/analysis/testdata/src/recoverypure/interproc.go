@@ -1,0 +1,61 @@
+// Interprocedural purity: recovery arms calling helpers whose summaries
+// reach a volatile primitive or Ctx.Step through any chain.
+package recoverypure
+
+import (
+	"time"
+
+	"nrl/internal/nvm"
+	"nrl/internal/proc"
+)
+
+// stamp reaches wall clock directly.
+func stamp() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+// stampWrapper hides the clock behind one more call.
+func stampWrapper() uint64 {
+	return stamp() + 1
+}
+
+// bump advances the LI checkpoint through Step — fine for normal arms,
+// banned in recovery.
+func bump(c *proc.Ctx, line int) {
+	c.Step(line)
+}
+
+// double is a pure helper; recovery may call it freely.
+func double(x uint64) uint64 {
+	return x * 2
+}
+
+type helperObj struct {
+	name string
+	c    nvm.Addr
+}
+
+type helperOp struct{ o *helperObj }
+
+func (o *helperOp) Info() proc.OpInfo {
+	return proc.OpInfo{Obj: o.o.name, Op: "HLP", Entry: 1, RecoverEntry: 10}
+}
+
+func (o *helperOp) Exec(c *proc.Ctx, line int) uint64 {
+	for {
+		switch line {
+		case 1:
+			c.Step(1)
+			bump(c, 2) // normal arms may advance the checkpoint
+			c.Write(o.o.c, stamp())
+			return 0
+		case 10:
+			v := double(c.Read(o.o.c)) // pure helpers are fine
+			_ = stampWrapper()         // want "impure-helper"
+			bump(c, 11)                // want "impure-helper"
+			return v
+		default:
+			panic("bad line")
+		}
+	}
+}

@@ -173,7 +173,7 @@ func runWitnessOrder(p *Pass) error {
 	}
 
 	for _, fn := range funcDecls(p) {
-		be := functionEvents(p.Info, fn)
+		be := functionEvents(p, fn)
 		events := be.all()
 		if len(events) == 0 {
 			continue

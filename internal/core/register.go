@@ -19,8 +19,8 @@ import (
 type Register struct {
 	name string
 	r    nvm.Addr   // R: the register's value
-	s    []nvm.Addr // S_p: per-process <flag, previous-value> pair
-	res  []nvm.Addr // Res_p: per-process persisted response (strict read)
+	s    []nvm.Addr // nrl:recovery-state S_p: per-process <flag, previous-value> pair
+	res  []nvm.Addr // nrl:recovery-state Res_p: per-process persisted response (strict read)
 
 	write      *regWrite
 	read       *regRead

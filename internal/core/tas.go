@@ -24,7 +24,7 @@ type TAS struct {
 	r       []nvm.Addr // R[p]: per-process state, 0..4
 	winner  nvm.Addr   // Winner: id of the winning process (0 = null)
 	doorway nvm.Addr   // Doorway: 1 = open (true), 0 = closed
-	res     []nvm.Addr // Res_p: persisted response
+	res     []nvm.Addr // nrl:recovery-state Res_p: persisted response
 	t       nvm.Addr   // T: base non-recoverable t&s word
 
 	// readableBase selects the variant of the paper's footnote 3: with a
@@ -234,14 +234,14 @@ func (o *tasOp) Exec(c *proc.Ctx, line int) uint64 {
 			c.TAS(o.obj.t)
 			for i := 1; i < p; i++ { // line 25
 				r := o.obj.r[i]
-				c.AwaitFor(26, i, func() bool {
+				c.AwaitFor(26, i, func() bool { //nrl:ignore await predicate closure; the op is parked, off the hot path
 					v := c.Read(r)
 					return v == 0 || v == 3
 				})
 			}
 			for i := p + 1; i <= n; i++ { // line 27
 				r := o.obj.r[i]
-				c.AwaitFor(28, i, func() bool {
+				c.AwaitFor(28, i, func() bool { //nrl:ignore await predicate closure; the op is parked, off the hot path
 					v := c.Read(r)
 					return v == 0 || v > 2
 				})

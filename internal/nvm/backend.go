@@ -180,7 +180,7 @@ func (m *Memory) degrade(err error) {
 	var announce bool
 	if m.degErr == nil {
 		if _, ok := err.(*DegradedError); !ok {
-			err = &DegradedError{Cause: err}
+			err = &DegradedError{Cause: err} //nrl:ignore degraded-mode error path; backend has already failed
 			announce = true
 		}
 		m.degErr = err

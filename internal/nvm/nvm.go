@@ -267,6 +267,8 @@ func (m *Memory) Read(a Addr) uint64 { return m.ReadAt(a, trace.Attr{}) } //nrl:
 
 // ReadAt is Read carrying trace attribution for the issuing operation
 // (package proc routes Ctx accesses through here).
+//
+//nrl:hotpath NVRAM primitive, ~77 ns/op budget (DESIGN.md §9)
 func (m *Memory) ReadAt(a Addr, at trace.Attr) uint64 {
 	m.stats.reads.Add(1)
 	v := m.wordAt(a).val.Load()
@@ -281,6 +283,8 @@ func (m *Memory) Write(a Addr, v uint64) { m.WriteAt(a, v, trace.Attr{}) } //nrl
 
 // WriteAt is Write carrying trace attribution. On a degraded memory the
 // store is dropped (see Err).
+//
+//nrl:hotpath NVRAM primitive, ~77 ns/op budget (DESIGN.md §9)
 func (m *Memory) WriteAt(a Addr, v uint64, at trace.Attr) {
 	if m.degraded.Load() {
 		return
@@ -307,6 +311,8 @@ func (m *Memory) CAS(a Addr, old, new uint64) bool {
 // CASAt is CAS carrying trace attribution. The emitted event's Ret is 1
 // for a successful swap and 0 for a failed one. On a degraded memory
 // the swap is rejected (returns false; see Err).
+//
+//nrl:hotpath NVRAM primitive, ~77 ns/op budget (DESIGN.md §9)
 func (m *Memory) CASAt(a Addr, old, new uint64, at trace.Attr) bool {
 	if m.degraded.Load() {
 		return false
@@ -338,6 +344,8 @@ func (m *Memory) TAS(a Addr) uint64 { return m.TASAt(a, trace.Attr{}) } //nrl:ig
 
 // TASAt is TAS carrying trace attribution. On a degraded memory the set
 // is rejected and the current value returned unchanged (see Err).
+//
+//nrl:hotpath NVRAM primitive, ~77 ns/op budget (DESIGN.md §9)
 func (m *Memory) TASAt(a Addr, at trace.Attr) uint64 {
 	if m.degraded.Load() {
 		return m.wordAt(a).val.Load()
@@ -363,6 +371,8 @@ func (m *Memory) FAA(a Addr, delta uint64) uint64 {
 
 // FAAAt is FAA carrying trace attribution. On a degraded memory the add
 // is rejected and the current value returned unchanged (see Err).
+//
+//nrl:hotpath NVRAM primitive, ~77 ns/op budget (DESIGN.md §9)
 func (m *Memory) FAAAt(a Addr, delta uint64, at trace.Attr) uint64 {
 	if m.degraded.Load() {
 		return m.wordAt(a).val.Load()
@@ -391,6 +401,8 @@ func (m *Memory) Flush(a Addr) { m.FlushAt(a, trace.Attr{}) } //nrl:ignore untra
 // set the capture is tracked in (0 = the shared unattributed set). The
 // emitted event's Name records the flushed word's allocation name, so
 // profiles can attribute unowned flushes to the word's root object.
+//
+//nrl:hotpath NVRAM primitive, ~77 ns/op budget (DESIGN.md §9)
 func (m *Memory) FlushAt(a Addr, at trace.Attr) {
 	if m.degraded.Load() {
 		return
@@ -410,7 +422,7 @@ func (m *Memory) FlushAt(a Addr, at trace.Attr) {
 			fs.entries = fs.entries[:0]
 			fs.epoch = e
 		}
-		fs.entries = append(fs.entries, flushEntry{a: a, v: v})
+		fs.entries = append(fs.entries, flushEntry{a: a, v: v}) //nrl:ignore amortized append into a per-epoch buffer reused across fences
 		if shared {
 			fs.mu.Unlock()
 		}
@@ -442,6 +454,8 @@ func (m *Memory) Fence() { m.FenceAt(trace.Attr{}) } //nrl:ignore zero-attr by d
 // A failed commit (the backend's retry budget is exhausted) degrades the
 // memory to read-only instead of advancing anything: the simulated state
 // never claims durability that storage does not have.
+//
+//nrl:hotpath NVRAM primitive, ~77 ns/op budget (DESIGN.md §9)
 func (m *Memory) FenceAt(at trace.Attr) {
 	if m.degraded.Load() {
 		return
@@ -514,7 +528,7 @@ func (m *Memory) drainFlushes(p int) error {
 			}
 		}
 		if last {
-			batch = append(batch, e)
+			batch = append(batch, e) //nrl:ignore fence-time batch reuses capacity across drains
 		}
 	}
 	var banks shardBitmap
@@ -524,7 +538,7 @@ func (m *Memory) drainFlushes(p int) error {
 	}
 	banks.lockAll(&m.shards, &m.stats)
 	if m.backend != nil {
-		updates := make([]WordUpdate, len(batch))
+		updates := make([]WordUpdate, len(batch)) //nrl:ignore backend shipping path; only taken with a replica attached
 		for i, e := range batch {
 			updates[i] = WordUpdate{Addr: e.a, Val: e.v}
 		}
@@ -568,6 +582,8 @@ func (m *Memory) applyPersist(e flushEntry) {
 func (m *Memory) Persist(a Addr) { m.PersistAt(a, trace.Attr{}) } //nrl:ignore zero-attr by definition: untraced shorthand
 
 // PersistAt is Persist carrying trace attribution.
+//
+//nrl:hotpath NVRAM primitive, ~77 ns/op budget (DESIGN.md §9)
 func (m *Memory) PersistAt(a Addr, at trace.Attr) {
 	m.FlushAt(a, at)
 	m.FenceAt(at)

@@ -187,7 +187,7 @@ func (m *Memory) flushSetFor(p int) *flushSet {
 		cur = *cs
 	}
 	for p >= len(cur) {
-		cur = append(cur[:len(cur):len(cur)], &flushSet{})
+		cur = append(cur[:len(cur):len(cur)], &flushSet{}) //nrl:ignore one-time per-process flush-set growth, then reused forever
 	}
 	m.flushSets.Store(&cur)
 	return cur[p]

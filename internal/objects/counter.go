@@ -28,7 +28,7 @@ const Ack = core.Ack
 type Counter struct {
 	name string
 	regs []*core.Register // R[p], one recoverable register per process
-	res  []nvm.Addr       // Res_p
+	res  []nvm.Addr       // nrl:recovery-state Res_p: per-process persisted response
 
 	inc  *counterInc
 	read *counterRead

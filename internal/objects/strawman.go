@@ -166,7 +166,7 @@ func (o *stuckGetOp) Exec(c *proc.Ctx, line int) uint64 {
 		case 5:
 			// BROKEN: awaits a flag nobody sets. The await declares no
 			// dependency (On = 0): nobody is responsible for the flag.
-			c.Await(5, func() bool { return c.Read(o.obj.flag) == 1 })
+			c.Await(5, func() bool { return c.Read(o.obj.flag) == 1 }) //nrl:ignore deliberately broken teaching object; liveness bug is the point
 			line = 1
 		default:
 			panic(fmt.Sprintf("objects: stuckGetOp bad line %d", line))

@@ -30,6 +30,8 @@ func (c *Ctx) Mem() *nvm.Memory { return c.p.sys.mem }
 // crash injector a chance to crash the process here (a crash leaves LI at
 // the previous line — the instruction has not begun), and then records
 // the line into the current frame's non-volatile LI.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) Step(line int) {
 	c.step(line, true)
 }
@@ -40,6 +42,8 @@ func (c *Ctx) Step(line int) {
 // preserve it so that a crash during recovery leaves the next recovery
 // attempt with the same information (only re-executed body lines, entered
 // through Step, advance LI again).
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) RecStep(line int) {
 	c.step(line, false)
 }
@@ -106,6 +110,8 @@ func (c *Ctx) ChildResp() (resp uint64, ok bool) {
 // resurrecting the process through the operation's recovery function after
 // every crash, and so always returns the operation's final response.
 // Nested invocations run inline and propagate crashes to the top level.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) Invoke(op Operation, args ...uint64) uint64 {
 	p := c.p
 	// The invocation itself is a scheduling point: under the controlled
@@ -189,29 +195,45 @@ func (c *Ctx) attr() trace.Attr {
 
 // Read is shorthand for Mem().Read, attributed to this process and its
 // current operation in traces.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) Read(a nvm.Addr) uint64 { return c.p.sys.mem.ReadAt(a, c.attr()) }
 
 // Write is shorthand for Mem().Write, attributed in traces.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) Write(a nvm.Addr, v uint64) { c.p.sys.mem.WriteAt(a, v, c.attr()) }
 
 // CAS is shorthand for Mem().CAS, attributed in traces.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) CAS(a nvm.Addr, old, new uint64) bool {
 	return c.p.sys.mem.CASAt(a, old, new, c.attr())
 }
 
 // TAS is shorthand for Mem().TAS, attributed in traces.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) TAS(a nvm.Addr) uint64 { return c.p.sys.mem.TASAt(a, c.attr()) }
 
 // FAA is shorthand for Mem().FAA, attributed in traces.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) FAA(a nvm.Addr, delta uint64) uint64 {
 	return c.p.sys.mem.FAAAt(a, delta, c.attr())
 }
 
 // Flush is shorthand for Mem().Flush, attributed in traces.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) Flush(a nvm.Addr) { c.p.sys.mem.FlushAt(a, c.attr()) } //nrl:ignore delegation shorthand: the fence is the calling operation's line, not this wrapper's
 
 // Fence is shorthand for Mem().Fence, attributed in traces.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) Fence() { c.p.sys.mem.FenceAt(c.attr()) }
 
 // Persist is shorthand for Mem().Persist, attributed in traces.
+//
+//nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) Persist(a nvm.Addr) { c.p.sys.mem.PersistAt(a, c.attr()) }

@@ -246,7 +246,7 @@ type frame struct {
 	fref   flightrec.Ref
 	frefOK bool
 	args   []uint64
-	li   int // last instruction begun (0 before the first step)
+	li     int // last instruction begun (0 before the first step)
 	// attempts counts how many times this frame's recovery function has
 	// been entered (0 for an operation that never crashed).
 	attempts int
@@ -306,8 +306,8 @@ func (p *Proc) push(op Operation, args []uint64) *frame {
 	if p.sys.rec != nil {
 		opID = p.sys.rec.NewOpID()
 	}
-	fr := &frame{op: op, opID: opID, args: args}
-	p.stack = append(p.stack, fr)
+	fr := &frame{op: op, opID: opID, args: args} //nrl:ignore per-invocation frame; arena refactor target (ROADMAP item 1)
+	p.stack = append(p.stack, fr)                //nrl:ignore stack growth amortizes; arena refactor target (ROADMAP item 1)
 	return fr
 }
 
@@ -385,12 +385,14 @@ func firstArg(args []uint64) uint64 {
 
 // call runs a top-level operation to completion, surviving any number of
 // crashes. It is the system's resurrection loop.
+//
+//nrl:hotpath every recoverable operation runs through here (ROADMAP item 1)
 func (p *Proc) call(op Operation, args []uint64) uint64 {
 	fr := p.push(op, args)
 	p.record(history.Inv, fr, fr.args, 0)
 	p.emitOp(trace.Invoke, fr, fr.args, 0)
 	p.recordFR(flightrec.KindBegin, fr, firstArg(fr.args))
-	ret, ok := p.attempt(func() uint64 {
+	ret, ok := p.attempt(func() uint64 { //nrl:ignore one attempt closure per top-level invocation, not per step
 		r := op.Exec(p.ctx, op.Info().Entry)
 		p.record(history.Res, fr, nil, r)
 		p.emitOp(trace.Response, fr, nil, r)
@@ -399,14 +401,14 @@ func (p *Proc) call(op Operation, args []uint64) uint64 {
 		return r
 	})
 	for !ok {
-		ret, ok = p.attempt(p.resume)
+		ret, ok = p.attempt(p.resume) //nrl:ignore resume binding only on the crash path
 	}
 	return ret
 }
 
 // attempt runs f, converting a crash panic of this process into ok=false.
 func (p *Proc) attempt(f func() uint64) (ret uint64, ok bool) {
-	defer func() {
+	defer func() { //nrl:ignore crash-recovery defer; one per attempt, not per step
 		if r := recover(); r != nil {
 			cs, isCrash := r.(crashSignal)
 			if !isCrash || cs.proc != p.id {
@@ -455,6 +457,8 @@ func (p *Proc) onCrash() {
 //
 // ALGORITHMS.md ("Recovery semantics") maps each clause back to the
 // paper's model section.
+//
+//nrl:hotpath every recoverable operation runs through here (ROADMAP item 1)
 func (p *Proc) resume() uint64 {
 	p.record(history.Rec, p.top(), nil, 0)
 	var ret uint64
@@ -480,7 +484,7 @@ func cloneArgs(args []uint64) []uint64 {
 	if len(args) == 0 {
 		return nil
 	}
-	out := make([]uint64, len(args))
+	out := make([]uint64, len(args)) //nrl:ignore argument snapshot; arena refactor target (ROADMAP item 1)
 	copy(out, args)
 	return out
 }

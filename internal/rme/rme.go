@@ -140,7 +140,7 @@ func (o *acquireOp) Exec(c *proc.Ctx, line int) uint64 {
 			c.Write(o.lock.have[p], 1)
 			line = 5
 		case 5:
-			c.Await(5, func() bool { return c.Read(o.lock.serving) == t })
+			c.Await(5, func() bool { return c.Read(o.lock.serving) == t }) //nrl:ignore await predicate closure; the acquirer is parked, off the hot path
 			c.Step(6)
 			return t
 		case 8:

@@ -137,7 +137,7 @@ func (o *WFObject) replay(c *proc.Ctx, idx uint64) uint64 {
 		}
 		code := c.Read(o.opcode[cur])
 		n := c.Read(o.nargs[cur])
-		args := make([]uint64, n)
+		args := make([]uint64, n) //nrl:ignore log replay argument buffer; arena refactor target (ROADMAP item 1)
 		for j := uint64(0); j < n; j++ {
 			args[j] = c.Read(o.args[cur][j])
 		}
