@@ -11,7 +11,12 @@
 // -overhead checks the flight-recorder rows of an objects report against
 // their bare baselines within the same report, failing when the recorder
 // costs more than its budget (bench.RecorderOverheadBudget) or allocates
-// on the record path.
+// on the record path. -alloccap checks a report against the suite's
+// absolute allocs-per-op caps (bench.AllocCaps — 0 for every row of the
+// objects suite since the frame-arena refactor), failing on any breach
+// or on a capped benchmark missing from the report; unlike -compare,
+// this gate needs no baseline, so a baseline that itself allocates can
+// never grandfather an allocation in.
 //
 // Usage:
 //
@@ -19,6 +24,7 @@
 //	nrlbench -json DIR [-suite nvm|objects|all] [-benchops N]
 //	nrlbench -compare old.json new.json [-threshold 0.15]
 //	nrlbench -overhead BENCH_objects.json
+//	nrlbench -alloccap BENCH_objects.json
 package main
 
 import (
@@ -52,6 +58,7 @@ func run(args []string) error {
 	compare := fs.Bool("compare", false, "compare two BENCH_*.json reports (old new) and fail on regressions")
 	threshold := fs.Float64("threshold", bench.DefaultThreshold, "with -compare: relative ns/op growth tolerated before failing")
 	overhead := fs.String("overhead", "", "check the flight-recorder overhead budget within this objects report")
+	allocCap := fs.String("alloccap", "", "check this report against the suite's absolute allocs-per-op caps")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +67,9 @@ func run(args []string) error {
 	}
 	if *overhead != "" {
 		return runOverhead(*overhead)
+	}
+	if *allocCap != "" {
+		return runAllocCap(*allocCap)
 	}
 	if *jsonDir != "" {
 		return runSuites(*jsonDir, *suite, *benchOps)
@@ -180,6 +190,24 @@ func runCompare(paths []string, threshold float64) error {
 	}
 	c.Fprint(os.Stdout)
 	return c.Gate()
+}
+
+// runAllocCap evaluates a report against its suite's absolute
+// allocs-per-op caps and returns a non-nil error (exit 1) on any breach
+// or missing capped benchmark.
+func runAllocCap(path string) error {
+	report, err := bench.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	caps := bench.AllocCaps(report.Suite)
+	if len(caps) == 0 {
+		return fmt.Errorf("suite %q has no registered allocs-per-op caps", report.Suite)
+	}
+	results := bench.CheckAllocCaps(report, caps)
+	fmt.Printf("absolute allocs-per-op caps (%s)\n", path)
+	bench.FprintAllocCaps(os.Stdout, results)
+	return bench.GateAllocCaps(results)
 }
 
 // runOverhead evaluates the recorder-overhead budget pairs within one

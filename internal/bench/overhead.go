@@ -9,12 +9,20 @@ import (
 
 // RecorderOverheadBudget is the relative ns/op cost the always-on
 // flight recorder is allowed to add to an instrumented benchmark over
-// its bare baseline (15%). Unlike DefaultThreshold — which compares a
+// its bare baseline (20%). Unlike DefaultThreshold — which compares a
 // fresh run against a committed baseline from a possibly different
 // moment of the machine's life — this budget compares two rows of the
 // SAME report, so it is a genuine single-run product guarantee: the
 // black box is cheap enough to leave on in production.
-const RecorderOverheadBudget = 0.15
+//
+// The budget is relative, so it must be re-priced when the bare
+// baseline is deliberately optimized: the frame-arena refactor
+// (DESIGN.md §13) cut the uncontended Counter/Inc op ~25% without
+// touching the recorder, which left the recorder's unchanged ~110
+// ns/op absolute cost sitting at ~15–17% of the faster base — over the
+// old 15% line through no fault of its own. 20% holds the same
+// absolute ceiling against the new denominator.
+const RecorderOverheadBudget = 0.20
 
 // OverheadPair names a (baseline, instrumented) row pair within one
 // report that an overhead budget applies to.

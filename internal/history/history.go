@@ -200,12 +200,18 @@ func (r *Recorder) NewOpID() int64 {
 	return id
 }
 
-// Append records a step, assigning it the next sequence number.
+// Append records a step, assigning it the next sequence number. The
+// step's Args slice is copied: emitters (the proc layer's frame arena)
+// reuse the backing storage across invocations, so the recorder owns an
+// immutable snapshot rather than an alias into live frames.
 func (r *Recorder) Append(s Step) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s.Seq = r.seq
 	r.seq++
+	if len(s.Args) > 0 {
+		s.Args = append([]uint64(nil), s.Args...)
+	}
 	r.steps = append(r.steps, s)
 }
 

@@ -1,0 +1,185 @@
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"nrl/internal/nvm"
+)
+
+// TestArenaZeroAllocs pins the tentpole property of the frame arena
+// (DESIGN.md §13): an uncontended recoverable operation — top-level
+// invocation, one nested invocation with an argument, steps, memory
+// primitives, response — performs zero heap allocations, untraced and
+// unrecorded, in either persistence mode.
+func TestArenaZeroAllocs(t *testing.T) {
+	for _, mode := range []nvm.Mode{nvm.ADR, nvm.Buffered} {
+		t.Run(mode.String(), func(t *testing.T) {
+			sys := NewSystem(Config{Procs: 1, Mem: nvm.New(nvm.WithMode(mode))})
+			child := &childOp{a: sys.Mem().Alloc("a", 0)}
+			parent := &parentOp{child: child, r: sys.Mem().Alloc("r", 0)}
+			c := sys.Proc(1).Ctx()
+			c.Invoke(parent, 7) // pay any one-time first-touch costs
+			if n := testing.AllocsPerRun(2000, func() { c.Invoke(parent, 7) }); n != 0 {
+				t.Errorf("uncontended nested op allocates %.2f times per run, want 0", n)
+			}
+		})
+	}
+}
+
+// liWitnessOp records the LI_p value its recovery function observed into
+// an NVM word, so a test can assert that recovery re-entered the very
+// arena frame the interrupted attempt was using (the frame's li register
+// is system state; a recovery that saw a stale or zeroed frame would
+// witness the wrong line).
+//
+//	2: A <- arg
+//	3: B <- arg
+//	4: return ack
+//	10: RECOVER: liSeen <- LI_p; proceed from line 2
+type liWitnessOp struct {
+	a, b, liSeen nvm.Addr
+}
+
+func (o *liWitnessOp) Info() OpInfo {
+	return OpInfo{Obj: "liw", Op: "W", Entry: 2, RecoverEntry: 10}
+}
+
+func (o *liWitnessOp) Exec(c *Ctx, line int) uint64 {
+	for {
+		switch line {
+		case 2:
+			c.Step(2)
+			c.Write(o.a, c.Arg(0))
+			line = 3
+		case 3:
+			c.Step(3)
+			c.Write(o.b, c.Arg(0))
+			line = 4
+		case 4:
+			c.Step(4)
+			return 0
+		case 10:
+			c.RecStep(10)
+			c.Write(o.liSeen, uint64(c.LI()))
+			line = 2
+		default:
+			panic(fmt.Sprintf("liWitnessOp: bad line %d", line))
+		}
+	}
+}
+
+// TestFrameArenaReuseUnderCrashStress hammers the arena across many
+// crash/recover cycles on several concurrent processes (under
+// `make race` this doubles as the data-race check on the arena). Every
+// recovery must observe an LI_p the interrupted attempt could actually
+// have reached — 0 (crashed before any step) or one of the op's own
+// lines 2, 3, 4. Any other value would mean recovery resumed a frame
+// that was not the interrupted one (stale or zeroed arena slot). The
+// frames must also be reused in place: the arena array never moves, so
+// frame identity across a crash is arena identity.
+func TestFrameArenaReuseUnderCrashStress(t *testing.T) {
+	const procs = 4
+	mem := nvm.New()
+	sys := NewSystem(Config{
+		Procs:    procs,
+		Mem:      mem,
+		Injector: &Random{Rate: 0.05, Seed: 42},
+	})
+	ops := make([]*liWitnessOp, procs+1)
+	for p := 1; p <= procs; p++ {
+		ops[p] = &liWitnessOp{
+			a:      mem.Alloc(fmt.Sprintf("a[%d]", p), 0),
+			b:      mem.Alloc(fmt.Sprintf("b[%d]", p), 0),
+			liSeen: mem.Alloc(fmt.Sprintf("li[%d]", p), 99),
+		}
+	}
+	bodies := map[int]func(*Ctx){}
+	for p := 1; p <= procs; p++ {
+		p := p
+		bodies[p] = func(c *Ctx) {
+			fr0 := &c.p.frames[0] // arena identity: must never move
+			for i := 0; i < 400; i++ {
+				c.Invoke(ops[p], uint64(i+1))
+				if got := mem.Read(ops[p].a); got != uint64(i+1) {
+					panic(fmt.Sprintf("p%d op %d: a = %d, want %d", p, i, got, i+1))
+				}
+				if li := mem.Read(ops[p].liSeen); li != 99 && li != 0 && li != 2 && li != 3 && li != 4 {
+					panic(fmt.Sprintf("p%d op %d: recovery witnessed impossible LI_p %d", p, i, li))
+				}
+				if &c.p.frames[0] != fr0 {
+					panic(fmt.Sprintf("p%d: arena frame storage moved", p))
+				}
+			}
+		}
+	}
+	if err := sys.Run(bodies); err != nil {
+		t.Fatal(err)
+	}
+	var crashes int
+	for p := 1; p <= procs; p++ {
+		crashes += sys.Proc(p).Crashes()
+	}
+	if crashes == 0 {
+		t.Fatal("stress run saw no crashes; injector misconfigured")
+	}
+	t.Logf("survived %d crashes across %d processes", crashes, procs)
+}
+
+// deepOp nests itself until depth reaches its target, exercising the
+// arena's depth accounting (and, at target > MaxNestingDepth, its
+// typed overflow).
+type deepOp struct {
+	target int
+}
+
+func (o *deepOp) Info() OpInfo {
+	return OpInfo{Obj: "deep", Op: "D", Entry: 1, RecoverEntry: 1}
+}
+
+func (o *deepOp) Exec(c *Ctx, line int) uint64 {
+	c.Step(1)
+	if c.p.depth >= o.target {
+		return uint64(c.p.depth)
+	}
+	return c.Invoke(o, c.Arg(0))
+}
+
+// TestArenaLimitsTyped exercises both arena bounds: TryInvoke returns
+// the typed *ArityError / *DepthError without starting the operation,
+// and Invoke panics with the same typed values, which
+// Config.RecoverPanics converts into errors reachable via errors.As.
+func TestArenaLimitsTyped(t *testing.T) {
+	sys := NewSystem(Config{Procs: 1, RecoverPanics: true})
+	c := sys.Proc(1).Ctx()
+
+	var tooWide [MaxOpArgs + 1]uint64
+	_, err := c.TryInvoke(&deepOp{target: 1}, tooWide[:]...)
+	var ae *ArityError
+	if !errors.As(err, &ae) {
+		t.Fatalf("TryInvoke with %d args: err = %v, want *ArityError", len(tooWide), err)
+	}
+	if ae.Got != MaxOpArgs+1 || ae.Max != MaxOpArgs {
+		t.Errorf("ArityError = %+v, want Got=%d Max=%d", ae, MaxOpArgs+1, MaxOpArgs)
+	}
+
+	// Within bounds, TryInvoke is Invoke: it must actually run the op.
+	ret, err := c.TryInvoke(&deepOp{target: MaxNestingDepth}, 1)
+	if err != nil || ret != MaxNestingDepth {
+		t.Fatalf("TryInvoke(depth=%d) = %d, %v; want %d, nil", MaxNestingDepth, ret, err, MaxNestingDepth)
+	}
+
+	// One deeper overflows: the typed *DepthError surfaces through the
+	// RecoverPanics failure channel.
+	err = sys.Run(map[int]func(*Ctx){1: func(c *Ctx) {
+		c.Invoke(&deepOp{target: MaxNestingDepth + 1}, 1)
+	}})
+	var de *DepthError
+	if !errors.As(err, &de) {
+		t.Fatalf("over-deep Invoke: err = %v, want *DepthError", err)
+	}
+	if de.Max != MaxNestingDepth {
+		t.Errorf("DepthError = %+v, want Max=%d", de, MaxNestingDepth)
+	}
+}

@@ -63,7 +63,7 @@ func (c *Ctx) step(line int, updateLI bool) {
 		ProcStep:   ps,
 		GlobalStep: gs,
 		Crashes:    int(p.crashes.Load()),
-		Depth:      len(p.stack),
+		Depth:      p.depth,
 		Attempt:    fr.attempts,
 		Recovery:   !updateLI,
 		Awaiting:   p.awaiting,
@@ -87,13 +87,14 @@ func (c *Ctx) step(line int, updateLI bool) {
 func (c *Ctx) LI() int { return c.p.top().li }
 
 // Arg returns the i-th argument of the current operation. Arguments are
-// part of the system-maintained frame and survive crashes, matching the
-// paper's assumption that a recovery function receives the same arguments
-// as the interrupted invocation.
+// part of the system-maintained frame — stored inline in the process's
+// arena, bounded by MaxOpArgs — and survive crashes, matching the
+// paper's assumption that a recovery function receives the same
+// arguments as the interrupted invocation.
 func (c *Ctx) Arg(i int) uint64 { return c.p.top().args[i] }
 
 // NArgs returns the number of arguments of the current operation.
-func (c *Ctx) NArgs() int { return len(c.p.top().args) }
+func (c *Ctx) NArgs() int { return c.p.top().nargs }
 
 // ChildResp returns the response of a nested operation that was completed
 // by its recovery function immediately before the current frame's recovery
@@ -111,6 +112,16 @@ func (c *Ctx) ChildResp() (resp uint64, ok bool) {
 // every crash, and so always returns the operation's final response.
 // Nested invocations run inline and propagate crashes to the top level.
 //
+// The arguments are snapshotted into the invocation's arena frame (they
+// are system state and survive crashes), so the variadic slice never
+// escapes and an uncontended invocation allocates nothing. Invocations
+// beyond the arena's bounds — more than MaxOpArgs arguments, nesting
+// deeper than MaxNestingDepth — fail with the typed *ArityError /
+// *DepthError values: Invoke has no error result, so it panics with the
+// typed value (Config.RecoverPanics converts the panic into an error on
+// which errors.As recovers it); TryInvoke returns the same errors
+// without panicking.
+//
 //nrl:hotpath per-line op primitive (ROADMAP item 1)
 func (c *Ctx) Invoke(op Operation, args ...uint64) uint64 {
 	p := c.p
@@ -118,19 +129,37 @@ func (c *Ctx) Invoke(op Operation, args ...uint64) uint64 {
 	// scheduler this makes the order of invocation steps part of the
 	// deterministic schedule rather than a goroutine startup race.
 	p.sys.sched.Yield(p.id)
-	if len(p.stack) == 0 {
-		return p.call(op, cloneArgs(args))
+	if p.depth == 0 {
+		return p.call(op, args)
 	}
-	fr := p.push(op, cloneArgs(args))
-	p.record(history.Inv, fr, fr.args, 0)
-	p.emitOp(trace.Invoke, fr, fr.args, 0)
-	p.recordFR(flightrec.KindBegin, fr, firstArg(fr.args))
+	fr := p.push(op, args)
+	p.record(history.Inv, fr, fr.argSlice(), 0)
+	p.emitOp(trace.Invoke, fr, fr.argSlice(), 0)
+	p.recordFR(flightrec.KindBegin, fr, fr.firstArg())
 	ret := op.Exec(c, op.Info().Entry)
 	p.record(history.Res, fr, nil, ret)
 	p.emitOp(trace.Response, fr, nil, ret)
 	p.recordFR(flightrec.KindEnd, fr, ret)
 	p.pop()
 	return ret
+}
+
+// TryInvoke is Invoke with the arena's limit checks surfaced as a
+// returned error instead of a typed panic: an invocation with more than
+// MaxOpArgs arguments returns a *ArityError, one that would nest deeper
+// than MaxNestingDepth a *DepthError, and the operation is not started
+// in either case. A nil error means the operation ran to completion and
+// ret is its response, exactly as Invoke would have returned it.
+func (c *Ctx) TryInvoke(op Operation, args ...uint64) (ret uint64, err error) {
+	if len(args) > MaxOpArgs {
+		info := op.Info()
+		return 0, &ArityError{Obj: info.Obj, Op: info.Op, Got: len(args), Max: MaxOpArgs}
+	}
+	if c.p.depth >= MaxNestingDepth {
+		info := op.Info()
+		return 0, &DepthError{Obj: info.Obj, Op: info.Op, Depth: c.p.depth + 1, Max: MaxNestingDepth}
+	}
+	return c.Invoke(op, args...), nil
 }
 
 // Await repeatedly executes RecStep(line) and evaluates cond until it
@@ -185,8 +214,8 @@ func (c *Ctx) attr() trace.Attr {
 	if p.sys.tracer == nil {
 		return trace.Attr{P: p.id}
 	}
-	at := trace.Attr{P: p.id, Depth: len(p.stack)}
-	if len(p.stack) > 0 {
+	at := trace.Attr{P: p.id, Depth: p.depth}
+	if p.depth > 0 {
 		info := p.top().op.Info()
 		at.Obj, at.Op = info.Obj, info.Op
 	}

@@ -150,7 +150,7 @@ func (s *System) park(p *Proc, line, on, attempt int) (st, prev *awaitState) {
 		obj:     info.Obj,
 		op:      info.Op,
 		line:    line,
-		depth:   len(p.stack),
+		depth:   p.depth,
 		attempt: attempt,
 		on:      on,
 	}

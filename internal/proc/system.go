@@ -168,11 +168,16 @@ func (s *System) Go(p int, body func(*Ctx)) {
 			defer func() {
 				if r := recover(); r != nil {
 					var err error
-					if se, ok := r.(*StuckError); ok {
+					switch e := r.(type) {
+					case *StuckError:
 						// Keep the structured report reachable via
 						// errors.As on Err/Failures.
-						err = fmt.Errorf("process %d stuck: %w", p, se)
-					} else {
+						err = fmt.Errorf("process %d stuck: %w", p, e)
+					case *ArityError, *DepthError:
+						// The arena's typed limit errors (arena.go) stay
+						// reachable via errors.As too.
+						err = fmt.Errorf("process %d exceeded an arena bound: %w", p, e.(error))
+					default:
 						err = fmt.Errorf("process %d panicked: %v", p, r)
 					}
 					s.failMu.Lock()
@@ -231,41 +236,22 @@ func (s *System) Run(bodies map[int]func(*Ctx)) error {
 // crashSignal is the panic value used to model a crash of one process.
 type crashSignal struct{ proc int }
 
-// frame is the system-side record of one pending recoverable operation.
-// Everything except child/childValid is conceptually non-volatile: it is
-// exactly the information the paper's system uses to resurrect a process
-// (which operation, its arguments, and LI).
-type frame struct {
-	op   Operation
-	opID int64
-	// fref is the flight-recorder attribution (interned obj/op name ids),
-	// resolved lazily by the frame's first record that survives the
-	// shallow-mode drop — in shallow mode a nested frame usually never
-	// resolves one. Like the rest of the frame it is system state:
-	// recovery records reuse it.
-	fref   flightrec.Ref
-	frefOK bool
-	args   []uint64
-	li     int // last instruction begun (0 before the first step)
-	// attempts counts how many times this frame's recovery function has
-	// been entered (0 for an operation that never crashed).
-	attempts int
-
-	// child holds the response of a nested operation that completed
-	// through recovery, available to this frame's recovery function via
-	// Ctx.ChildResp. It models a response value freshly delivered to a
-	// volatile register of the process: it does not survive a crash.
-	child      uint64
-	childValid bool
-}
-
 // Proc is one process of the system.
 type Proc struct {
 	id  int
 	sys *System
 	ctx *Ctx
 
-	stack []*frame
+	// frames is the process's frame arena (see arena.go): the fixed
+	// backing store of its operation stack, sized by the nesting-depth
+	// bound MaxNestingDepth. frames[:depth] are the pending operations,
+	// outermost first; depth is the stack pointer. Both are touched only
+	// by the process's own goroutine. A crash leaves the occupied prefix
+	// in place — recovery re-enters the very frames LI_p was recorded
+	// into — and a completed operation merely decrements depth, so the
+	// uncontended op lifecycle performs no heap allocation at all.
+	frames [MaxNestingDepth]frame
+	depth  int
 	// steps and crashes are atomics only so that StuckReport builders can
 	// snapshot them from other goroutines; all writes happen on the
 	// process's own goroutine.
@@ -299,20 +285,37 @@ func (p *Proc) Crashes() int { return int(p.crashes.Load()) }
 // do not go through Go/Run).
 func (p *Proc) Ctx() *Ctx { return p.ctx }
 
-func (p *Proc) top() *frame { return p.stack[len(p.stack)-1] }
+func (p *Proc) top() *frame { return &p.frames[p.depth-1] }
 
+// push claims the next arena frame for an invocation of op, resetting
+// it and snapshotting args into its inline array. The bounds are the
+// arena's two documented limits: more than MaxOpArgs arguments raises a
+// typed *ArityError, nesting past MaxNestingDepth a typed *DepthError
+// (both delivered by panic here — Ctx.Invoke cannot return an error —
+// and converted to plain errors under Config.RecoverPanics; callers
+// wanting the error without the panic use Ctx.TryInvoke).
 func (p *Proc) push(op Operation, args []uint64) *frame {
+	if len(args) > MaxOpArgs {
+		info := op.Info()
+		panic(&ArityError{Obj: info.Obj, Op: info.Op, Got: len(args), Max: MaxOpArgs})
+	}
+	if p.depth >= MaxNestingDepth {
+		info := op.Info()
+		panic(&DepthError{Obj: info.Obj, Op: info.Op, Depth: p.depth + 1, Max: MaxNestingDepth})
+	}
+	fr := &p.frames[p.depth]
+	p.depth++
 	var opID int64
 	if p.sys.rec != nil {
 		opID = p.sys.rec.NewOpID()
 	}
-	fr := &frame{op: op, opID: opID, args: args} //nrl:ignore per-invocation frame; arena refactor target (ROADMAP item 1)
-	p.stack = append(p.stack, fr)                //nrl:ignore stack growth amortizes; arena refactor target (ROADMAP item 1)
+	*fr = frame{op: op, opID: opID}
+	fr.nargs = copy(fr.args[:], args)
 	return fr
 }
 
 func (p *Proc) pop() {
-	p.stack = p.stack[:len(p.stack)-1]
+	p.depth--
 }
 
 func (p *Proc) record(k history.Kind, fr *frame, args []uint64, ret uint64) {
@@ -337,7 +340,7 @@ func (p *Proc) emitOp(k trace.Kind, fr *frame, args []uint64, ret uint64) {
 	info := fr.op.Info()
 	t.Emit(trace.Event{
 		Kind: k, P: p.id, Obj: info.Obj, Op: info.Op,
-		Depth: len(p.stack), Line: fr.li, Attempt: fr.attempts,
+		Depth: p.depth, Line: fr.li, Attempt: fr.attempts,
 		PStep: p.steps.Load(), GStep: p.sys.globalSteps.Load(),
 		Addr: int32(nvm.InvalidAddr), Args: args, Ret: ret,
 	})
@@ -354,7 +357,7 @@ func (p *Proc) recordFR(kind flightrec.Kind, fr *frame, val uint64) {
 	if r == nil {
 		return
 	}
-	depth := len(p.stack)
+	depth := p.depth
 	// Mirror the recorder's shallow-mode drop before resolving the
 	// attribution: a nested begin/end that will be dropped anyway should
 	// not pay (or trigger) name interning.
@@ -374,50 +377,67 @@ func (p *Proc) recordFR(kind flightrec.Kind, fr *frame, val uint64) {
 		fr.li, fr.attempts, val, p.sys.globalSteps.Load())
 }
 
-// firstArg is the begin record's payload: the operation's first
-// argument, or zero for a no-argument operation.
-func firstArg(args []uint64) uint64 {
-	if len(args) == 0 {
-		return 0
-	}
-	return args[0]
-}
-
 // call runs a top-level operation to completion, surviving any number of
-// crashes. It is the system's resurrection loop.
+// crashes. It is the system's resurrection loop. The loop is closure-free
+// by construction: each attempt is a plain method call whose crash
+// handling is a deferred method (catchCrash), so the hot path — one
+// uncrashed attempt — performs no heap allocation.
 //
 //nrl:hotpath every recoverable operation runs through here (ROADMAP item 1)
 func (p *Proc) call(op Operation, args []uint64) uint64 {
 	fr := p.push(op, args)
-	p.record(history.Inv, fr, fr.args, 0)
-	p.emitOp(trace.Invoke, fr, fr.args, 0)
-	p.recordFR(flightrec.KindBegin, fr, firstArg(fr.args))
-	ret, ok := p.attempt(func() uint64 { //nrl:ignore one attempt closure per top-level invocation, not per step
-		r := op.Exec(p.ctx, op.Info().Entry)
-		p.record(history.Res, fr, nil, r)
-		p.emitOp(trace.Response, fr, nil, r)
-		p.recordFR(flightrec.KindEnd, fr, r)
-		p.pop()
-		return r
-	})
+	p.record(history.Inv, fr, fr.argSlice(), 0)
+	p.emitOp(trace.Invoke, fr, fr.argSlice(), 0)
+	p.recordFR(flightrec.KindBegin, fr, fr.firstArg())
+	ret, ok := p.attempt(true)
 	for !ok {
-		ret, ok = p.attempt(p.resume) //nrl:ignore resume binding only on the crash path
+		ret, ok = p.attempt(false)
 	}
 	return ret
 }
 
-// attempt runs f, converting a crash panic of this process into ok=false.
-func (p *Proc) attempt(f func() uint64) (ret uint64, ok bool) {
-	defer func() { //nrl:ignore crash-recovery defer; one per attempt, not per step
-		if r := recover(); r != nil {
-			cs, isCrash := r.(crashSignal)
-			if !isCrash || cs.proc != p.id {
-				panic(r)
-			}
-			p.onCrash()
+// attempt runs one execution attempt of the process's top-level
+// operation — the fresh body on the first attempt, the recovery cascade
+// (resume) after a crash — converting a crash panic of this process into
+// ok=false. The interrupted frames stay resident in the arena, so the
+// next attempt re-enters exactly the state LI_p witnessed.
+//
+//nrl:hotpath every recoverable operation runs through here (ROADMAP item 1)
+func (p *Proc) attempt(fresh bool) (ret uint64, ok bool) {
+	defer p.catchCrash(&ok)
+	if fresh {
+		return p.execTop(), true
+	}
+	return p.resume(), true
+}
+
+// execTop executes the top frame's body from its entry line and retires
+// the frame (the response records, then the pop).
+//
+//nrl:hotpath every recoverable operation runs through here (ROADMAP item 1)
+func (p *Proc) execTop() uint64 {
+	fr := p.top()
+	r := fr.op.Exec(p.ctx, fr.op.Info().Entry)
+	p.record(history.Res, fr, nil, r)
+	p.emitOp(trace.Response, fr, nil, r)
+	p.recordFR(flightrec.KindEnd, fr, r)
+	p.pop()
+	return r
+}
+
+// catchCrash is the deferred crash handler of attempt: a crash panic of
+// this process marks the attempt failed (ok=false) after recording the
+// crash; any other panic propagates. It is a method rather than a
+// deferred closure so the recovery machinery itself stays off the heap.
+func (p *Proc) catchCrash(ok *bool) {
+	if r := recover(); r != nil {
+		cs, isCrash := r.(crashSignal)
+		if !isCrash || cs.proc != p.id {
+			panic(r)
 		}
-	}()
-	return f(), true
+		p.onCrash()
+		*ok = false
+	}
 }
 
 // onCrash records the crash step and discards volatile state. The crashed
@@ -427,8 +447,8 @@ func (p *Proc) onCrash() {
 	p.record(history.Crash, p.top(), nil, 0)
 	p.emitOp(trace.Crash, p.top(), nil, 0)
 	p.recordFR(flightrec.KindCrash, p.top(), 0)
-	for _, fr := range p.stack {
-		fr.childValid = false
+	for i := 0; i < p.depth; i++ {
+		p.frames[i].childValid = false
 	}
 }
 
@@ -472,19 +492,10 @@ func (p *Proc) resume() uint64 {
 		p.emitOp(trace.RecoverDone, fr, nil, ret)
 		p.recordFR(flightrec.KindRecoverExit, fr, ret)
 		p.pop()
-		if len(p.stack) == 0 {
+		if p.depth == 0 {
 			return ret
 		}
 		parent := p.top()
 		parent.child, parent.childValid = ret, true
 	}
-}
-
-func cloneArgs(args []uint64) []uint64 {
-	if len(args) == 0 {
-		return nil
-	}
-	out := make([]uint64, len(args)) //nrl:ignore argument snapshot; arena refactor target (ROADMAP item 1)
-	copy(out, args)
-	return out
 }

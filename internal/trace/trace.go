@@ -120,9 +120,11 @@ func (k Kind) Mem() bool { return k >= MemRead && k <= MemFence }
 
 // Event is one trace event. Which fields are meaningful depends on Kind;
 // unused fields are zero and omitted from the JSON encoding where
-// possible. Events are plain values: sinks must not retain pointers into
-// the emitting goroutine's state (Args is the only reference field and is
-// never mutated after emission).
+// possible. Events are plain values with one caveat: Args, the only
+// reference field, may alias the emitting process's frame arena, whose
+// storage is reused by later invocations. It is valid for the duration
+// of Emit; a sink that retains events past the call must copy it (Ring
+// does, JSONL serializes inline).
 type Event struct {
 	Kind Kind `json:"kind"`
 	// P is the issuing process id (1-based); 0 means unattributed (a raw
@@ -245,8 +247,13 @@ func NewRing(n int) *Ring {
 	return &Ring{buf: make([]Event, 0, n)}
 }
 
-// Emit implements Tracer.
+// Emit implements Tracer. The ring retains events past the call, so it
+// copies Args — the only reference field, and one whose backing storage
+// the emitting process's frame arena reuses across invocations.
 func (r *Ring) Emit(e Event) {
+	if len(e.Args) > 0 {
+		e.Args = append([]uint64(nil), e.Args...)
+	}
 	r.mu.Lock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, e)

@@ -52,6 +52,13 @@ type Object struct {
 	mine   []nvm.Addr // MyCell_p
 	targ   []nvm.Addr // LinkTarget_p
 
+	// scratch is the per-process replay argument buffer (indexed by
+	// process id): replay decodes each logged cell's arguments into its
+	// caller's slot instead of allocating per hop, keeping the log fold
+	// on the recoverable-op hot path allocation-free. The slice handed
+	// to Model.Apply is valid only for that call.
+	scratch [][maxArgs]uint64
+
 	ops map[string]*invokeOp
 }
 
@@ -76,9 +83,10 @@ func New(sys *proc.System, name string, model spec.Model, capacity int, opNames 
 		opcode: mem.AllocArray(name+".op", capacity+1, 0),
 		nargs:  mem.AllocArray(name+".nargs", capacity+1, 0),
 		next:   mem.AllocArray(name+".next", capacity+1, nilIdx),
-		mine:   mem.AllocArray(name+".MyCell", n+1, 0),
-		targ:   mem.AllocArray(name+".Targ", n+1, 0),
-		ops:    make(map[string]*invokeOp, len(opNames)),
+		mine:    mem.AllocArray(name+".MyCell", n+1, 0),
+		targ:    mem.AllocArray(name+".Targ", n+1, 0),
+		scratch: make([][maxArgs]uint64, n+1),
+		ops:     make(map[string]*invokeOp, len(opNames)),
 	}
 	o.args = make([][maxArgs]nvm.Addr, capacity+1)
 	for i := range o.args {
@@ -133,7 +141,7 @@ func (o *Object) replay(c *proc.Ctx, idx uint64) uint64 {
 		}
 		code := c.Read(o.opcode[cur])
 		n := c.Read(o.nargs[cur])
-		args := make([]uint64, n) //nrl:ignore log replay argument buffer; arena refactor target (ROADMAP item 1)
+		args := o.scratch[c.P()][:n]
 		for j := uint64(0); j < n; j++ {
 			args[j] = c.Read(o.args[cur][j])
 		}

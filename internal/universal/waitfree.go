@@ -58,6 +58,10 @@ type WFObject struct {
 	head     []nvm.Addr // head[p]: a linked node p has seen (monotone in seq)
 	mine     []nvm.Addr // MyCell_p
 
+	// scratch is the per-process replay argument buffer (indexed by
+	// process id); see Object.scratch — same zero-alloc replay contract.
+	scratch [][maxArgs]uint64
+
 	ops map[string]*wfInvokeOp
 }
 
@@ -84,6 +88,7 @@ func NewWaitFree(sys *proc.System, name string, model spec.Model, capacity int, 
 		announce: mem.AllocArray(name+".announce", n+1, 0),
 		head:     mem.AllocArray(name+".head", n+1, 0),
 		mine:     mem.AllocArray(name+".MyCell", n+1, 0),
+		scratch:  make([][maxArgs]uint64, n+1),
 		ops:      make(map[string]*wfInvokeOp, len(opNames)),
 	}
 	o.args = make([][maxArgs]nvm.Addr, capacity+1)
@@ -137,7 +142,7 @@ func (o *WFObject) replay(c *proc.Ctx, idx uint64) uint64 {
 		}
 		code := c.Read(o.opcode[cur])
 		n := c.Read(o.nargs[cur])
-		args := make([]uint64, n) //nrl:ignore log replay argument buffer; arena refactor target (ROADMAP item 1)
+		args := o.scratch[c.P()][:n]
 		for j := uint64(0); j < n; j++ {
 			args[j] = c.Read(o.args[cur][j])
 		}

@@ -234,6 +234,27 @@ type (
 	StuckError = proc.StuckError
 	// AwaitInfo is one parked process inside a StuckReport.
 	AwaitInfo = proc.AwaitInfo
+	// ArityError is the typed failure of an invocation exceeding the
+	// frame arena's MaxOpArgs inline-argument bound (DESIGN.md §13);
+	// recover it with errors.As, or take it directly from Ctx.TryInvoke.
+	ArityError = proc.ArityError
+	// DepthError is the typed failure of an invocation nesting past the
+	// frame arena's MaxNestingDepth bound; recover it with errors.As, or
+	// take it directly from Ctx.TryInvoke.
+	DepthError = proc.DepthError
+)
+
+// Frame-arena bounds (DESIGN.md §13), re-exported: every process stores
+// its pending recoverable operations in a fixed arena of MaxNestingDepth
+// frames, each carrying at most MaxOpArgs inline argument words — the
+// zero-allocation backing of the uncontended op hot path.
+const (
+	// MaxNestingDepth is the arena's depth bound k: the deepest chain of
+	// nested recoverable operations a process may have pending.
+	MaxNestingDepth = proc.MaxNestingDepth
+	// MaxOpArgs is the arity bound: the number of argument words a frame
+	// stores inline.
+	MaxOpArgs = proc.MaxOpArgs
 )
 
 // Chaos constructors and helpers, re-exported.
